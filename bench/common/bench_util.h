@@ -1,0 +1,88 @@
+// Shared output helpers for the per-figure benchmark harnesses.
+//
+// Every bench binary regenerates one table or figure from the paper and
+// prints the same rows/series the paper reports, plus a short "shape
+// check" section stating which qualitative properties hold.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lumina::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void subheading(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/// Prints a fixed-width table: first row is the header.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : widths_(header.size(), 0) {
+    rows_.push_back(std::move(header));
+  }
+
+  void add_row(std::vector<std::string> row) {
+    row.resize(widths_.size());
+    rows_.push_back(std::move(row));
+  }
+
+  void print() {
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        widths_[i] = std::max(widths_[i], row[i].size());
+      }
+    }
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+        std::printf("%-*s  ", static_cast<int>(widths_[i]),
+                    rows_[r][i].c_str());
+      }
+      std::printf("\n");
+      if (r == 0) {
+        std::size_t total = 0;
+        for (const auto w : widths_) total += w + 2;
+        std::printf("%s\n", std::string(total, '-').c_str());
+      }
+    }
+  }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> widths_;
+};
+
+inline std::string fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+/// Records pass/fail of the qualitative properties the paper reports.
+class ShapeCheck {
+ public:
+  void expect(bool ok, const std::string& what) {
+    results_.emplace_back(ok, what);
+    if (!ok) failed_ = true;
+  }
+
+  int print_and_exit_code() const {
+    std::printf("\nShape checks:\n");
+    for (const auto& [ok, what] : results_) {
+      std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+    }
+    return failed_ ? 1 : 0;
+  }
+
+ private:
+  std::vector<std::pair<bool, std::string>> results_;
+  bool failed_ = false;
+};
+
+}  // namespace lumina::bench

@@ -1,0 +1,60 @@
+// Shared sweep used by the Fig. 8 / Fig. 9 benches: drop the k-th data
+// packet of a 100 KB transfer and measure NACK-generation and
+// NACK-reaction latency from the reconstructed trace.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analyzers/retrans_perf.h"
+#include "config/test_config.h"
+#include "orchestrator/orchestrator.h"
+
+namespace lumina::bench {
+
+struct SweepPoint {
+  int dropped_seqnum = 0;
+  std::optional<Tick> nack_gen;
+  std::optional<Tick> nack_react;
+};
+
+/// Runs one (nic, verb, k) cell of the Fig. 8/9 sweep.
+inline SweepPoint run_retrans_point(NicType nic, RdmaVerb verb, int k) {
+  TestConfig cfg;
+  cfg.requester.nic_type = nic;
+  cfg.responder.nic_type = nic;
+  cfg.traffic.verb = verb;
+  cfg.traffic.num_connections = 1;
+  cfg.traffic.num_msgs_per_qp = 1;
+  cfg.traffic.message_size = 100 * 1024;  // 100 packets at MTU 1024
+  cfg.traffic.mtu = 1024;
+  // Keep the retransmission timer far above the slowest NACK path (E810's
+  // read re-request takes ~83 ms) so fast retransmission is what we see.
+  cfg.traffic.min_retransmit_timeout = 18;  // ~1.07 s
+  cfg.traffic.data_pkt_events.push_back(
+      DataPacketEvent{1, static_cast<std::uint32_t>(k), EventType::kDrop, 1});
+
+  Orchestrator orch(cfg);
+  const TestResult& result = orch.run();
+  SweepPoint point;
+  point.dropped_seqnum = k;
+  const auto episodes = analyze_retransmissions(result.trace, verb);
+  if (!episodes.empty()) {
+    point.nack_gen = episodes[0].nack_generation_latency();
+    point.nack_react = episodes[0].nack_reaction_latency();
+  }
+  return point;
+}
+
+inline const std::vector<int>& sweep_seqnums() {
+  static const std::vector<int> ks = {1, 20, 40, 60, 80, 99};
+  return ks;
+}
+
+inline const std::vector<NicType>& sweep_nics() {
+  static const std::vector<NicType> nics = {NicType::kCx4Lx, NicType::kCx5,
+                                            NicType::kE810, NicType::kCx6Dx};
+  return nics;
+}
+
+}  // namespace lumina::bench

@@ -1,0 +1,73 @@
+// Figure 8: NACK generation latency vs. sequence number of the dropped
+// packet, for Write (8a) and Read (8b) traffic on all four RNICs.
+//
+// Paper shape: Write NACK generation is consistently low on all NICs
+// (~1.5-10 us); Read is dramatically slower on CX4 Lx (~150 us) and E810
+// (~83 ms), evidence of a separate slow pipeline for out-of-order read
+// responses (§6.1).
+#include "common/bench_util.h"
+#include "common/retrans_sweep.h"
+
+using namespace lumina;
+using namespace lumina::bench;
+
+namespace {
+
+double cell_us(NicType nic, RdmaVerb verb, int k) {
+  const SweepPoint p = run_retrans_point(nic, verb, k);
+  return p.nack_gen ? to_us(*p.nack_gen) : -1.0;
+}
+
+double sweep(const char* title, RdmaVerb verb,
+             std::vector<std::vector<double>>& out) {
+  subheading(title);
+  Table table({"seqnum", "CX4", "CX5", "E810", "CX6"});
+  out.assign(sweep_nics().size(), {});
+  for (const int k : sweep_seqnums()) {
+    std::vector<std::string> row{std::to_string(k)};
+    for (std::size_t n = 0; n < sweep_nics().size(); ++n) {
+      const double us = cell_us(sweep_nics()[n], verb, k);
+      out[n].push_back(us);
+      row.push_back(fmt("%.2f", us));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  return 0;
+}
+
+double avg(const std::vector<double>& v) {
+  double s = 0;
+  for (double x : v) s += x;
+  return v.empty() ? 0 : s / v.size();
+}
+
+}  // namespace
+
+int main() {
+  heading("Figure 8: NACK generation latency (us) vs dropped seqnum");
+
+  std::vector<std::vector<double>> write_us;  // [nic][k]
+  std::vector<std::vector<double>> read_us;
+  sweep("(a) Write traffic", RdmaVerb::kWrite, write_us);
+  sweep("(b) Read traffic", RdmaVerb::kRead, read_us);
+
+  // Indices into sweep_nics(): 0=CX4, 1=CX5, 2=E810, 3=CX6.
+  ShapeCheck check;
+  check.expect(avg(write_us[1]) < 5 && avg(write_us[3]) < 5,
+               "Write: CX5/CX6 NACK generation ~2 us");
+  check.expect(avg(write_us[0]) < 5,
+               "Write: CX4 NACK generation low (~1.5 us)");
+  check.expect(avg(write_us[2]) > 5 && avg(write_us[2]) < 30,
+               "Write: E810 NACK generation ~10 us");
+  check.expect(avg(read_us[0]) > 100 && avg(read_us[0]) < 300,
+               "Read: CX4 NACK generation ~150 us (slow read pipeline)");
+  check.expect(avg(read_us[2]) > 50'000,
+               "Read: E810 NACK generation ~83 ms");
+  check.expect(avg(read_us[1]) < 5 && avg(read_us[3]) < 5,
+               "Read: CX5/CX6 stay ~2 us");
+  check.expect(avg(read_us[0]) > 10 * avg(write_us[0]) &&
+                   avg(read_us[2]) > 10 * avg(write_us[2]),
+               "Read >> Write on CX4 and E810 (different pipeline)");
+  return check.print_and_exit_code();
+}

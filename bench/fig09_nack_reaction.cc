@@ -1,0 +1,63 @@
+// Figure 9: NACK reaction latency vs. sequence number of the dropped
+// packet, for Write (9a) and Read (9b) traffic on all four RNICs.
+//
+// Paper shape: CX5/CX6 Dx react within 2-6 us; CX4 Lx needs ~200 us (the
+// dominant part of its ~100-base-RTT retransmission delay); E810 sits in
+// the tens-of-us to ~100 us band.
+#include "common/bench_util.h"
+#include "common/retrans_sweep.h"
+
+using namespace lumina;
+using namespace lumina::bench;
+
+namespace {
+
+double avg(const std::vector<double>& v) {
+  double s = 0;
+  for (double x : v) s += x;
+  return v.empty() ? 0 : s / v.size();
+}
+
+void sweep(const char* title, RdmaVerb verb,
+           std::vector<std::vector<double>>& out) {
+  subheading(title);
+  Table table({"seqnum", "CX4", "CX5", "E810", "CX6"});
+  out.assign(sweep_nics().size(), {});
+  for (const int k : sweep_seqnums()) {
+    std::vector<std::string> row{std::to_string(k)};
+    for (std::size_t n = 0; n < sweep_nics().size(); ++n) {
+      const SweepPoint p = run_retrans_point(sweep_nics()[n], verb, k);
+      const double us = p.nack_react ? to_us(*p.nack_react) : -1.0;
+      out[n].push_back(us);
+      row.push_back(fmt("%.2f", us));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  heading("Figure 9: NACK reaction latency (us) vs dropped seqnum");
+
+  std::vector<std::vector<double>> write_us;
+  std::vector<std::vector<double>> read_us;
+  sweep("(a) Write traffic", RdmaVerb::kWrite, write_us);
+  sweep("(b) Read traffic", RdmaVerb::kRead, read_us);
+
+  ShapeCheck check;
+  check.expect(avg(write_us[0]) > 100,
+               "Write: CX4 reaction ~200 us (retrans delay ~100 base RTTs)");
+  check.expect(avg(write_us[1]) < 10 && avg(write_us[3]) < 10,
+               "Write: CX5/CX6 react within 2-6 us");
+  check.expect(avg(write_us[2]) > 10 && avg(write_us[2]) < 200,
+               "Write: E810 reaction in the tens-of-us band");
+  check.expect(avg(read_us[1]) < 8 && avg(read_us[3]) < 8,
+               "Read: CX5/CX6 react within a few us");
+  check.expect(avg(read_us[0]) > 50,
+               "Read: CX4 reaction remains slow (~150 us)");
+  check.expect(avg(write_us[0]) > 20 * avg(write_us[1]),
+               "CX5/CX6 >> CX4 retransmission responsiveness");
+  return check.print_and_exit_code();
+}

@@ -1,0 +1,102 @@
+// Figure 10: goodput of two QPs under three ETS settings on a 100 Gbps
+// CX6 Dx (§6.2.1, "Non-work conserving ETS").
+//
+//   (1) multi-queue vanilla — two ETS queues, weight 50/50, no marking;
+//   (2) multi-queue w/ ECN  — same queues, every 50th packet of QP0 marked;
+//   (3) single-queue w/ ECN — both QPs share one queue, same marking.
+//
+// Paper shape: in (2) QP0's goodput collapses under DCQCN but QP1 CANNOT
+// pick up the spare bandwidth (stays ~its guaranteed 50%), while in (3)
+// QP1 does — the CX6 Dx ETS queues are strictly limited to their
+// guaranteed bandwidth. A correct (work-conserving) NIC model shows QP1
+// expanding in (2) as well; the bench prints CX5 as the healthy reference.
+#include "common/bench_util.h"
+#include "orchestrator/orchestrator.h"
+
+using namespace lumina;
+using namespace lumina::bench;
+
+namespace {
+
+struct GoodputPair {
+  double qp0 = 0;
+  double qp1 = 0;
+};
+
+GoodputPair run_setting(NicType nic, bool multi_queue, bool mark_qp0) {
+  TestConfig cfg;
+  cfg.requester.nic_type = nic;
+  cfg.responder.nic_type = nic;
+  cfg.requester.roce.dcqcn_rp_enable = true;
+  cfg.responder.roce.dcqcn_np_enable = true;
+  cfg.requester.roce.min_time_between_cnps = 4 * kMicrosecond;
+  cfg.traffic.verb = RdmaVerb::kWrite;
+  cfg.traffic.num_connections = 2;
+  cfg.traffic.num_msgs_per_qp = 20;
+  cfg.traffic.message_size = 1024 * 1024;  // 1 MB per message
+  cfg.traffic.mtu = 1024;
+  cfg.traffic.tx_depth = 2;
+
+  if (multi_queue) {
+    cfg.ets.tc_of_qp = {0, 1};
+    cfg.ets.tc_weights = {50, 50};
+  } else {
+    cfg.ets.tc_of_qp = {0, 0};
+    cfg.ets.tc_weights = {100};
+  }
+  if (mark_qp0) {
+    // Mark one out of every 50 data packets of QP0 (20 MB -> 20480 pkts).
+    const int total_pkts = 20 * 1024;
+    for (int psn = 50; psn <= total_pkts; psn += 50) {
+      cfg.traffic.data_pkt_events.push_back(DataPacketEvent{
+          1, static_cast<std::uint32_t>(psn), EventType::kEcn, 1});
+    }
+  }
+
+  Orchestrator::Options options;
+  options.dumper_options.per_packet_service = 60;  // 20 GB of mirrors
+  options.num_dumpers = 4;
+  Orchestrator orch(cfg, options);
+  const TestResult& result = orch.run();
+  return GoodputPair{result.flows[0].goodput_gbps(),
+                     result.flows[1].goodput_gbps()};
+}
+
+}  // namespace
+
+int main() {
+  heading("Figure 10: goodput of two QPs under three ETS settings (Gbps)");
+
+  const GoodputPair vanilla = run_setting(NicType::kCx6Dx, true, false);
+  const GoodputPair multi_ecn = run_setting(NicType::kCx6Dx, true, true);
+  const GoodputPair single_ecn = run_setting(NicType::kCx6Dx, false, true);
+
+  Table table({"setting", "QP0", "QP1"});
+  table.add_row({"Multi-queue vanilla", fmt("%.1f", vanilla.qp0),
+                 fmt("%.1f", vanilla.qp1)});
+  table.add_row({"Multi-queue w/ ECN", fmt("%.1f", multi_ecn.qp0),
+                 fmt("%.1f", multi_ecn.qp1)});
+  table.add_row({"Single-queue w/ ECN", fmt("%.1f", single_ecn.qp0),
+                 fmt("%.1f", single_ecn.qp1)});
+  table.print();
+
+  subheading("healthy reference (CX5, work-conserving ETS)");
+  const GoodputPair cx5_multi_ecn = run_setting(NicType::kCx5, true, true);
+  Table ref({"setting", "QP0", "QP1"});
+  ref.add_row({"Multi-queue w/ ECN", fmt("%.1f", cx5_multi_ecn.qp0),
+               fmt("%.1f", cx5_multi_ecn.qp1)});
+  ref.print();
+
+  ShapeCheck check;
+  check.expect(vanilla.qp0 > 35 && vanilla.qp1 > 35,
+               "vanilla: both QPs get ~their guaranteed 50%");
+  check.expect(multi_ecn.qp0 < vanilla.qp0 * 0.7,
+               "multi-queue w/ ECN: QP0 goodput significantly reduced");
+  check.expect(multi_ecn.qp1 < vanilla.qp1 * 1.15,
+               "BUG (CX6 Dx): QP1 cannot use QP0's spare bandwidth");
+  check.expect(single_ecn.qp1 > vanilla.qp1 * 1.25,
+               "single queue: QP1 takes the spare bandwidth");
+  check.expect(cx5_multi_ecn.qp1 > vanilla.qp1 * 1.25,
+               "CX5 reference: work conserving even with multi-queue");
+  return check.print_and_exit_code();
+}

@@ -1,0 +1,93 @@
+// Figure 11: "noisy neighbor" on CX4 Lx (§6.2.2).
+//
+// 36 Read connections, ten 20 KB messages each. Lumina drops the 5th data
+// packet of each of the first i connections (i = 0, 8, 12, 16); the rest
+// are innocent. Paper shape: with i <= 8 innocent flows are unaffected
+// (~160 us MCT); at i >= 12 the concurrent read-loss slow paths stall the
+// whole RNIC RX pipeline, innocent flows suffer discarded packets
+// (rx_discards_phy) and timeouts, and their average MCT explodes to
+// hundreds of milliseconds.
+#include "common/bench_util.h"
+#include "orchestrator/orchestrator.h"
+
+using namespace lumina;
+using namespace lumina::bench;
+
+namespace {
+
+struct Point {
+  double injected_mct_us = 0;
+  double innocent_mct_us = 0;
+  std::uint64_t rx_discards = 0;
+};
+
+Point run_point(int num_injected) {
+  constexpr int kFlows = 36;
+  TestConfig cfg;
+  cfg.requester.nic_type = NicType::kCx4Lx;
+  cfg.responder.nic_type = NicType::kCx4Lx;
+  cfg.traffic.verb = RdmaVerb::kRead;
+  cfg.traffic.num_connections = kFlows;
+  cfg.traffic.num_msgs_per_qp = 10;
+  cfg.traffic.message_size = 20 * 1024;
+  cfg.traffic.mtu = 1024;
+  cfg.traffic.min_retransmit_timeout = 14;  // 67.1 ms, the paper's setting
+  for (int i = 0; i < num_injected; ++i) {
+    cfg.traffic.data_pkt_events.push_back(
+        DataPacketEvent{i + 1, 5, EventType::kDrop, 1});
+  }
+
+  Orchestrator::Options options;
+  options.num_dumpers = 2;
+  Orchestrator orch(cfg, options);
+  const TestResult& result = orch.run();
+
+  Point point;
+  point.rx_discards = result.requester_counters.rx_discards_phy;
+  std::vector<int> injected;
+  std::vector<int> innocent;
+  for (int i = 0; i < kFlows; ++i) {
+    (i < num_injected ? injected : innocent).push_back(i);
+  }
+  point.injected_mct_us = orch.generator().avg_mct_us(injected);
+  point.innocent_mct_us = orch.generator().avg_mct_us(innocent);
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  heading(
+      "Figure 11: avg MCT of innocent vs drop-injected flows, 36 Read flows "
+      "on CX4 Lx");
+
+  const std::vector<int> sweep = {0, 8, 12, 16};
+  std::vector<Point> points;
+  Table table({"#drop-injected", "injected MCT (ms)", "innocent MCT (ms)",
+               "rx_discards_phy"});
+  for (const int i : sweep) {
+    points.push_back(run_point(i));
+    const Point& p = points.back();
+    table.add_row({std::to_string(i),
+                   i == 0 ? "-" : fmt("%.3f", p.injected_mct_us / 1000.0),
+                   fmt("%.3f", p.innocent_mct_us / 1000.0),
+                   std::to_string(p.rx_discards)});
+  }
+  table.print();
+
+  ShapeCheck check;
+  check.expect(points[0].innocent_mct_us < 500,
+               "i=0: clean Read MCT in the ~160 us band");
+  check.expect(points[1].innocent_mct_us < 2 * points[0].innocent_mct_us,
+               "i=8: innocent flows perform normally");
+  check.expect(points[2].innocent_mct_us > 100'000,
+               "i=12: innocent flows suffer timeouts (MCT ~hundreds of ms)");
+  check.expect(points[3].innocent_mct_us > 100'000,
+               "i=16: innocent flows suffer timeouts");
+  check.expect(points[2].rx_discards > 100 * points[1].rx_discards + 100,
+               "i=12: requester discards arriving packets (rx_discards_phy)");
+  check.expect(points[2].innocent_mct_us >
+                   100 * points[1].innocent_mct_us,
+               "cliff between i=8 and i=12 spans >2 orders of magnitude");
+  return check.print_and_exit_code();
+}

@@ -1,0 +1,106 @@
+// §3.4 "Per-packet load balancing": capturing line-rate mirrored traffic.
+//
+// The paper's naive design (one powerful dumper per direction, RSS keyed
+// on the unmodified 5-tuple) pins an entire RoCE flow onto one CPU core
+// and loses packets; integrity checks then invalidate the test. Lumina's
+// design — a pool of dumpers fed by per-packet weighted round-robin, plus
+// rewriting the mirrored UDP destination port to a random value so RSS
+// fans a single flow across all cores — raised the complete-capture rate
+// from ~30% to ~100%.
+//
+// This bench runs the same line-rate Write workload under four capture
+// configurations and reports capture completeness and integrity-check
+// verdicts.
+#include "common/bench_util.h"
+#include "orchestrator/orchestrator.h"
+
+using namespace lumina;
+using namespace lumina::bench;
+
+namespace {
+
+struct CaptureResult {
+  std::uint64_t mirrored = 0;
+  std::uint64_t captured = 0;
+  bool integrity_ok = false;
+
+  double completeness() const {
+    return mirrored == 0 ? 0
+                         : 100.0 * static_cast<double>(captured) /
+                               static_cast<double>(mirrored);
+  }
+};
+
+CaptureResult run_capture(int num_dumpers, int cores, bool randomize_port) {
+  TestConfig cfg;
+  cfg.requester.nic_type = NicType::kCx5;
+  cfg.responder.nic_type = NicType::kCx5;
+  cfg.traffic.verb = RdmaVerb::kWrite;
+  cfg.traffic.num_connections = 1;  // single line-rate flow: worst case
+  cfg.traffic.num_msgs_per_qp = 40;
+  cfg.traffic.message_size = 100 * 1024;
+  cfg.traffic.tx_depth = 4;
+
+  Orchestrator::Options options;
+  options.num_dumpers = num_dumpers;
+  options.dumper_options.cores = cores;
+  // One core sustains ~3.3 Mpps; a 100 Gbps stream of 1 KB packets is
+  // ~11.2 Mpps, so a flow pinned on one core must drop.
+  options.dumper_options.per_packet_service = 300;
+  options.dumper_options.ring_capacity = 256;
+  Orchestrator orch(cfg, options);
+  orch.injector().mirror_engine().set_randomize_udp_port(randomize_port);
+  const TestResult& result = orch.run();
+
+  CaptureResult capture;
+  capture.mirrored = result.integrity.injector_mirrored;
+  capture.captured = result.integrity.trace_packets;
+  capture.integrity_ok = result.integrity.ok();
+  return capture;
+}
+
+}  // namespace
+
+int main() {
+  heading("Section 3.4: traffic dumping under line-rate mirrors");
+
+  struct Config {
+    const char* label;
+    int dumpers;
+    int cores;
+    bool randomize;
+  };
+  const std::vector<Config> configs = {
+      {"1 dumper, RSS on raw 5-tuple (naive)", 1, 8, false},
+      {"1 dumper, randomized UDP port", 1, 8, true},
+      {"2 dumpers, RSS on raw 5-tuple", 2, 8, false},
+      {"2 dumpers, randomized UDP port (Lumina)", 2, 8, true},
+  };
+
+  Table table({"configuration", "mirrored", "captured", "completeness",
+               "integrity"});
+  std::vector<CaptureResult> results;
+  for (const auto& config : configs) {
+    results.push_back(
+        run_capture(config.dumpers, config.cores, config.randomize));
+    const auto& r = results.back();
+    table.add_row({config.label, std::to_string(r.mirrored),
+                   std::to_string(r.captured),
+                   fmt("%.1f%%", r.completeness()),
+                   r.integrity_ok ? "PASS" : "FAIL"});
+  }
+  table.print();
+
+  ShapeCheck check;
+  check.expect(!results[0].integrity_ok && results[0].completeness() < 90.0,
+               "naive single-dumper capture loses packets and fails "
+               "integrity");
+  check.expect(results[3].integrity_ok &&
+                   results[3].completeness() >= 99.999,
+               "Lumina pool + port randomization captures 100%");
+  check.expect(results[1].completeness() > results[0].completeness(),
+               "UDP port randomization alone already helps (all cores used)");
+  check.expect(!results[2].integrity_ok,
+               "extra dumpers cannot compensate for single-core RSS pinning");
+  return check.print_and_exit_code();
+}

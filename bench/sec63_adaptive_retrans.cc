@@ -1,0 +1,121 @@
+// §6.3 "Unexpected retransmission timeouts and times to retry in adaptive
+// retransmission mode of NVIDIA NICs".
+//
+// Experiment 1 (timeout sequence): timeout=14 (spec minimum RTO =
+// 4.096 us * 2^14 = 67.1 ms); keep dropping the last packet of the first
+// message for 7 rounds and measure the gaps between successive
+// (re)transmissions at the switch. Paper (CX6 Dx): 5.6, 4.1, 8.4, 16.7,
+// 25.1, 67.1, 134.2 ms — the early timeouts are far BELOW the configured
+// minimum. With adaptive retransmission disabled, every timeout is 67.1 ms.
+//
+// Experiment 2 (retry count): retry_cnt=7 but drop the packet in every
+// round; NVIDIA NICs retry 8-13 times in adaptive mode, exactly 7
+// otherwise.
+#include "common/bench_util.h"
+#include "orchestrator/orchestrator.h"
+
+using namespace lumina;
+using namespace lumina::bench;
+
+namespace {
+
+/// Gaps between consecutive transmissions of the tail packet, from the
+/// switch trace.
+std::vector<double> timeout_sequence_ms(NicType nic, bool adaptive,
+                                        int drop_rounds) {
+  TestConfig cfg;
+  cfg.requester.nic_type = nic;
+  cfg.responder.nic_type = nic;
+  cfg.requester.roce.adaptive_retrans = adaptive;
+  cfg.responder.roce.adaptive_retrans = adaptive;
+  cfg.traffic.verb = RdmaVerb::kWrite;
+  cfg.traffic.num_msgs_per_qp = 1;
+  // A single-packet message: dropping it leaves the responder silent, so
+  // every recovery is a pure timeout and no duplicate-ACK progress resets
+  // the retry counter mid-experiment.
+  cfg.traffic.message_size = 1024;
+  cfg.traffic.min_retransmit_timeout = 14;
+  cfg.traffic.max_retransmit_retry = 7;
+  for (int round = 1; round <= drop_rounds; ++round) {
+    cfg.traffic.data_pkt_events.push_back(DataPacketEvent{
+        1, 1, EventType::kDrop, static_cast<std::uint32_t>(round)});
+  }
+
+  Orchestrator orch(cfg);
+  const TestResult& result = orch.run();
+
+  std::vector<Tick> tail_tx_times;
+  for (const auto& p : result.trace) {
+    if (p.is_data()) tail_tx_times.push_back(p.time());
+  }
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < tail_tx_times.size(); ++i) {
+    gaps.push_back(to_ms(tail_tx_times[i] - tail_tx_times[i - 1]));
+  }
+  return gaps;
+}
+
+/// Retries actually attempted when every round is dropped.
+int count_retries(NicType nic, bool adaptive) {
+  const auto gaps = timeout_sequence_ms(nic, adaptive, 32);
+  return static_cast<int>(gaps.size());
+}
+
+std::string join_ms(const std::vector<double>& v) {
+  std::string out;
+  for (const double x : v) {
+    if (!out.empty()) out += ", ";
+    out += fmt("%.1f", x);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  heading("Section 6.3: adaptive retransmission timeouts and retries");
+
+  subheading("timeout sequence, CX6 Dx, timeout=14 (min RTO 67.1 ms)");
+  const auto adaptive_seq =
+      timeout_sequence_ms(NicType::kCx6Dx, true, 7);
+  const auto spec_seq = timeout_sequence_ms(NicType::kCx6Dx, false, 7);
+  std::printf("  adaptive on : %s (ms)\n", join_ms(adaptive_seq).c_str());
+  std::printf("  adaptive off: %s (ms)\n", join_ms(spec_seq).c_str());
+  std::printf("  paper       : 5.6, 4.1, 8.4, 16.7, 25.1, 67.1, 134.2 (ms)\n");
+
+  subheading("actual retries with retry_cnt=7 (drop every round)");
+  Table table({"NIC", "adaptive on", "adaptive off"});
+  std::map<std::string, std::pair<int, int>> retries;
+  const std::vector<std::pair<std::string, NicType>> nvidia = {
+      {"CX4 Lx", NicType::kCx4Lx},
+      {"CX5", NicType::kCx5},
+      {"CX6 Dx", NicType::kCx6Dx}};
+  for (const auto& [name, nic] : nvidia) {
+    retries[name] = {count_retries(nic, true), count_retries(nic, false)};
+    table.add_row({name, std::to_string(retries[name].first),
+                   std::to_string(retries[name].second)});
+  }
+  table.print();
+
+  ShapeCheck check;
+  check.expect(adaptive_seq.size() >= 6, "7 drop rounds produce >=6 gaps");
+  double below_spec = 0;
+  for (std::size_t i = 0; i + 1 < adaptive_seq.size() && i < 4; ++i) {
+    if (adaptive_seq[i] < 60.0) ++below_spec;
+  }
+  check.expect(below_spec >= 3,
+               "adaptive: early timeouts far below the configured 67.1 ms");
+  check.expect(!adaptive_seq.empty() && adaptive_seq.back() > 60.0,
+               "adaptive: later timeouts reach/exceed the configured value");
+  for (const double gap : spec_seq) {
+    check.expect(gap > 66.0 && gap < 69.0,
+                 "spec mode: every timeout ~67.1 ms");
+  }
+  for (const auto& [name, counts] : retries) {
+    check.expect(counts.first >= 8 && counts.first <= 13,
+                 name + ": adaptive mode retries 8-13 times");
+    check.expect(counts.second == 7,
+                 name + ": spec mode retries exactly retry_cnt=7 times");
+  }
+  return check.print_and_exit_code();
+}

@@ -1,0 +1,91 @@
+// §6.3 "CNP generation interval".
+//
+// Mark EVERY data packet of a Write transfer and measure the interval
+// between consecutive CNPs in the trace. Paper shape: NVIDIA NICs honor
+// the configurable min_time_between_cnps (4 us default); Intel E810 has an
+// undocumented ~50 us minimum interval that ignores configuration — it
+// does NOT generate a CNP per ECN-marked packet.
+#include "analyzers/cnp_analyzer.h"
+#include "common/bench_util.h"
+#include "orchestrator/orchestrator.h"
+
+using namespace lumina;
+using namespace lumina::bench;
+
+namespace {
+
+struct IntervalProbe {
+  std::uint64_t marked = 0;
+  std::uint64_t cnps = 0;
+  double min_interval_us = 0;
+};
+
+IntervalProbe run(NicType nic, Tick configured_interval) {
+  TestConfig cfg;
+  cfg.requester.nic_type = nic;
+  cfg.responder.nic_type = nic;
+  // Listing 1 setup: NP enabled, RP disabled so marking does not throttle
+  // the sender and the CNP stream is driven purely by the NP limiter.
+  cfg.requester.roce.dcqcn_rp_enable = false;
+  cfg.responder.roce.dcqcn_rp_enable = false;
+  cfg.requester.roce.min_time_between_cnps = configured_interval;
+  cfg.responder.roce.min_time_between_cnps = configured_interval;
+  cfg.traffic.verb = RdmaVerb::kWrite;
+  cfg.traffic.num_msgs_per_qp = 1;
+  cfg.traffic.message_size = 2 * 1024 * 1024;  // 2048 packets
+  cfg.traffic.mtu = 1024;
+  for (int k = 1; k <= 2048; ++k) {
+    cfg.traffic.data_pkt_events.push_back(DataPacketEvent{
+        1, static_cast<std::uint32_t>(k), EventType::kEcn, 1});
+  }
+
+  Orchestrator::Options options;
+  options.num_dumpers = 3;
+  options.dumper_options.per_packet_service = 80;
+  Orchestrator orch(cfg, options);
+  const TestResult& result = orch.run();
+
+  const CnpReport report = analyze_cnps(result.trace);
+  IntervalProbe probe;
+  probe.marked = report.ecn_marked_data_packets;
+  probe.cnps = report.cnps.size();
+  const auto min_gap = report.min_interval_global();
+  probe.min_interval_us = min_gap ? to_us(*min_gap) : -1;
+  return probe;
+}
+
+}  // namespace
+
+int main() {
+  heading("Section 6.3: CNP generation interval (every data packet marked)");
+
+  const Tick configured = 4 * kMicrosecond;
+  Table table({"NIC", "marked pkts", "CNPs", "min CNP interval (us)",
+               "configured (us)"});
+  std::map<std::string, IntervalProbe> probes;
+  const std::vector<std::pair<std::string, NicType>> nics = {
+      {"CX4 Lx", NicType::kCx4Lx},
+      {"CX5", NicType::kCx5},
+      {"CX6 Dx", NicType::kCx6Dx},
+      {"E810", NicType::kE810}};
+  for (const auto& [name, nic] : nics) {
+    probes[name] = run(nic, configured);
+    const auto& p = probes[name];
+    table.add_row({name, std::to_string(p.marked), std::to_string(p.cnps),
+                   fmt("%.2f", p.min_interval_us), fmt("%.1f", 4.0)});
+  }
+  table.print();
+
+  ShapeCheck check;
+  for (const auto* name : {"CX4 Lx", "CX5", "CX6 Dx"}) {
+    const auto& p = probes[name];
+    check.expect(p.min_interval_us >= 3.9 && p.min_interval_us < 8.0,
+                 std::string(name) + ": interval ~ configured 4 us");
+  }
+  const auto& e810 = probes["E810"];
+  check.expect(e810.min_interval_us >= 45.0,
+               "E810: hidden ~50 us minimum interval (config ignored)");
+  check.expect(e810.cnps < e810.marked / 4,
+               "E810 does NOT generate a CNP per marked packet");
+  return check.print_and_exit_code();
+}

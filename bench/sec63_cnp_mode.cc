@@ -1,0 +1,97 @@
+// §6.3 "Different CNP rate limiting modes".
+//
+// Six Write connections with multi-GID on both hosts (three GIDs each) and
+// every data packet marked. Grouping the inter-CNP gaps by scope reveals
+// how each NIC enforces its minimum CNP interval:
+//
+//   CX4 Lx  — per destination IP      (gaps respect the interval per RP IP)
+//   CX5/CX6 — per NIC port            (one global pacing domain)
+//   E810    — per QP                  (each QP pacs independently)
+#include "analyzers/cnp_analyzer.h"
+#include "common/bench_util.h"
+#include "orchestrator/orchestrator.h"
+
+using namespace lumina;
+using namespace lumina::bench;
+
+namespace {
+
+struct ModeProbe {
+  CnpReport report;
+  CnpRateLimitMode inferred = CnpRateLimitMode::kPerPort;
+  Tick expected_interval = 0;
+};
+
+ModeProbe run(NicType nic) {
+  TestConfig cfg;
+  cfg.requester.nic_type = nic;
+  cfg.responder.nic_type = nic;
+  cfg.requester.roce.dcqcn_rp_enable = false;
+  cfg.responder.roce.dcqcn_rp_enable = false;
+  cfg.requester.roce.min_time_between_cnps = 4 * kMicrosecond;
+  cfg.responder.roce.min_time_between_cnps = 4 * kMicrosecond;
+  for (int i = 1; i <= 3; ++i) {
+    cfg.requester.ip_list.push_back(
+        Ipv4Address::from_octets(10, 0, 0, static_cast<std::uint8_t>(i)));
+    cfg.responder.ip_list.push_back(Ipv4Address::from_octets(
+        10, 0, 0, static_cast<std::uint8_t>(10 + i)));
+  }
+  cfg.traffic.verb = RdmaVerb::kWrite;
+  cfg.traffic.num_connections = 6;
+  cfg.traffic.multi_gid = true;
+  cfg.traffic.num_msgs_per_qp = 2;
+  cfg.traffic.message_size = 256 * 1024;  // 256 pkts per message
+  cfg.traffic.mtu = 1024;
+  for (int conn = 1; conn <= 6; ++conn) {
+    for (int k = 1; k <= 512; ++k) {
+      cfg.traffic.data_pkt_events.push_back(DataPacketEvent{
+          conn, static_cast<std::uint32_t>(k), EventType::kEcn, 1});
+    }
+  }
+
+  Orchestrator::Options options;
+  options.num_dumpers = 3;
+  options.dumper_options.per_packet_service = 80;
+  Orchestrator orch(cfg, options);
+  const TestResult& result = orch.run();
+
+  ModeProbe probe;
+  probe.report = analyze_cnps(result.trace);
+  probe.expected_interval =
+      orch.responder_nic().min_cnp_interval();
+  probe.inferred = infer_cnp_mode(probe.report, probe.expected_interval);
+  return probe;
+}
+
+std::string gap_str(std::optional<Tick> gap) {
+  return gap ? fmt("%.2f", to_us(*gap)) : std::string("-");
+}
+
+}  // namespace
+
+int main() {
+  heading("Section 6.3: CNP rate limiting modes (6 QPs, 3 GIDs per host)");
+
+  Table table({"NIC", "CNPs", "min gap global (us)", "min gap per-IP (us)",
+               "min gap per-QP (us)", "inferred mode", "expected"});
+
+  const std::vector<std::tuple<std::string, NicType, CnpRateLimitMode>> nics =
+      {{"CX4 Lx", NicType::kCx4Lx, CnpRateLimitMode::kPerDestIp},
+       {"CX5", NicType::kCx5, CnpRateLimitMode::kPerPort},
+       {"CX6 Dx", NicType::kCx6Dx, CnpRateLimitMode::kPerPort},
+       {"E810", NicType::kE810, CnpRateLimitMode::kPerQp}};
+
+  ShapeCheck check;
+  for (const auto& [name, nic, expected_mode] : nics) {
+    const ModeProbe probe = run(nic);
+    table.add_row({name, std::to_string(probe.report.cnps.size()),
+                   gap_str(probe.report.min_interval_global()),
+                   gap_str(probe.report.min_interval_per_dest_ip()),
+                   gap_str(probe.report.min_interval_per_qp()),
+                   to_string(probe.inferred), to_string(expected_mode)});
+    check.expect(probe.inferred == expected_mode,
+                 name + " classified as " + to_string(expected_mode));
+  }
+  table.print();
+  return check.print_and_exit_code();
+}

@@ -1,0 +1,82 @@
+// Table 2: bugs and hidden behaviors, with the affected NICs.
+//
+//   Non-work conserving ETS (§6.2.1)   CX6 Dx
+//   Noisy neighbor (§6.2.2)            CX4 Lx
+//   Interoperability problem (§6.2.3)  CX5+E810
+//   Counter inconsistency (§6.2.4)     CX4 Lx, E810
+//   CNP rate limiting (§6.3)           all NICs tested
+//   Adaptive retransmission (§6.3)     all CX NICs
+//
+// Runs the library bug suite (src/suite) against EVERY NIC model and
+// prints the resulting affected-NIC sets, which must match the paper's.
+#include "common/bench_util.h"
+#include "suite/bug_detectors.h"
+
+using namespace lumina;
+using namespace lumina::bench;
+
+namespace {
+
+const std::vector<std::pair<std::string, NicType>>& all_nics() {
+  static const std::vector<std::pair<std::string, NicType>> nics = {
+      {"CX4 Lx", NicType::kCx4Lx},
+      {"CX5", NicType::kCx5},
+      {"CX6 Dx", NicType::kCx6Dx},
+      {"E810", NicType::kE810}};
+  return nics;
+}
+
+std::string affected_set(KnownIssue issue) {
+  std::string out;
+  for (const auto& [name, nic] : all_nics()) {
+    if (detect_issue(issue, nic).affected) {
+      if (!out.empty()) out += ", ";
+      out += name;
+    }
+  }
+  return out.empty() ? "-" : out;
+}
+
+}  // namespace
+
+int main() {
+  heading("Table 2: bugs and hidden behaviors");
+
+  struct Row {
+    KnownIssue issue;
+    const char* paper;
+    const char* expected_set;
+  };
+  const std::vector<Row> rows = {
+      {KnownIssue::kNonWorkConservingEts, "CX6 Dx", "CX6 Dx"},
+      {KnownIssue::kNoisyNeighbor, "CX4 Lx", "CX4 Lx"},
+      {KnownIssue::kInteropMigReq, "CX5+E810", "E810"},
+      {KnownIssue::kCounterInconsistency, "CX4 Lx, E810", "CX4 Lx, E810"},
+      {KnownIssue::kCnpRateLimiting, "All NICs tested",
+       "CX4 Lx, CX5, CX6 Dx, E810"},
+      {KnownIssue::kAdaptiveRetransDeviation, "All CX NICs",
+       "CX4 Lx, CX5, CX6 Dx"},
+  };
+
+  Table table({"Bug / hidden behavior", "Affected NICs (detected)",
+               "Paper says"});
+  ShapeCheck check;
+  for (const auto& row : rows) {
+    const std::string detected = affected_set(row.issue);
+    table.add_row({to_string(row.issue), detected, row.paper});
+    check.expect(detected == row.expected_set,
+                 to_string(row.issue) + " affects exactly {" +
+                     row.expected_set + "}");
+  }
+  table.print();
+
+  subheading("per-NIC screening report (suite/bug_detectors)");
+  for (const auto& [name, nic] : all_nics()) {
+    std::printf("%s:\n", name.c_str());
+    for (const auto& result : run_bug_suite(nic)) {
+      std::printf("  [%s] %-34s %s\n", result.affected ? "AFFECTED" : "clean   ",
+                  to_string(result.issue).c_str(), result.evidence.c_str());
+    }
+  }
+  return check.print_and_exit_code();
+}

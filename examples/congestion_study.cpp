@@ -1,0 +1,106 @@
+// Scenario: studying DCQCN congestion control two ways.
+//
+// Part 1 — the paper's method (§6.3): *inject* ECN marks at precise
+// packets and watch the CNP stream and the reaction point's rate. This is
+// how Lumina measured CNP intervals and rate-limiting modes without any
+// actual congestion.
+//
+// Part 2 — the closed-loop extension: create REAL congestion by writing
+// from a 100 GbE CX5 into a 40 GbE CX4 Lx, with the switch marking CE
+// when its bottleneck egress queue exceeds a threshold. DCQCN converges
+// near the bottleneck rate with a bounded queue and zero loss.
+//
+//   $ ./build/examples/congestion_study
+#include <cstdio>
+
+#include "analyzers/cnp_analyzer.h"
+#include "analyzers/rate_timeline.h"
+#include "orchestrator/orchestrator.h"
+
+using namespace lumina;
+
+namespace {
+
+void injected_marking_study(NicType nic) {
+  TestConfig cfg;
+  cfg.requester.nic_type = nic;
+  cfg.responder.nic_type = nic;
+  cfg.requester.roce.dcqcn_rp_enable = false;  // observe the NP in isolation
+  cfg.responder.roce.dcqcn_rp_enable = false;
+  cfg.requester.roce.min_time_between_cnps = 4 * kMicrosecond;
+  cfg.responder.roce.min_time_between_cnps = 4 * kMicrosecond;
+  cfg.traffic.verb = RdmaVerb::kWrite;
+  cfg.traffic.message_size = 512 * 1024;
+  for (int k = 1; k <= 512; ++k) {
+    cfg.traffic.data_pkt_events.push_back(DataPacketEvent{
+        1, static_cast<std::uint32_t>(k), EventType::kEcn, 1});
+  }
+  Orchestrator orch(cfg);
+  const TestResult& result = orch.run();
+  const CnpReport report = analyze_cnps(result.trace);
+  const auto gap = report.min_interval_global();
+  std::printf("  %-28s %4llu marked -> %3zu CNPs, min interval %s\n",
+              DeviceProfile::get(nic).name.c_str(),
+              static_cast<unsigned long long>(report.ecn_marked_data_packets),
+              report.cnps.size(),
+              gap ? format_duration(*gap).c_str() : "n/a");
+}
+
+void closed_loop_study(bool dcqcn) {
+  TestConfig cfg;
+  cfg.requester.nic_type = NicType::kCx5;    // 100 GbE
+  cfg.responder.nic_type = NicType::kCx4Lx;  // 40 GbE bottleneck
+  cfg.requester.roce.dcqcn_rp_enable = dcqcn;
+  cfg.responder.roce.dcqcn_np_enable = dcqcn;
+  cfg.requester.roce.min_time_between_cnps = 4 * kMicrosecond;
+  cfg.responder.roce.min_time_between_cnps = 4 * kMicrosecond;
+  cfg.traffic.verb = RdmaVerb::kWrite;
+  cfg.traffic.num_msgs_per_qp = 8;
+  cfg.traffic.message_size = 1024 * 1024;
+  cfg.traffic.tx_depth = 2;
+
+  Orchestrator::Options options;
+  options.switch_options.ecn_marking_threshold_bytes = 100 * 1024;
+  options.num_dumpers = 4;
+  options.dumper_options.per_packet_service = 60;
+  Orchestrator orch(cfg, options);
+  const TestResult& result = orch.run();
+  std::printf(
+      "  DCQCN %-3s: goodput %5.1f Gbps, bottleneck queue peak %4zu KB, "
+      "%llu CE marks, %zu CNPs\n",
+      dcqcn ? "on" : "off", result.flows[0].goodput_gbps(),
+      orch.injector().port(1).counters().max_queued_bytes / 1024,
+      static_cast<unsigned long long>(
+          result.switch_counters.ecn_marked_by_queue),
+      analyze_cnps(result.trace).cnps.size());
+  // The sender's rate over time, reconstructed from the trace (100 us
+  // windows; '#' = peak).
+  const auto timelines = compute_rate_timeline(result.trace,
+                                               100 * kMicrosecond);
+  if (!timelines.empty()) {
+    std::printf("    rate [%s] tail ~%.0f Gbps\n",
+                render_sparkline(timelines[0]).c_str(),
+                timelines[0].tail_mean_gbps(5));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Part 1: injected marking (every packet marked, NP observed "
+              "in isolation)\n");
+  for (const NicType nic : {NicType::kCx4Lx, NicType::kCx5, NicType::kCx6Dx,
+                            NicType::kE810}) {
+    injected_marking_study(nic);
+  }
+  std::printf("  -> NVIDIA NICs honor min-time-between-cnps = 4us; E810's\n"
+              "     hidden ~50us interval ignores configuration (sec. 6.3)\n");
+
+  std::printf("\nPart 2: real congestion, 100 GbE -> 40 GbE bottleneck with "
+              "queue-based CE marking\n");
+  closed_loop_study(true);
+  closed_loop_study(false);
+  std::printf("  -> with DCQCN the sender converges near the bottleneck with "
+              "a bounded queue\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Scenario: debugging a cross-vendor interoperability problem (§6.2.3),
+// reproducing the paper's investigation end to end:
+//
+//   1. observe: E810 -> CX5 Send traffic with 16 QPs loses packets on the
+//      CX5 (rx_discards_phy), concentrated on each QP's first message;
+//   2. localize: diff the dumped packet traces of E810->CX5 vs CX5->CX5
+//      and spot the one header bit that differs (BTH.MigReq);
+//   3. confirm: extend the injector with a rewrite-MigReq action and show
+//      the discards disappear.
+//
+//   $ ./build/examples/interop_debugging
+#include <cstdio>
+
+#include "orchestrator/orchestrator.h"
+
+using namespace lumina;
+
+namespace {
+
+TestConfig interop_config(NicType requester) {
+  TestConfig cfg;
+  cfg.requester.nic_type = requester;
+  cfg.responder.nic_type = NicType::kCx5;
+  cfg.traffic.verb = RdmaVerb::kSendRecv;
+  cfg.traffic.num_connections = 16;
+  cfg.traffic.num_msgs_per_qp = 5;
+  cfg.traffic.message_size = 100 * 1024;
+  cfg.traffic.min_retransmit_timeout = 12;
+  return cfg;
+}
+
+struct RunSummary {
+  std::uint64_t discards = 0;
+  double worst_mct_us = 0;
+  int mig_req_zero_packets = 0;
+  int mig_req_one_packets = 0;
+};
+
+RunSummary run(const TestConfig& cfg, bool rewrite_mig_req) {
+  Orchestrator::Options options;
+  options.switch_options.rewrite_mig_req = rewrite_mig_req;
+  Orchestrator orch(cfg, options);
+  const TestResult& result = orch.run();
+
+  RunSummary summary;
+  summary.discards = result.responder_counters.rx_discards_phy;
+  for (const auto& flow : result.flows) {
+    for (const auto& msg : flow.messages) {
+      if (msg.completed_at >= 0) {
+        summary.worst_mct_us =
+            std::max(summary.worst_mct_us, to_us(msg.completion_time()));
+      }
+    }
+  }
+  // Step 2's key observation comes straight from the dumped trace.
+  for (const auto& p : result.trace) {
+    if (!p.is_data()) continue;
+    (p.view.bth.mig_req ? summary.mig_req_one_packets
+                        : summary.mig_req_zero_packets)++;
+  }
+  return summary;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("step 1: E810 -> CX5, 16 QPs, five 100KB Sends per QP\n");
+  const RunSummary broken = run(interop_config(NicType::kE810), false);
+  std::printf("  CX5 rx_discards_phy = %llu, worst MCT = %.0f us\n",
+              static_cast<unsigned long long>(broken.discards),
+              broken.worst_mct_us);
+
+  std::printf("\nstep 2: compare dumped traces\n");
+  const RunSummary control = run(interop_config(NicType::kCx5), false);
+  std::printf("  E810 sender: %d data pkts with MigReq=0, %d with MigReq=1\n",
+              broken.mig_req_zero_packets, broken.mig_req_one_packets);
+  std::printf("  CX5 sender : %d data pkts with MigReq=0, %d with MigReq=1\n",
+              control.mig_req_zero_packets, control.mig_req_one_packets);
+  std::printf("  CX5 -> CX5 discards = %llu  => the difference is the "
+              "BTH.MigReq bit\n",
+              static_cast<unsigned long long>(control.discards));
+
+  std::printf("\nstep 3: rewrite MigReq to 1 on the switch and retest\n");
+  const RunSummary fixed = run(interop_config(NicType::kE810), true);
+  std::printf("  CX5 rx_discards_phy = %llu, worst MCT = %.0f us\n",
+              static_cast<unsigned long long>(fixed.discards),
+              fixed.worst_mct_us);
+
+  const bool confirmed = broken.discards > 0 && fixed.discards == 0 &&
+                         control.discards == 0 &&
+                         broken.mig_req_zero_packets > 0 &&
+                         control.mig_req_zero_packets == 0;
+  std::printf("\nhypothesis %s: CX5 takes an APM slow path for MigReq=0 "
+              "senders\n",
+              confirmed ? "CONFIRMED" : "NOT confirmed");
+  return confirmed ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+#include "analyzers/cnp_analyzer.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace lumina {
+namespace {
+
+std::optional<Tick> min_gap(std::vector<Tick> times) {
+  if (times.size() < 2) return std::nullopt;
+  std::sort(times.begin(), times.end());
+  Tick best = std::numeric_limits<Tick>::max();
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    best = std::min(best, times[i] - times[i - 1]);
+  }
+  return best;
+}
+
+template <typename KeyFn>
+std::optional<Tick> grouped_min_gap(const std::vector<CnpRecord>& cnps,
+                                    KeyFn key) {
+  std::map<std::uint64_t, std::vector<Tick>> groups;
+  for (const auto& c : cnps) groups[key(c)].push_back(c.time);
+  std::optional<Tick> best;
+  for (auto& [k, times] : groups) {
+    const auto gap = min_gap(std::move(times));
+    if (gap && (!best || *gap < *best)) best = gap;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<Tick> CnpReport::min_interval_global() const {
+  std::vector<Tick> times;
+  times.reserve(cnps.size());
+  for (const auto& c : cnps) times.push_back(c.time);
+  return min_gap(std::move(times));
+}
+
+std::optional<Tick> CnpReport::min_interval_per_dest_ip() const {
+  return grouped_min_gap(cnps,
+                         [](const CnpRecord& c) {
+                           return static_cast<std::uint64_t>(c.rp_ip.value);
+                         });
+}
+
+std::optional<Tick> CnpReport::min_interval_per_qp() const {
+  return grouped_min_gap(cnps, [](const CnpRecord& c) {
+    return static_cast<std::uint64_t>(c.rp_ip.value) << 32 | c.dest_qpn;
+  });
+}
+
+CnpReport analyze_cnps(const PacketTrace& trace,
+                       const std::vector<Ipv4Address>& np_ips) {
+  CnpReport report;
+  const auto from_np = [&np_ips](const Ipv4Address& ip) {
+    if (np_ips.empty()) return true;
+    return std::find(np_ips.begin(), np_ips.end(), ip) != np_ips.end();
+  };
+  for (const auto& p : trace) {
+    if (p.is_data() &&
+        (p.view.ecn_ce() || p.meta.event == EventType::kEcn)) {
+      ++report.ecn_marked_data_packets;
+    }
+    if (is_cnp_packet(p) && from_np(p.view.src_ip)) {
+      report.cnps.push_back(CnpRecord{p.time(), p.view.src_ip, p.view.dst_ip,
+                                      p.view.bth.dest_qpn});
+    }
+  }
+  return report;
+}
+
+CnpRateLimitMode infer_cnp_mode(const CnpReport& report,
+                                Tick expected_interval) {
+  // Allow 20% slack below the nominal interval for pipeline jitter.
+  const Tick floor = expected_interval - expected_interval / 5;
+  const auto respects = [floor](std::optional<Tick> gap) {
+    return gap && *gap >= floor;
+  };
+  if (respects(report.min_interval_global())) {
+    return CnpRateLimitMode::kPerPort;
+  }
+  if (respects(report.min_interval_per_dest_ip())) {
+    return CnpRateLimitMode::kPerDestIp;
+  }
+  return CnpRateLimitMode::kPerQp;
+}
+
+}  // namespace lumina

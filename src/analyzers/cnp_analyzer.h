@@ -1,0 +1,49 @@
+// Congestion-notification analyzer (§4, "Congestion notification"; §6.3).
+//
+// Validates CNP generation against ECN marks in the trace, measures the
+// minimum interval between consecutive CNPs, and infers the device's CNP
+// rate-limiting scope (per destination IP / per QP / per NIC port) from a
+// multi-connection marking experiment.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "analyzers/common.h"
+#include "rnic/device_profile.h"
+
+namespace lumina {
+
+struct CnpRecord {
+  Tick time = 0;
+  Ipv4Address np_ip;        ///< Notification point (CNP source).
+  Ipv4Address rp_ip;        ///< Reaction point (CNP destination).
+  std::uint32_t dest_qpn = 0;
+};
+
+struct CnpReport {
+  std::vector<CnpRecord> cnps;
+  std::uint64_t ecn_marked_data_packets = 0;
+
+  /// Minimum gap between consecutive CNPs across the whole NP; nullopt
+  /// with fewer than two CNPs.
+  std::optional<Tick> min_interval_global() const;
+  /// Minimum gap between consecutive CNPs of the same (rp_ip) group.
+  std::optional<Tick> min_interval_per_dest_ip() const;
+  /// Minimum gap between consecutive CNPs of the same (rp_ip, qpn) group.
+  std::optional<Tick> min_interval_per_qp() const;
+};
+
+/// Collects CNPs emitted by the NP whose GIDs are `np_ips` (empty = all).
+CnpReport analyze_cnps(const PacketTrace& trace,
+                       const std::vector<Ipv4Address>& np_ips = {});
+
+/// Infers the rate-limit scope: the finest grouping whose min interval is
+/// >= `expected_interval` while coarser groupings show smaller gaps.
+/// Requires a marking experiment with multiple QPs spread over multiple
+/// destination IPs.
+CnpRateLimitMode infer_cnp_mode(const CnpReport& report,
+                                Tick expected_interval);
+
+}  // namespace lumina

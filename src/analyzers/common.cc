@@ -1,0 +1,16 @@
+#include "analyzers/common.h"
+
+namespace lumina {
+
+std::map<FlowKey, std::vector<std::size_t>, FlowKeyLess> group_data_packets(
+    const PacketTrace& trace) {
+  std::map<FlowKey, std::vector<std::size_t>, FlowKeyLess> groups;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace[i].is_data()) {
+      groups[trace[i].flow()].push_back(i);
+    }
+  }
+  return groups;
+}
+
+}  // namespace lumina

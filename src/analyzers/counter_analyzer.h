@@ -1,0 +1,41 @@
+// Hardware-counter analyzer (§4, "Hardware network stack counter").
+//
+// Derives ground truth from the reconstructed packet trace (which CNPs
+// were actually sent, which retransmission rounds actually happened) and
+// cross-checks it against the counters the NIC reports. This is the
+// analyzer that exposed the §6.2.4 bugs: E810's cnpSent stuck at zero
+// while the trace clearly contains CNPs, and CX4 Lx's implied_nak_seq_err
+// stuck at zero while read responses were visibly dropped and re-requested.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyzers/common.h"
+#include "config/test_config.h"
+#include "rnic/counters.h"
+
+namespace lumina {
+
+struct CounterInconsistency {
+  std::string counter;
+  std::string nic;  ///< "requester" / "responder"
+  std::uint64_t expected_at_least = 0;
+  std::uint64_t reported = 0;
+  std::string note;
+};
+
+struct CounterReport {
+  std::vector<CounterInconsistency> inconsistencies;
+  bool consistent() const { return inconsistencies.empty(); }
+};
+
+/// `requester_ips` / `responder_ips` identify which trace endpoints belong
+/// to which NIC.
+CounterReport check_counters(const PacketTrace& trace, RdmaVerb verb,
+                             const RnicCounters& requester,
+                             const RnicCounters& responder,
+                             const std::vector<Ipv4Address>& requester_ips,
+                             const std::vector<Ipv4Address>& responder_ips);
+
+}  // namespace lumina

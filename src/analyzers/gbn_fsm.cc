@@ -1,0 +1,151 @@
+#include "analyzers/gbn_fsm.h"
+
+#include <cstdlib>
+#include <limits>
+
+namespace lumina {
+namespace {
+
+struct FsmState {
+  bool seen_any = false;
+  std::uint32_t expected = 0;      // next PSN the receiver needs
+  std::uint32_t last_data_psn = 0; // for rewind detection
+  bool episode = false;            // a gap is outstanding
+  int naks_in_episode = 0;
+  std::size_t episodes = 0;
+};
+
+void add_violation(GbnReport& report, const char* rule,
+                   const std::string& description, std::uint64_t seq) {
+  report.violations.push_back(GbnViolation{rule, description, seq});
+}
+
+}  // namespace
+
+GbnReport check_gbn_compliance(const PacketTrace& trace, RdmaVerb verb) {
+  GbnReport report;
+  std::map<FlowKey, FsmState, FlowKeyLess> states;
+
+  // Resolves which data flow a reverse-direction control packet belongs to
+  // when several QPs share an IP pair: the flow whose expected PSN is
+  // nearest (IPSNs are random 22-bit values, so ranges virtually never
+  // collide).
+  const auto find_flow_for_control =
+      [&states](const TracePacket& p) -> FsmState* {
+    FsmState* best = nullptr;
+    std::int64_t best_dist = std::numeric_limits<std::int64_t>::max();
+    for (auto& [flow, state] : states) {
+      if (!is_reverse_of(p, flow)) continue;
+      const std::int64_t dist =
+          std::abs(static_cast<std::int64_t>(
+              psn_distance(p.view.bth.psn, state.expected)));
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = &state;
+      }
+    }
+    return best;
+  };
+
+  for (const auto& p : trace) {
+    const std::uint32_t psn = p.view.bth.psn;
+
+    if (p.is_data()) {
+      FsmState& st = states[p.flow()];
+      if (!st.seen_any) {
+        st.seen_any = true;
+        st.expected = psn;
+        st.last_data_psn = psn_add(psn, -1);
+      }
+      const bool rewound = !psn_gt(psn, st.last_data_psn);
+      if (rewound && psn_gt(psn, st.expected)) {
+        add_violation(report, "G4",
+                      "retransmission round begins at PSN " +
+                          std::to_string(psn) + " beyond expected " +
+                          std::to_string(st.expected),
+                      p.meta.mirror_seq);
+      }
+      if (rewound) {
+        // A new (re)transmission round began; if the expected PSN is lost
+        // again the receiver may NAK again (one NAK per round).
+        st.naks_in_episode = 0;
+      }
+      st.last_data_psn = psn;
+
+      // The injector marks packets it dropped; the receiver never sees
+      // them, so they do not advance the FSM.
+      if (p.meta.event == EventType::kDrop ||
+          p.meta.event == EventType::kCorrupt) {
+        continue;
+      }
+      if (psn == st.expected) {
+        st.expected = psn_add(st.expected, 1);
+        if (st.episode) {
+          st.episode = false;  // gap healed
+        }
+      } else if (psn_gt(psn, st.expected) && !st.episode) {
+        st.episode = true;
+        st.naks_in_episode = 0;
+        ++st.episodes;
+        ++report.episodes_seen;
+      }
+      continue;
+    }
+
+    const bool nak_like = verb == RdmaVerb::kRead ? is_read_request_packet(p)
+                                                  : is_nak_packet(p);
+    if (nak_like) {
+      FsmState* st = find_flow_for_control(p);
+      if (st == nullptr || !st->seen_any) continue;
+      // A pipelined read request for a future message is not a NAK.
+      if (verb == RdmaVerb::kRead && psn_gt(psn, st->expected)) continue;
+      if (!st->episode) {
+        // Read: an ordinary (non-recovery) request; Write/Send: NAK with
+        // no outstanding gap is a violation.
+        if (verb != RdmaVerb::kRead) {
+          add_violation(report, "G2",
+                        "NAK with no outstanding out-of-order episode",
+                        p.meta.mirror_seq);
+        }
+        continue;
+      }
+      ++st->naks_in_episode;
+      if (st->naks_in_episode > 1) {
+        add_violation(report, "G2",
+                      "more than one NAK for the same episode",
+                      p.meta.mirror_seq);
+      }
+      if (psn != st->expected) {
+        add_violation(report, "G1",
+                      "NAK carries PSN " + std::to_string(psn) +
+                          ", expected " + std::to_string(st->expected),
+                      p.meta.mirror_seq);
+      }
+      continue;
+    }
+
+    if (is_ack_packet(p) && verb != RdmaVerb::kRead) {
+      FsmState* st = find_flow_for_control(p);
+      if (st == nullptr || !st->seen_any) continue;
+      if (psn_ge(psn, st->expected)) {
+        add_violation(report, "G5",
+                      "ACK for PSN " + std::to_string(psn) +
+                          " not yet delivered (expected " +
+                          std::to_string(st->expected) + ")",
+                      p.meta.mirror_seq);
+      }
+    }
+  }
+
+  for (auto& [flow, st] : states) {
+    ++report.flows_checked;
+    if (st.episode) {
+      add_violation(report, "G3",
+                    "trace ends with an unresolved out-of-order episode",
+                    0);
+    }
+  }
+  return report;
+}
+
+}  // namespace lumina

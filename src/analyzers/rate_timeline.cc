@@ -1,0 +1,53 @@
+#include "analyzers/rate_timeline.h"
+
+#include <algorithm>
+
+namespace lumina {
+
+std::vector<FlowTimeline> compute_rate_timeline(const PacketTrace& trace,
+                                                Tick window) {
+  std::vector<FlowTimeline> timelines;
+  if (trace.size() == 0 || window <= 0) return timelines;
+  const Tick origin = trace[0].time();
+
+  // flow -> (window index -> bytes)
+  std::map<FlowKey, std::map<std::int64_t, std::uint64_t>, FlowKeyLess>
+      buckets;
+  for (const auto& p : trace) {
+    if (!p.is_data()) continue;
+    const std::int64_t index = (p.time() - origin) / window;
+    buckets[p.flow()][index] += p.view.payload_len;
+  }
+
+  for (const auto& [flow, windows] : buckets) {
+    FlowTimeline timeline;
+    timeline.flow = flow;
+    if (windows.empty()) continue;
+    const std::int64_t first = windows.begin()->first;
+    const std::int64_t last = windows.rbegin()->first;
+    for (std::int64_t w = first; w <= last; ++w) {
+      const auto it = windows.find(w);
+      const double bytes =
+          it == windows.end() ? 0.0 : static_cast<double>(it->second);
+      timeline.points.push_back(RatePoint{
+          origin + w * window, bytes * 8.0 / static_cast<double>(window)});
+    }
+    timelines.push_back(std::move(timeline));
+  }
+  return timelines;
+}
+
+std::string render_sparkline(const FlowTimeline& timeline) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  const double peak = timeline.peak_gbps();
+  std::string out;
+  for (const auto& point : timeline.points) {
+    const int level =
+        peak <= 0 ? 0
+                  : std::min(7, static_cast<int>(point.gbps / peak * 7.999));
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace lumina

@@ -1,0 +1,53 @@
+// Rate timeline: per-flow throughput over time, reconstructed purely from
+// the switch-timestamped trace.
+//
+// This is how congestion-control dynamics become visible offline: bucket
+// the data packets of each flow into fixed windows and convert to Gbps.
+// The closed-loop DCQCN experiments use it to show the reaction point
+// converging onto the bottleneck rate.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyzers/common.h"
+
+namespace lumina {
+
+struct RatePoint {
+  Tick window_start = 0;
+  double gbps = 0;  ///< Payload throughput within the window.
+};
+
+struct FlowTimeline {
+  FlowKey flow;
+  std::vector<RatePoint> points;
+
+  double peak_gbps() const {
+    double best = 0;
+    for (const auto& p : points) best = std::max(best, p.gbps);
+    return best;
+  }
+  /// Mean rate over the last `n` windows (steady-state estimate).
+  double tail_mean_gbps(std::size_t n) const {
+    if (points.empty()) return 0;
+    const std::size_t take = std::min(n, points.size());
+    double sum = 0;
+    for (std::size_t i = points.size() - take; i < points.size(); ++i) {
+      sum += points[i].gbps;
+    }
+    return sum / static_cast<double>(take);
+  }
+};
+
+/// Buckets each data flow's payload bytes into `window` intervals.
+/// Windows are aligned to the trace's first timestamp; empty windows in
+/// the middle of a flow's lifetime appear as zero-rate points.
+std::vector<FlowTimeline> compute_rate_timeline(const PacketTrace& trace,
+                                                Tick window);
+
+/// ASCII sparkline of one timeline ("▁▂▃▅▇"-style, normalized to peak).
+std::string render_sparkline(const FlowTimeline& timeline);
+
+}  // namespace lumina

@@ -1,0 +1,78 @@
+#include "analyzers/retrans_perf.h"
+
+namespace lumina {
+namespace {
+
+/// Tracks per-flow ITER exactly like the injector (Fig. 3) so episodes can
+/// be labeled with the round in which the drop occurred.
+struct IterState {
+  bool seen = false;
+  std::uint32_t last_psn = 0;
+  std::uint32_t iter = 1;
+
+  std::uint32_t observe(std::uint32_t psn) {
+    if (!seen) {
+      seen = true;
+      last_psn = psn;
+      return iter;
+    }
+    if (!psn_gt(psn, last_psn)) ++iter;
+    last_psn = psn;
+    return iter;
+  }
+};
+
+}  // namespace
+
+std::vector<RetransEpisode> analyze_retransmissions(const PacketTrace& trace,
+                                                    RdmaVerb verb) {
+  std::vector<RetransEpisode> episodes;
+  std::map<FlowKey, IterState, FlowKeyLess> iters;
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const TracePacket& p = trace[i];
+    if (!p.is_data()) continue;
+    const FlowKey flow = p.flow();
+    const std::uint32_t iter = iters[flow].observe(p.view.bth.psn);
+    if (p.meta.event != EventType::kDrop) continue;
+
+    RetransEpisode ep;
+    ep.flow = flow;
+    ep.psn = p.view.bth.psn;
+    ep.iter = iter;
+    ep.drop_time = p.time();
+
+    // Scan forward for the pieces of the recovery.
+    for (std::size_t j = i + 1; j < trace.size(); ++j) {
+      const TracePacket& q = trace[j];
+      const std::uint32_t qpsn = q.view.bth.psn;
+
+      if (q.is_data() && q.flow() == flow) {
+        if (!ep.first_ooo_time && psn_gt(qpsn, ep.psn) &&
+            q.meta.event != EventType::kDrop) {
+          ep.first_ooo_time = q.time();
+        }
+        if (qpsn == ep.psn) {
+          ep.retransmit_time = q.time();
+          break;  // recovery complete
+        }
+        continue;
+      }
+
+      if (ep.nack_time) continue;
+      const bool nak_like =
+          verb == RdmaVerb::kRead
+              ? (is_read_request_packet(q) && is_reverse_of(q, flow) &&
+                 qpsn == ep.psn)
+              : (is_nak_packet(q) && is_reverse_of(q, flow) &&
+                 qpsn == ep.psn);
+      if (nak_like) ep.nack_time = q.time();
+    }
+
+    ep.timeout_recovery = ep.retransmit_time && !ep.nack_time;
+    episodes.push_back(ep);
+  }
+  return episodes;
+}
+
+}  // namespace lumina

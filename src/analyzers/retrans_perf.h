@@ -1,0 +1,54 @@
+// Retransmission performance analyzer (§4, Fig. 5).
+//
+// For every injected drop it reconstructs the recovery episode from the
+// switch-timestamped trace and splits the latency into:
+//
+//   NACK generation — receiver sees the first out-of-order packet after
+//   the drop until the NAK (or, for Read, the re-issued read request)
+//   crosses the switch;
+//
+//   NACK reaction  — the NAK crosses the switch until the retransmitted
+//   packet crosses the switch.
+//
+// Tail drops that recover by retransmission timeout produce episodes with
+// `timeout_recovery = true` and a total RTO latency instead.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analyzers/common.h"
+#include "config/test_config.h"
+
+namespace lumina {
+
+struct RetransEpisode {
+  FlowKey flow;
+  std::uint32_t psn = 0;           ///< PSN of the dropped packet.
+  std::uint32_t iter = 0;          ///< Which (re)transmission was dropped.
+  Tick drop_time = 0;              ///< Switch time of the dropped packet.
+  std::optional<Tick> first_ooo_time;  ///< First OOO arrival after drop.
+  std::optional<Tick> nack_time;       ///< NAK / read re-request.
+  std::optional<Tick> retransmit_time; ///< Retransmitted PSN reappears.
+  bool timeout_recovery = false;
+
+  std::optional<Tick> nack_generation_latency() const {
+    if (!first_ooo_time || !nack_time) return std::nullopt;
+    return *nack_time - *first_ooo_time;
+  }
+  std::optional<Tick> nack_reaction_latency() const {
+    if (!nack_time || !retransmit_time) return std::nullopt;
+    return *retransmit_time - *nack_time;
+  }
+  /// Total recovery latency (drop to retransmission).
+  std::optional<Tick> total_latency() const {
+    if (!retransmit_time) return std::nullopt;
+    return *retransmit_time - drop_time;
+  }
+};
+
+/// Extracts one episode per injected drop found in the trace.
+std::vector<RetransEpisode> analyze_retransmissions(const PacketTrace& trace,
+                                                    RdmaVerb verb);
+
+}  // namespace lumina

@@ -1,0 +1,91 @@
+#include "analyzers/trace_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lumina {
+
+TraceStats compute_trace_stats(const PacketTrace& trace) {
+  TraceStats stats;
+  std::map<FlowKey, FlowStats, FlowKeyLess> flows;
+  std::map<FlowKey, std::uint32_t, FlowKeyLess> last_psn;
+
+  Tick first = 0, last = 0;
+  bool any = false;
+  for (const auto& p : trace) {
+    ++stats.total_packets;
+    if (!any) {
+      first = p.time();
+      any = true;
+    }
+    last = p.time();
+
+    if (is_cnp_packet(p)) {
+      ++stats.cnp_packets;
+      continue;
+    }
+    if (is_nak_packet(p)) {
+      ++stats.nak_packets;
+      continue;
+    }
+    if (is_ack_packet(p)) {
+      ++stats.ack_packets;
+      continue;
+    }
+    if (is_read_request_packet(p)) {
+      ++stats.read_requests;
+      continue;
+    }
+    if (!p.is_data()) continue;
+
+    ++stats.data_packets;
+    const FlowKey key = p.flow();
+    auto [it, inserted] = flows.try_emplace(key);
+    FlowStats& fs = it->second;
+    if (inserted) {
+      fs.flow = key;
+      fs.first_seen = p.time();
+    } else {
+      fs.inter_arrival_us.add(to_us(p.time() - fs.last_seen));
+      if (!psn_gt(p.view.bth.psn, last_psn[key])) {
+        ++fs.retransmitted_packets;
+      }
+    }
+    last_psn[key] = p.view.bth.psn;
+    fs.last_seen = p.time();
+    ++fs.data_packets;
+    fs.data_bytes += p.view.payload_len;
+  }
+  stats.span = any ? last - first : 0;
+
+  for (auto& [key, fs] : flows) stats.flows.push_back(std::move(fs));
+  std::sort(stats.flows.begin(), stats.flows.end(),
+            [](const FlowStats& a, const FlowStats& b) {
+              return a.data_bytes > b.data_bytes;
+            });
+  return stats;
+}
+
+std::string TraceStats::to_string() const {
+  std::ostringstream out;
+  out << total_packets << " packets over " << format_duration(span) << ": "
+      << data_packets << " data, " << ack_packets << " ACK, " << nak_packets
+      << " NAK, " << cnp_packets << " CNP, " << read_requests
+      << " read requests\n";
+  for (const auto& fs : flows) {
+    out << "  " << fs.flow.src_ip.to_string() << " -> "
+        << fs.flow.dst_ip.to_string() << " qpn 0x" << std::hex
+        << fs.flow.dst_qpn << std::dec << ": " << fs.data_packets
+        << " pkts, " << fs.data_bytes << " B";
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), ", %.2f Gbps", fs.throughput_gbps());
+    out << rate;
+    if (fs.retransmitted_packets > 0) {
+      out << ", " << fs.retransmitted_packets << " retransmitted";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace lumina

@@ -1,0 +1,49 @@
+// Trace statistics: the descriptive half of offline analysis — per-flow
+// packet/byte accounting, throughput, inter-arrival gaps, and a
+// human-readable summary used by the lumina_run report.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyzers/common.h"
+#include "util/stats.h"
+
+namespace lumina {
+
+struct FlowStats {
+  FlowKey flow;
+  std::uint64_t data_packets = 0;
+  std::uint64_t data_bytes = 0;        ///< IB payload bytes.
+  std::uint64_t retransmitted_packets = 0;  ///< PSN went backwards.
+  Tick first_seen = 0;
+  Tick last_seen = 0;
+  SampleStats inter_arrival_us;        ///< Gaps between data packets.
+
+  /// Payload throughput over the flow's active interval.
+  double throughput_gbps() const {
+    const Tick span = last_seen - first_seen;
+    if (span <= 0) return 0.0;
+    return static_cast<double>(data_bytes) * 8.0 / static_cast<double>(span);
+  }
+};
+
+struct TraceStats {
+  std::vector<FlowStats> flows;        ///< One entry per data direction.
+  std::uint64_t total_packets = 0;     ///< Everything in the trace.
+  std::uint64_t data_packets = 0;
+  std::uint64_t ack_packets = 0;
+  std::uint64_t nak_packets = 0;
+  std::uint64_t cnp_packets = 0;
+  std::uint64_t read_requests = 0;
+  Tick span = 0;                       ///< Last minus first timestamp.
+
+  /// Multi-line text summary (flows sorted by bytes, descending).
+  std::string to_string() const;
+};
+
+/// Computes descriptive statistics over a reconstructed trace.
+TraceStats compute_trace_stats(const PacketTrace& trace);
+
+}  // namespace lumina

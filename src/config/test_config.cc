@@ -1,0 +1,150 @@
+#include "config/test_config.h"
+
+namespace lumina {
+namespace {
+
+EventType parse_event_type_or_throw(const std::string& text) {
+  if (text == "ecn") return EventType::kEcn;
+  if (text == "drop") return EventType::kDrop;
+  if (text == "corrupt") return EventType::kCorrupt;
+  if (text == "rewrite-migreq") return EventType::kRewriteMigReq;
+  if (text == "delay") return EventType::kDelay;
+  if (text == "reorder") return EventType::kReorder;
+  throw YamlError("unknown event type: " + text);
+}
+
+}  // namespace
+
+std::string to_string(RdmaVerb verb) {
+  switch (verb) {
+    case RdmaVerb::kSendRecv: return "send";
+    case RdmaVerb::kWrite: return "write";
+    case RdmaVerb::kRead: return "read";
+    case RdmaVerb::kFetchAdd: return "fetchadd";
+    case RdmaVerb::kCmpSwap: return "cmpswap";
+  }
+  return "?";
+}
+
+std::optional<RdmaVerb> parse_verb(const std::string& text) {
+  if (text == "send" || text == "send_recv" || text == "send-recv") {
+    return RdmaVerb::kSendRecv;
+  }
+  if (text == "write") return RdmaVerb::kWrite;
+  if (text == "read") return RdmaVerb::kRead;
+  if (text == "fetchadd" || text == "fetch-add") return RdmaVerb::kFetchAdd;
+  if (text == "cmpswap" || text == "cmp-swap") return RdmaVerb::kCmpSwap;
+  return std::nullopt;
+}
+
+std::string to_string(NicType nic) {
+  switch (nic) {
+    case NicType::kCx4Lx: return "cx4";
+    case NicType::kCx5: return "cx5";
+    case NicType::kCx6Dx: return "cx6";
+    case NicType::kE810: return "e810";
+  }
+  return "?";
+}
+
+std::optional<NicType> parse_nic_type(const std::string& text) {
+  if (text == "cx4" || text == "cx4lx" || text == "connectx-4") {
+    return NicType::kCx4Lx;
+  }
+  if (text == "cx5" || text == "connectx-5") return NicType::kCx5;
+  if (text == "cx6" || text == "cx6dx" || text == "connectx-6") {
+    return NicType::kCx6Dx;
+  }
+  if (text == "e810" || text == "intel-e810") return NicType::kE810;
+  return std::nullopt;
+}
+
+HostConfig load_host_config(const YamlNode& node) {
+  HostConfig cfg;
+  cfg.workspace = node["workspace"].as_string_or("");
+  cfg.control_ip = node["control-ip"].as_string_or("");
+
+  const YamlNode& nic = node["nic"];
+  if (nic.is_map()) {
+    const std::string type = nic["type"].as_string_or("cx5");
+    const auto parsed = parse_nic_type(type);
+    if (!parsed) throw YamlError("unknown nic type: " + type);
+    cfg.nic_type = *parsed;
+    cfg.if_name = nic["if-name"].as_string_or("");
+    cfg.switch_port = static_cast<int>(nic["switch-port"].as_int_or(0));
+    const YamlNode& ips = nic["ip-list"];
+    for (std::size_t i = 0; i < ips.size(); ++i) {
+      const std::string text = ips[i].as_string();
+      const auto addr = Ipv4Address::parse(text);
+      if (!addr) throw YamlError("bad IPv4 address: " + text);
+      cfg.ip_list.push_back(*addr);
+    }
+  }
+
+  const YamlNode& roce = node["roce-parameters"];
+  if (roce.is_map()) {
+    cfg.roce.dcqcn_rp_enable = roce["dcqcn-rp-enable"].as_bool_or(true);
+    cfg.roce.dcqcn_np_enable = roce["dcqcn-np-enable"].as_bool_or(true);
+    if (roce.has("min-time-between-cnps")) {
+      cfg.roce.min_time_between_cnps =
+          roce["min-time-between-cnps"].as_int() * kMicrosecond;
+    }
+    cfg.roce.adaptive_retrans = roce["adaptive-retrans"].as_bool_or(false);
+    cfg.roce.slow_restart = roce["slow-restart"].as_bool_or(true);
+  }
+  return cfg;
+}
+
+TrafficConfig load_traffic_config(const YamlNode& node) {
+  TrafficConfig cfg;
+  cfg.num_connections =
+      static_cast<int>(node["num-connections"].as_int_or(1));
+  const std::string verb = node["rdma-verb"].as_string_or("write");
+  // "send+read" style combinations alternate two verbs (§3.2).
+  const auto plus = verb.find('+');
+  if (plus != std::string::npos) {
+    const auto primary = parse_verb(verb.substr(0, plus));
+    const auto secondary = parse_verb(verb.substr(plus + 1));
+    if (!primary || !secondary) throw YamlError("unknown rdma verb: " + verb);
+    cfg.verb = *primary;
+    cfg.secondary_verb = *secondary;
+  } else {
+    const auto parsed = parse_verb(verb);
+    if (!parsed) throw YamlError("unknown rdma verb: " + verb);
+    cfg.verb = *parsed;
+  }
+  cfg.num_msgs_per_qp = static_cast<int>(node["num-msgs-per-qp"].as_int_or(1));
+  cfg.mtu = static_cast<std::uint32_t>(node["mtu"].as_int_or(1024));
+  cfg.message_size =
+      static_cast<std::uint64_t>(node["message-size"].as_int_or(10240));
+  cfg.multi_gid = node["multi-gid"].as_bool_or(false);
+  cfg.barrier_sync = node["barrier-sync"].as_bool_or(false);
+  cfg.tx_depth = static_cast<int>(node["tx-depth"].as_int_or(1));
+  cfg.min_retransmit_timeout =
+      static_cast<int>(node["min-retransmit-timeout"].as_int_or(14));
+  cfg.max_retransmit_retry =
+      static_cast<int>(node["max-retransmit-retry"].as_int_or(7));
+
+  const YamlNode& events = node["data-pkt-events"];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const YamlNode& ev = events[i];
+    DataPacketEvent out;
+    out.qpn = static_cast<int>(ev["qpn"].as_int_or(1));
+    out.psn = static_cast<std::uint32_t>(ev["psn"].as_int_or(1));
+    out.type = parse_event_type_or_throw(ev["type"].as_string_or("drop"));
+    out.iter = static_cast<std::uint32_t>(ev["iter"].as_int_or(1));
+    out.delay = ev["delay-us"].as_int_or(0) * kMicrosecond;
+    cfg.data_pkt_events.push_back(out);
+  }
+  return cfg;
+}
+
+TestConfig load_test_config(const YamlNode& root) {
+  TestConfig cfg;
+  if (root.has("requester")) cfg.requester = load_host_config(root["requester"]);
+  if (root.has("responder")) cfg.responder = load_host_config(root["responder"]);
+  if (root.has("traffic")) cfg.traffic = load_traffic_config(root["traffic"]);
+  return cfg;
+}
+
+}  // namespace lumina

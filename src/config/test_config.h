@@ -1,0 +1,114 @@
+// Typed test configuration — the C++ equivalent of the paper's Listing 1
+// (host configuration) and Listing 2 (traffic and event configuration).
+//
+// Configs can be constructed programmatically (benches, fuzzer) or loaded
+// from YAML text identical in shape to the paper's listings.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/yaml_lite.h"
+#include "packet/addresses.h"
+#include "packet/roce_packet.h"
+#include "util/time.h"
+
+namespace lumina {
+
+enum class RdmaVerb { kSendRecv, kWrite, kRead, kFetchAdd, kCmpSwap };
+
+std::string to_string(RdmaVerb verb);
+std::optional<RdmaVerb> parse_verb(const std::string& text);
+
+/// The four RNICs the paper tests (§5).
+enum class NicType { kCx4Lx, kCx5, kCx6Dx, kE810 };
+
+std::string to_string(NicType nic);
+std::optional<NicType> parse_nic_type(const std::string& text);
+
+/// RoCE stack knobs applied before traffic starts (Listing 1).
+struct RoceParameters {
+  bool dcqcn_rp_enable = true;
+  bool dcqcn_np_enable = true;
+  /// Minimum interval between CNPs at the NP. Negative = not configured:
+  /// the device default applies (4 us on NVIDIA; E810's hidden ~50 us
+  /// ignores this knob entirely, §6.3). An explicit 0 disables coalescing
+  /// on NICs that honor the parameter (Listing 1 does exactly that).
+  Tick min_time_between_cnps = -1;
+  bool adaptive_retrans = false;
+  bool slow_restart = true;
+};
+
+/// One traffic-generation host (Listing 1).
+struct HostConfig {
+  std::string workspace;
+  std::string control_ip;
+  NicType nic_type = NicType::kCx5;
+  std::string if_name;
+  int switch_port = 0;
+  std::vector<Ipv4Address> ip_list;
+  RoceParameters roce;
+};
+
+/// A user intent targeting one data packet (Listing 2, `data-pkt-events`).
+/// All fields are *relative*: qpn is the 1-based connection index, psn the
+/// 1-based data-packet index within the connection (absolute PSN = IPSN +
+/// psn - 1, cf. Fig. 2/3), iter the (re)transmission round.
+struct DataPacketEvent {
+  int qpn = 1;
+  std::uint32_t psn = 1;
+  EventType type = EventType::kDrop;
+  std::uint32_t iter = 1;
+  /// For type=delay (§7 extension): how long the packet is held.
+  Tick delay = 0;
+};
+
+/// Traffic shape and reliability knobs (Listing 2).
+struct TrafficConfig {
+  int num_connections = 1;
+  RdmaVerb verb = RdmaVerb::kWrite;
+  /// §3.2: "the requester has the flexibility to post verb combinations,
+  /// such as Send and Read" — when set, messages alternate between `verb`
+  /// and `secondary_verb` (YAML: `rdma-verb: send+read`). Read generates
+  /// responder->requester data, so mixing yields bi-directional traffic.
+  std::optional<RdmaVerb> secondary_verb;
+  int num_msgs_per_qp = 1;
+  std::uint32_t mtu = 1024;
+  std::uint64_t message_size = 10240;
+  bool multi_gid = false;
+  bool barrier_sync = false;
+  int tx_depth = 1;
+  /// IB timeout exponent: minimum RTO = 4.096 us * 2^value.
+  int min_retransmit_timeout = 14;
+  int max_retransmit_retry = 7;
+  std::vector<DataPacketEvent> data_pkt_events;
+};
+
+/// Per-QP ETS mapping used by the QoS experiments (§6.2.1). Empty means all
+/// QPs share traffic class 0.
+struct EtsConfig {
+  /// tc_of_qp[i] = traffic class of connection i (0-based).
+  std::vector<int> tc_of_qp;
+  /// ETS weight (guaranteed bandwidth %) per traffic class.
+  std::vector<int> tc_weights;
+};
+
+struct TestConfig {
+  HostConfig requester;
+  HostConfig responder;
+  TrafficConfig traffic;
+  EtsConfig ets;
+};
+
+/// Loads a host block (Listing 1, under key "requester"/"responder").
+HostConfig load_host_config(const YamlNode& node);
+
+/// Loads a traffic block (Listing 2, under key "traffic").
+TrafficConfig load_traffic_config(const YamlNode& node);
+
+/// Loads a full document with "requester", "responder", "traffic" keys.
+TestConfig load_test_config(const YamlNode& root);
+
+}  // namespace lumina

@@ -1,0 +1,88 @@
+// Minimal YAML-subset parser for Lumina test configurations.
+//
+// Supports exactly the constructs the paper's Listing 1/2 configs use:
+//   - block maps via indentation          key: value / key:\n  nested
+//   - block lists ("- item"), including list items at the parent key's
+//     indentation (standard YAML)
+//   - flow lists  [a, b, c]
+//   - flow maps   {qpn: 1, psn: 4, type: ecn, iter: 1}
+//   - scalars: integers, floats, booleans (true/false/True/False), strings
+//   - '#' comments and blank lines
+//
+// Scalars are stored as text; typed accessors convert (and throw
+// YamlError on type mismatch), so config loading code reads naturally:
+//   cfg["traffic"]["num-connections"].as_int()
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lumina {
+
+class YamlError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class YamlNode {
+ public:
+  enum class Kind { kNull, kScalar, kList, kMap };
+
+  YamlNode() = default;
+  static YamlNode scalar(std::string text);
+  static YamlNode list();
+  static YamlNode map();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_scalar() const { return kind_ == Kind::kScalar; }
+  bool is_list() const { return kind_ == Kind::kList; }
+  bool is_map() const { return kind_ == Kind::kMap; }
+
+  // -- scalar accessors ----------------------------------------------------
+  const std::string& as_string() const;
+  std::int64_t as_int() const;
+  double as_double() const;
+  bool as_bool() const;
+
+  /// Typed access with a default when the node is null/missing.
+  std::int64_t as_int_or(std::int64_t def) const;
+  double as_double_or(double def) const;
+  bool as_bool_or(bool def) const;
+  std::string as_string_or(std::string def) const;
+
+  // -- map access ----------------------------------------------------------
+  bool has(const std::string& key) const;
+  /// Returns the child or a shared null node when absent.
+  const YamlNode& operator[](const std::string& key) const;
+  /// Map entries in document order.
+  const std::vector<std::pair<std::string, YamlNode>>& entries() const;
+
+  // -- list access ---------------------------------------------------------
+  std::size_t size() const;
+  const YamlNode& operator[](std::size_t index) const;
+  const std::vector<YamlNode>& items() const;
+
+  // -- construction (used by the parser and by tests) ----------------------
+  void map_set(const std::string& key, YamlNode value);
+  void list_append(YamlNode value);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  std::string scalar_;
+  std::vector<YamlNode> items_;
+  std::vector<std::pair<std::string, YamlNode>> entries_;
+};
+
+/// Parses a document. Throws YamlError with a line number on bad input.
+YamlNode parse_yaml(const std::string& text);
+
+/// Convenience: reads and parses a file. Throws YamlError on I/O failure.
+YamlNode parse_yaml_file(const std::string& path);
+
+}  // namespace lumina

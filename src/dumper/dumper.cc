@@ -1,0 +1,86 @@
+#include "dumper/dumper.h"
+
+#include <algorithm>
+
+#include "packet/pcap_writer.h"
+
+namespace lumina {
+namespace {
+
+/// Toeplitz-flavored RSS stand-in: mixes the fields real RSS hashes.
+std::uint32_t rss_hash(const RoceView& v) {
+  std::uint64_t h = v.src_ip.value;
+  h = h * 0x9e3779b97f4a7c15ULL + v.dst_ip.value;
+  h = h * 0x9e3779b97f4a7c15ULL + v.udp_src_port;
+  h = h * 0x9e3779b97f4a7c15ULL + v.udp_dst_port;
+  h ^= h >> 33;
+  return static_cast<std::uint32_t>(h);
+}
+
+}  // namespace
+
+TrafficDumper::TrafficDumper(Simulator* sim, std::string name, Options options)
+    : sim_(sim),
+      name_(std::move(name)),
+      options_(options),
+      port_(std::make_unique<Port>(sim, this, 0)),
+      core_busy_until_(static_cast<std::size_t>(std::max(1, options.cores)), 0) {
+}
+
+void TrafficDumper::handle_packet(int in_port, Packet pkt) {
+  (void)in_port;
+  if (terminated_) return;
+  ++counters_.received;
+
+  const auto view = parse_roce(pkt);
+  const Tick now = sim_->now();
+  const std::size_t core =
+      view ? rss_hash(*view) % core_busy_until_.size() : 0;
+
+  // Finite per-core processing: ring overflow -> NIC discard.
+  Tick& busy = core_busy_until_[core];
+  const Tick service = options_.per_packet_service;
+  const std::size_t backlog =
+      busy > now ? static_cast<std::size_t>((busy - now) / service) : 0;
+  if (backlog >= options_.ring_capacity) {
+    ++counters_.discarded;
+    return;
+  }
+  busy = std::max(busy, now) + service;
+
+  DumpedPacket dumped;
+  dumped.orig_len = pkt.size();
+  dumped.captured_at = now;
+  dumped.meta = extract_mirror_meta(pkt);
+  if (pkt.size() > options_.trim_bytes) {
+    pkt.bytes.resize(options_.trim_bytes);
+  }
+  dumped.pkt = std::move(pkt);
+  packets_.push_back(std::move(dumped));
+  ++counters_.captured;
+}
+
+void TrafficDumper::terminate() {
+  if (terminated_) return;
+  terminated_ = true;
+  // §3.4: before writing to disk, the previously randomized UDP
+  // destination port is reverted to 4791.
+  for (auto& dumped : packets_) {
+    if (dumped.pkt.size() >= off::kUdpDstPort + 2) {
+      restore_roce_udp_port(dumped.pkt);
+    }
+  }
+}
+
+bool TrafficDumper::write_pcap(const std::string& path) const {
+  PcapWriter writer;
+  if (!writer.open(path)) return false;
+  for (const auto& dumped : packets_) {
+    if (!writer.write(dumped.pkt, dumped.captured_at, dumped.orig_len)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lumina

@@ -1,0 +1,75 @@
+// Traffic dumper node (§3.4): one host of the traffic dumper pool.
+//
+// Models the DPDK capture tool: mirrored packets arrive on the NIC, RSS
+// hashes the (addresses, UDP ports) tuple onto a CPU core, and each core
+// copies the first `trim_bytes` bytes into a pre-allocated ring. A core
+// has finite per-packet service capacity; when its ring backs up the NIC
+// discards (the rx_discards_phy situation §3.4 describes for the naive
+// two-host design). Because the mirror engine randomizes the UDP
+// destination port, RSS spreads even a single flow across all cores.
+//
+// On TERM the dumper restores the UDP destination port of every captured
+// packet to 4791 and can persist the capture as a pcap file.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "injector/mirror.h"
+#include "net/node.h"
+#include "sim/simulator.h"
+
+namespace lumina {
+
+struct DumpedPacket {
+  Packet pkt;              ///< Trimmed copy (headers only).
+  std::size_t orig_len = 0;
+  Tick captured_at = 0;    ///< Host capture time (not the switch timestamp).
+  MirrorMeta meta;         ///< Metadata embedded by the mirror engine.
+};
+
+struct DumperCounters {
+  std::uint64_t received = 0;
+  std::uint64_t captured = 0;
+  std::uint64_t discarded = 0;  ///< Ring overflow (NIC rx discards).
+};
+
+class TrafficDumper : public Node {
+ public:
+  struct Options {
+    int cores = 8;
+    Tick per_packet_service = 250;   ///< Per-core copy cost per packet.
+    std::size_t ring_capacity = 4096;  ///< Packets buffered per core.
+    std::size_t trim_bytes = 128;    ///< §5: first 128 B carry all headers.
+  };
+
+  TrafficDumper(Simulator* sim, std::string name, Options options);
+
+  Port& port() { return *port_; }
+
+  void handle_packet(int in_port, Packet pkt) override;
+  std::string name() const override { return name_; }
+
+  /// TERM from the orchestrator: restores UDP ports on captured packets.
+  void terminate();
+
+  const std::vector<DumpedPacket>& packets() const { return packets_; }
+  const DumperCounters& counters() const { return counters_; }
+
+  /// Writes captured (trimmed) packets to a pcap file.
+  bool write_pcap(const std::string& path) const;
+
+ private:
+  Simulator* sim_;
+  std::string name_;
+  Options options_;
+  std::unique_ptr<Port> port_;
+  std::vector<Tick> core_busy_until_;
+  std::vector<DumpedPacket> packets_;
+  DumperCounters counters_;
+  bool terminated_ = false;
+};
+
+}  // namespace lumina

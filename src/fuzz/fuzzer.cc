@@ -1,0 +1,67 @@
+#include "fuzz/fuzzer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace lumina {
+
+GeneticFuzzer::GeneticFuzzer(FuzzTarget target, Options options)
+    : target_(std::move(target)), options_(options), rng_(options.seed) {}
+
+double GeneticFuzzer::median_score() const {
+  if (pool_.empty()) return 0;
+  std::vector<double> scores;
+  scores.reserve(pool_.size());
+  for (const auto& entry : pool_) scores.push_back(entry.score);
+  std::sort(scores.begin(), scores.end());
+  return scores[scores.size() / 2];
+}
+
+FuzzOutcome GeneticFuzzer::run() {
+  FuzzOutcome outcome;
+
+  // Initialization: a pool of valid configurations, scored by running them.
+  for (int i = 0; i < options_.pool_size; ++i) {
+    FuzzIteration entry;
+    entry.config = target_.make_initial(rng_);
+    Orchestrator orch(entry.config, options_.orchestrator);
+    const TestResult& result = orch.run();
+    entry.score = target_.score(entry.config, result);
+    entry.anomaly = target_.is_anomaly(entry.config, result);
+    outcome.history.push_back(entry);
+    pool_.push_back(entry);
+    ++outcome.iterations;
+    if (entry.anomaly) {
+      outcome.anomaly = entry;
+      return outcome;
+    }
+  }
+
+  // Mutation / scoring / selection loop.
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    const std::size_t pick = rng_.next_below(pool_.size());
+    FuzzIteration mutant;
+    mutant.config = pool_[pick].config;
+    target_.mutate(mutant.config, rng_);
+
+    Orchestrator orch(mutant.config, options_.orchestrator);
+    const TestResult& result = orch.run();
+    mutant.score = target_.score(mutant.config, result);
+    mutant.anomaly = target_.is_anomaly(mutant.config, result);
+    outcome.history.push_back(mutant);
+    ++outcome.iterations;
+
+    if (mutant.score >= median_score() ||
+        rng_.next_bool(options_.low_quality_keep_probability)) {
+      pool_.push_back(mutant);
+    }
+    if (mutant.anomaly) {
+      outcome.anomaly = mutant;
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace lumina

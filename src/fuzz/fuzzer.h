@@ -1,0 +1,68 @@
+// Genetic test-case generation (§4, Algorithm 1).
+//
+// The fuzzer maintains a pool of valid test configurations. Each iteration
+// picks one at random, mutates it, runs Lumina on the mutant, scores the
+// outcome with a user-supplied multi-objective function, and keeps
+// high-quality mutants (score >= pool median) — low-quality ones survive
+// with probability p to preserve diversity. The loop ends when the target's
+// anomaly predicate fires or the iteration budget is exhausted.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "config/test_config.h"
+#include "orchestrator/orchestrator.h"
+#include "util/random.h"
+
+namespace lumina {
+
+struct FuzzTarget {
+  /// Generates one valid configuration for the initial pool.
+  std::function<TestConfig(Rng&)> make_initial;
+  /// Mutates basic traffic settings and/or event settings in place.
+  std::function<void(TestConfig&, Rng&)> mutate;
+  /// Multi-objective quality score: higher = closer to an anomaly.
+  std::function<double(const TestConfig&, const TestResult&)> score;
+  /// Stop condition: the mutant triggered the anomaly being hunted.
+  std::function<bool(const TestConfig&, const TestResult&)> is_anomaly;
+};
+
+struct FuzzIteration {
+  TestConfig config;
+  double score = 0;
+  bool anomaly = false;
+};
+
+struct FuzzOutcome {
+  std::optional<FuzzIteration> anomaly;  ///< Set when the hunt succeeded.
+  std::vector<FuzzIteration> history;
+  int iterations = 0;
+};
+
+class GeneticFuzzer {
+ public:
+  struct Options {
+    int pool_size = 6;
+    int max_iterations = 40;
+    double low_quality_keep_probability = 0.25;
+    std::uint64_t seed = 0xF0CCAC1Au;
+    Orchestrator::Options orchestrator;
+  };
+
+  GeneticFuzzer(FuzzTarget target, Options options);
+
+  /// Runs Algorithm 1 until an anomaly is found or the budget runs out.
+  FuzzOutcome run();
+
+ private:
+  double median_score() const;
+
+  FuzzTarget target_;
+  Options options_;
+  Rng rng_;
+  std::vector<FuzzIteration> pool_;
+};
+
+}  // namespace lumina

@@ -1,0 +1,170 @@
+#include "fuzz/targets.h"
+
+#include <algorithm>
+
+#include "analyzers/counter_analyzer.h"
+#include "analyzers/retrans_perf.h"
+
+namespace lumina {
+namespace {
+
+TestConfig base_config(NicType nic) {
+  TestConfig cfg;
+  cfg.requester.nic_type = nic;
+  cfg.responder.nic_type = nic;
+  cfg.requester.ip_list.push_back(Ipv4Address::from_octets(10, 0, 0, 1));
+  cfg.responder.ip_list.push_back(Ipv4Address::from_octets(10, 0, 0, 2));
+  return cfg;
+}
+
+/// Mean MCT (us) over connections WITHOUT injected events.
+double innocent_mct_us(const TestConfig& cfg, const TestResult& result) {
+  std::vector<bool> injected(static_cast<std::size_t>(
+                                 cfg.traffic.num_connections),
+                             false);
+  for (const auto& ev : cfg.traffic.data_pkt_events) {
+    const auto idx = static_cast<std::size_t>(ev.qpn - 1);
+    if (idx < injected.size()) injected[idx] = true;
+  }
+  double sum = 0;
+  int n = 0;
+  for (std::size_t i = 0; i < result.flows.size(); ++i) {
+    if (injected[i]) continue;
+    sum += result.flows[i].avg_mct_us();
+    ++n;
+  }
+  return n == 0 ? 0 : sum / n;
+}
+
+}  // namespace
+
+FuzzTarget make_noisy_neighbor_target(NicType nic) {
+  FuzzTarget target;
+
+  target.make_initial = [nic](Rng& rng) {
+    TestConfig cfg = base_config(nic);
+    cfg.traffic.verb = RdmaVerb::kRead;
+    cfg.traffic.num_connections = static_cast<int>(rng.next_in(8, 40));
+    cfg.traffic.num_msgs_per_qp = static_cast<int>(rng.next_in(2, 10));
+    cfg.traffic.message_size = 20 * 1024;
+    cfg.traffic.mtu = 1024;
+    const int injected =
+        static_cast<int>(rng.next_in(0, cfg.traffic.num_connections / 2));
+    for (int i = 0; i < injected; ++i) {
+      cfg.traffic.data_pkt_events.push_back(
+          DataPacketEvent{i + 1, 5, EventType::kDrop, 1});
+    }
+    return cfg;
+  };
+
+  target.mutate = [](TestConfig& cfg, Rng& rng) {
+    switch (rng.next_below(3)) {
+      case 0:  // adjust the number of connections
+        cfg.traffic.num_connections = std::clamp(
+            cfg.traffic.num_connections + static_cast<int>(rng.next_in(-8, 8)),
+            4, 64);
+        break;
+      case 1:  // adjust message size
+        cfg.traffic.message_size = static_cast<std::uint64_t>(
+            rng.next_in(4, 64)) * 1024;
+        break;
+      default:  // adjust how many connections get a drop injected
+        break;
+    }
+    const int max_injected = cfg.traffic.num_connections;
+    int injected = static_cast<int>(cfg.traffic.data_pkt_events.size());
+    injected = std::clamp(injected + static_cast<int>(rng.next_in(-4, 6)), 0,
+                          max_injected);
+    cfg.traffic.data_pkt_events.clear();
+    for (int i = 0; i < injected; ++i) {
+      cfg.traffic.data_pkt_events.push_back(
+          DataPacketEvent{i + 1, 5, EventType::kDrop, 1});
+    }
+  };
+
+  target.score = [](const TestConfig& cfg, const TestResult& result) {
+    // Multi-objective (§4): innocent-flow MCT inflation dominates; victim
+    // rx discards contribute (the counter that exposed the bug).
+    const double mct = innocent_mct_us(cfg, result);
+    const double discards =
+        static_cast<double>(result.requester_counters.rx_discards_phy);
+    return mct + 0.1 * discards;
+  };
+
+  target.is_anomaly = [](const TestConfig& cfg, const TestResult& result) {
+    if (cfg.traffic.data_pkt_events.empty()) return false;
+    const double baseline_us = 2000.0;  // generous bound for clean Read MCT
+    return innocent_mct_us(cfg, result) > 50.0 * baseline_us;
+  };
+
+  return target;
+}
+
+FuzzTarget make_lossy_network_target(NicType nic) {
+  FuzzTarget target;
+
+  target.make_initial = [nic](Rng& rng) {
+    TestConfig cfg = base_config(nic);
+    const int verb = static_cast<int>(rng.next_below(3));
+    cfg.traffic.verb = verb == 0   ? RdmaVerb::kWrite
+                       : verb == 1 ? RdmaVerb::kSendRecv
+                                   : RdmaVerb::kRead;
+    cfg.traffic.num_connections = static_cast<int>(rng.next_in(1, 4));
+    cfg.traffic.num_msgs_per_qp = static_cast<int>(rng.next_in(1, 4));
+    cfg.traffic.message_size = static_cast<std::uint64_t>(
+        rng.next_in(8, 128)) * 1024;
+    cfg.traffic.data_pkt_events.push_back(DataPacketEvent{
+        1, static_cast<std::uint32_t>(rng.next_in(1, 8)), EventType::kDrop,
+        1});
+    return cfg;
+  };
+
+  target.mutate = [](TestConfig& cfg, Rng& rng) {
+    if (!cfg.traffic.data_pkt_events.empty() && rng.next_bool(0.5)) {
+      auto& ev = cfg.traffic.data_pkt_events[rng.next_below(
+          cfg.traffic.data_pkt_events.size())];
+      ev.psn = static_cast<std::uint32_t>(rng.next_in(1, 32));
+      ev.type = rng.next_bool(0.3) ? EventType::kEcn : EventType::kDrop;
+    } else {
+      cfg.traffic.data_pkt_events.push_back(DataPacketEvent{
+          static_cast<int>(rng.next_in(1, cfg.traffic.num_connections)),
+          static_cast<std::uint32_t>(rng.next_in(1, 16)), EventType::kDrop,
+          1});
+    }
+  };
+
+  target.score = [](const TestConfig& cfg, const TestResult& result) {
+    const auto episodes = analyze_retransmissions(result.trace,
+                                                  cfg.traffic.verb);
+    double worst_us = 0;
+    for (const auto& ep : episodes) {
+      if (const auto total = ep.total_latency()) {
+        worst_us = std::max(worst_us, to_us(*total));
+      }
+    }
+    const auto counters = check_counters(
+        result.trace, cfg.traffic.verb, result.requester_counters,
+        result.responder_counters, {result.connections.empty()
+                                        ? Ipv4Address{}
+                                        : result.connections[0].requester.ip},
+        {result.connections.empty() ? Ipv4Address{}
+                                    : result.connections[0].responder.ip});
+    return worst_us +
+           1000.0 * static_cast<double>(counters.inconsistencies.size());
+  };
+
+  target.is_anomaly = [](const TestConfig& cfg, const TestResult& result) {
+    const auto counters = check_counters(
+        result.trace, cfg.traffic.verb, result.requester_counters,
+        result.responder_counters, {result.connections.empty()
+                                        ? Ipv4Address{}
+                                        : result.connections[0].requester.ip},
+        {result.connections.empty() ? Ipv4Address{}
+                                    : result.connections[0].responder.ip});
+    return !counters.consistent();
+  };
+
+  return target;
+}
+
+}  // namespace lumina

@@ -1,0 +1,21 @@
+// Canned fuzz targets for the hunts described in the paper.
+#pragma once
+
+#include "config/test_config.h"
+#include "fuzz/fuzzer.h"
+
+namespace lumina {
+
+/// §6.2.2: "finding potential bugs where packet loss in one connection
+/// affects other co-existing connections". The target generates Read
+/// workloads, splits connections into a drop-injected set and an innocent
+/// set, and scores configurations by the damage done to innocent flows
+/// (message completion time inflation and requester-side rx discards).
+FuzzTarget make_noisy_neighbor_target(NicType nic);
+
+/// General target: "find bugs in a lossy network setting" — random verbs,
+/// random single-packet drops, scored by counter inconsistencies and by
+/// recovery latency (large NACK generation/reaction times).
+FuzzTarget make_lossy_network_target(NicType nic);
+
+}  // namespace lumina

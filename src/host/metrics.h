@@ -1,0 +1,63 @@
+// Application-level metrics reported by the traffic generator (§3.2):
+// per-message completion times, goodput, and completion status.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rnic/verbs.h"
+#include "util/time.h"
+
+namespace lumina {
+
+struct MessageRecord {
+  int msg_index = 0;
+  Tick posted_at = 0;
+  Tick completed_at = 0;
+  WcStatus status = WcStatus::kSuccess;
+
+  Tick completion_time() const { return completed_at - posted_at; }
+};
+
+/// Per-connection metrics.
+struct FlowMetrics {
+  std::vector<MessageRecord> messages;
+  std::uint64_t message_size = 0;
+  Tick first_post = 0;
+  Tick last_completion = 0;
+  bool aborted = false;  ///< Flow stopped early (QP in error state).
+
+  std::size_t completed() const {
+    std::size_t n = 0;
+    for (const auto& m : messages) {
+      if (m.completed_at >= 0) ++n;
+    }
+    return n;
+  }
+
+  double avg_mct_us() const {
+    double sum = 0;
+    std::size_t n = 0;
+    for (const auto& m : messages) {
+      if (m.completed_at < 0) continue;  // still in flight
+      sum += to_us(m.completion_time());
+      ++n;
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  }
+
+  /// Goodput over the flow's active interval, successful messages only.
+  double goodput_gbps() const {
+    const Tick span = last_completion - first_post;
+    if (span <= 0) return 0.0;
+    std::uint64_t bytes = 0;
+    for (const auto& m : messages) {
+      if (m.completed_at >= 0 && m.status == WcStatus::kSuccess) {
+        bytes += message_size;
+      }
+    }
+    return static_cast<double>(bytes) * 8.0 / static_cast<double>(span);
+  }
+};
+
+}  // namespace lumina

@@ -1,0 +1,93 @@
+// Traffic generator (§3.2): a requester/responder pair driving the RNICs
+// under test over one or more RC queue pairs.
+//
+// The generator mirrors the paper's C tool: it creates QPs and memory
+// regions, exchanges runtime metadata (QPN, IPSN, GID, rkey) out of band,
+// exposes that metadata so the orchestrator can program the event injector
+// (§3.3), posts Send/Write/Read work requests with configurable message
+// count, size, tx-depth and optional cross-QP barrier synchronization, and
+// reports message completion times and goodput.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "config/test_config.h"
+#include "host/metrics.h"
+#include "rnic/rnic.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+
+namespace lumina {
+
+/// Metadata for one QP connection, as exchanged over the out-of-band
+/// control channel and shared with the event injector.
+struct ConnectionMetadata {
+  QpEndpointInfo requester;
+  QpEndpointInfo responder;
+};
+
+class TrafficGenerator {
+ public:
+  TrafficGenerator(Simulator* sim, Rnic* requester_nic, Rnic* responder_nic,
+                   const HostConfig& requester_cfg,
+                   const HostConfig& responder_cfg, TrafficConfig traffic,
+                   EtsConfig ets, std::uint64_t seed = 0xBEEF);
+
+  /// Creates and connects QPs, exchanges metadata. Must run before start().
+  void setup();
+
+  /// Begins posting work requests (at current simulated time).
+  void start();
+
+  bool finished() const { return flows_remaining_ == 0; }
+
+  const std::vector<ConnectionMetadata>& connections() const {
+    return connections_;
+  }
+  const TrafficConfig& traffic() const { return traffic_; }
+
+  const FlowMetrics& metrics(int connection) const {
+    return metrics_[static_cast<std::size_t>(connection)];
+  }
+  int num_connections() const { return traffic_.num_connections; }
+
+  /// Mean of per-connection average MCTs over `connections` (all when
+  /// empty), in microseconds.
+  double avg_mct_us(const std::vector<int>& conns = {}) const;
+
+  QueuePair* requester_qp(int connection) {
+    return req_qps_[static_cast<std::size_t>(connection)];
+  }
+  QueuePair* responder_qp(int connection) {
+    return resp_qps_[static_cast<std::size_t>(connection)];
+  }
+
+ private:
+  void post_next(int connection);
+  void on_completion(int connection, const WorkCompletion& wc);
+  void maybe_advance_barrier();
+
+  Simulator* sim_;
+  Rnic* req_nic_;
+  Rnic* resp_nic_;
+  HostConfig req_cfg_;
+  HostConfig resp_cfg_;
+  TrafficConfig traffic_;
+  EtsConfig ets_;
+  Rng rng_;
+
+  std::vector<QueuePair*> req_qps_;
+  std::vector<QueuePair*> resp_qps_;
+  std::vector<ConnectionMetadata> connections_;
+  std::vector<FlowMetrics> metrics_;
+  std::vector<int> posted_;     // messages posted per connection
+  std::vector<int> completed_;  // messages completed per connection
+  std::vector<Tick> post_time_; // post time of in-flight msgs, by wr_id slot
+  int flows_remaining_ = 0;
+  int barrier_round_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace lumina

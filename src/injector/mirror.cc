@@ -1,0 +1,68 @@
+#include "injector/mirror.h"
+
+#include "packet/bytes.h"
+
+namespace lumina {
+
+MirrorMeta extract_mirror_meta(const Packet& pkt) {
+  MirrorMeta meta;
+  meta.mirror_seq = peek_u48(pkt.span(), off::kEthSrc);
+  meta.ingress_timestamp =
+      static_cast<Tick>(peek_u48(pkt.span(), off::kEthDst));
+  meta.event = static_cast<EventType>(pkt.bytes[off::kIpTtl]);
+  return meta;
+}
+
+void restore_roce_udp_port(Packet& pkt) {
+  set_udp_dst_port(pkt, kRoceUdpPort);
+}
+
+void MirrorEngine::set_targets(std::vector<Target> targets) {
+  targets_ = std::move(targets);
+  credits_.assign(targets_.size(), 0);
+  wrr_cursor_ = 0;
+}
+
+MirrorEngine::Mirrored MirrorEngine::mirror(const Packet& original,
+                                            EventType event,
+                                            Tick ingress_ts) {
+  Mirrored out{original, pick_target()};
+  Packet& clone = out.clone;
+  // Embed metadata into iCRC-masked fields; see file comment.
+  set_ttl(clone, static_cast<std::uint8_t>(event));
+  set_src_mac(clone, next_seq_++);
+  set_dst_mac(clone, static_cast<std::uint64_t>(ingress_ts) & 0xffffffffffffULL);
+  if (randomize_udp_port_) {
+    // Any port except 4791 itself, so restoration is unambiguous.
+    std::uint16_t port;
+    do {
+      port = static_cast<std::uint16_t>(rng_.next_below(0x10000));
+    } while (port == kRoceUdpPort);
+    set_udp_dst_port(clone, port);
+  }
+  return out;
+}
+
+int MirrorEngine::pick_target() {
+  if (targets_.empty()) return -1;
+  // Weighted round-robin: each pass grants `weight` credits; a target with
+  // positive credit takes the packet and spends one credit.
+  for (;;) {
+    if (credits_[wrr_cursor_] > 0) {
+      --credits_[wrr_cursor_];
+      return targets_[wrr_cursor_].port_index;
+    }
+    ++wrr_cursor_;
+    if (wrr_cursor_ >= targets_.size()) {
+      wrr_cursor_ = 0;
+      bool any = false;
+      for (std::size_t i = 0; i < targets_.size(); ++i) {
+        credits_[i] += targets_[i].weight;
+        any = any || credits_[i] > 0;
+      }
+      if (!any) return targets_[0].port_index;  // all weights zero
+    }
+  }
+}
+
+}  // namespace lumina

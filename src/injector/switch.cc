@@ -1,0 +1,195 @@
+#include "injector/switch.h"
+
+#include "util/logging.h"
+
+namespace lumina {
+
+EventInjectorSwitch::EventInjectorSwitch(Simulator* sim, int num_ports,
+                                         Options options)
+    : sim_(sim), options_(options), mirror_(options.rng_seed) {
+  ports_.reserve(static_cast<std::size_t>(num_ports));
+  for (int i = 0; i < num_ports; ++i) {
+    ports_.push_back(std::make_unique<Port>(sim, this, i));
+  }
+}
+
+void EventInjectorSwitch::add_route(Ipv4Address dst, int port_index) {
+  routes_[dst] = port_index;
+}
+
+void EventInjectorSwitch::set_mirror_targets(
+    std::vector<MirrorEngine::Target> targets) {
+  mirror_.set_targets(std::move(targets));
+}
+
+void EventInjectorSwitch::register_flow(const FlowKey& flow,
+                                        std::uint32_t ipsn) {
+  iter_tracker_.register_flow(flow, ipsn);
+}
+
+void EventInjectorSwitch::install_rule(const EventRule& rule) {
+  table_.install(rule);
+}
+
+void EventInjectorSwitch::clear_rules() {
+  table_.clear();
+  relative_rules_.clear();
+  discovery_index_.clear();
+  discovered_ = 0;
+}
+
+void EventInjectorSwitch::install_relative_rule(const RelativeEventRule& rule) {
+  relative_rules_.push_back(rule);
+}
+
+void EventInjectorSwitch::handle_packet(int in_port, Packet pkt) {
+  (void)in_port;
+  const Tick ingress_ts = sim_->now();
+  const auto view = parse_roce(pkt);
+
+  if (!view) {
+    // Not RoCE-shaped: plain L2/L3 forward after base pipeline latency.
+    sim_->schedule_after(options_.l2_pipeline_latency,
+                         [this, p = std::move(pkt)]() mutable {
+                           forward(std::move(p));
+                         });
+    return;
+  }
+
+  ++counters_.roce_rx;
+  Tick pipeline_latency = options_.l2_pipeline_latency;
+  EventType event = EventType::kNone;
+  Tick event_delay = 0;
+
+  if (options_.enable_event_injection) {
+    pipeline_latency += options_.event_stage_latency;
+    // ITER tracking + event matching apply to data-carrying packets only
+    // (control packets such as ACK/NACK/CNP are not injectable, §3.3 fn 2).
+    if (is_data_opcode(view->bth.opcode)) {
+      const FlowKey flow{view->src_ip, view->dst_ip, view->bth.dest_qpn};
+      // Stateful-discovery ablation: the first packet of a new flow binds
+      // pending relative rules to this flow, taking its PSN as the IPSN.
+      if (!relative_rules_.empty() && !discovery_index_.contains(flow)) {
+        const int index = ++discovered_;
+        discovery_index_[flow] = index;
+        for (const auto& rel : relative_rules_) {
+          if (rel.conn_index != index) continue;
+          EventRule rule;
+          rule.flow = flow;
+          rule.psn = psn_add(view->bth.psn,
+                             static_cast<std::int64_t>(rel.psn) - 1);
+          rule.iter = rel.iter;
+          rule.action = rel.action;
+          rule.delay = rel.delay;
+          table_.install(rule);
+        }
+      }
+      const std::uint32_t iter = iter_tracker_.observe(flow, view->bth.psn);
+      if (const auto action = table_.match(flow, view->bth.psn, iter)) {
+        event = action->type;
+        event_delay = action->delay;
+        ++counters_.events_applied;
+      }
+    }
+  }
+
+  // Apply packet transformations before mirroring so the mirrored copy
+  // reflects what was (or would have been) forwarded.
+  switch (event) {
+    case EventType::kEcn:
+      set_ecn_ce(pkt);
+      break;
+    case EventType::kCorrupt:
+      corrupt_payload_bit(pkt);
+      break;
+    default:
+      break;
+  }
+  if (options_.rewrite_mig_req && is_data_opcode(view->bth.opcode) &&
+      !view->bth.mig_req) {
+    set_mig_req(pkt, true);
+  }
+
+  // Ingress mirror: always before the MMU can drop anything (§3.4).
+  if (options_.enable_mirroring && mirror_.has_targets()) {
+    auto mirrored = mirror_.mirror(pkt, event, ingress_ts);
+    ++counters_.mirrored;
+    sim_->schedule_after(
+        pipeline_latency,
+        [this, m = std::move(mirrored)]() mutable {
+          port(m.port_index).send(std::move(m.clone));
+        });
+  }
+
+  if (event == EventType::kDrop && options_.enforce_drops) {
+    ++counters_.dropped_by_event;
+    return;
+  }
+
+  // §7 extension: hold the packet so it leaves AFTER its flow's next data
+  // packet (adjacent-pair reordering).
+  if (event == EventType::kReorder && is_data_opcode(view->bth.opcode)) {
+    const FlowKey flow{view->src_ip, view->dst_ip, view->bth.dest_qpn};
+    ReorderSlot slot;
+    slot.pkt = std::move(pkt);
+    // Safety valve: flush if no successor shows up (tail packet).
+    slot.flush_event = sim_->schedule_after(
+        options_.reorder_flush_timeout, [this, flow] { flush_reorder(flow); });
+    reorder_slots_[flow] = std::move(slot);
+    return;
+  }
+
+  ++counters_.roce_tx;
+  const Tick depart = pipeline_latency + event_delay;
+  const bool is_data = is_data_opcode(view->bth.opcode);
+  const FlowKey flow{view->src_ip, view->dst_ip, view->bth.dest_qpn};
+  sim_->schedule_after(depart, [this, p = std::move(pkt)]() mutable {
+    forward(std::move(p));
+  });
+  // A held (reordered) predecessor departs right behind this packet.
+  if (is_data) {
+    if (const auto it = reorder_slots_.find(flow);
+        it != reorder_slots_.end()) {
+      sim_->cancel(it->second.flush_event);
+      Packet held = std::move(it->second.pkt);
+      reorder_slots_.erase(it);
+      ++counters_.roce_tx;
+      sim_->schedule_after(depart + 1, [this, p = std::move(held)]() mutable {
+        forward(std::move(p));
+      });
+    }
+  }
+}
+
+void EventInjectorSwitch::flush_reorder(const FlowKey& flow) {
+  const auto it = reorder_slots_.find(flow);
+  if (it == reorder_slots_.end()) return;
+  Packet held = std::move(it->second.pkt);
+  reorder_slots_.erase(it);
+  ++counters_.roce_tx;
+  forward(std::move(held));
+}
+
+void EventInjectorSwitch::forward(Packet pkt) {
+  const auto view = parse_roce(pkt);
+  if (!view) {
+    LUMINA_LOG(kWarn) << "switch: dropping unroutable non-IP packet";
+    return;
+  }
+  const auto it = routes_.find(view->dst_ip);
+  if (it == routes_.end()) {
+    LUMINA_LOG(kWarn) << "switch: no route for " << view->dst_ip.to_string();
+    return;
+  }
+  Port& egress = port(it->second);
+  // Congestion-driven ECN (extension): step marking at the egress queue.
+  if (options_.ecn_marking_threshold_bytes > 0 &&
+      is_data_opcode(view->bth.opcode) &&
+      egress.queued_bytes() > options_.ecn_marking_threshold_bytes) {
+    set_ecn_ce(pkt);
+    ++counters_.ecn_marked_by_queue;
+  }
+  egress.send(std::move(pkt));
+}
+
+}  // namespace lumina

@@ -1,0 +1,133 @@
+// The event-injector switch (§3.3–3.4, Fig. 6 pipeline layout).
+//
+// Ingress: RoCE classification -> ITER tracking -> event match -> ingress
+// mirror (before any drop, with metadata embedding) -> L3 forward.
+// Egress: per-port FIFO + counters (provided by net::Port).
+//
+// The model charges a fixed pipeline latency per forwarded packet,
+// decomposed into a base L2-forwarding cost plus an extra cost for the
+// event-injection stages — the decomposition Fig. 7 measures via the
+// Lumina / Lumina-ne / l2-forward variants.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "injector/event_table.h"
+#include "injector/mirror.h"
+#include "net/node.h"
+#include "sim/simulator.h"
+
+namespace lumina {
+
+/// Per-port RoCE traffic counters kept by the data plane for the §3.5
+/// integrity check, alongside the generic net-level PortCounters.
+struct SwitchRoceCounters {
+  std::uint64_t roce_rx = 0;        ///< RoCE packets received (ingress)
+  std::uint64_t roce_tx = 0;        ///< RoCE packets forwarded (egress)
+  std::uint64_t mirrored = 0;       ///< mirror clones emitted
+  std::uint64_t events_applied = 0; ///< non-none events applied
+  std::uint64_t dropped_by_event = 0;
+  std::uint64_t ecn_marked_by_queue = 0;  ///< congestion-driven CE marks
+};
+
+class EventInjectorSwitch : public Node {
+ public:
+  struct Options {
+    /// Base store-and-forward pipeline latency of a plain L2 program.
+    Tick l2_pipeline_latency = 250;
+    /// Extra latency of the event-injection match-action stages.
+    Tick event_stage_latency = 90;
+    bool enable_event_injection = true;
+    bool enable_mirroring = true;
+    /// When false, "drop" rules are matched and mirrored but not enforced
+    /// (the Fig. 7 overhead measurement keeps tables but disables drops).
+    bool enforce_drops = true;
+    /// §6.2.3 fix: rewrite MigReq to 1 on every forwarded RoCE packet.
+    bool rewrite_mig_req = false;
+    /// §7 extension: how long a reorder-held packet waits for a successor
+    /// before being flushed unreordered (tail-packet safety valve).
+    Tick reorder_flush_timeout = 50 * kMicrosecond;
+    /// Extension: RED-style step ECN marking — data packets enqueued onto
+    /// an egress port whose FIFO exceeds this many bytes get CE. 0
+    /// disables (the stock tool only marks via injected events). Enables
+    /// genuine closed-loop DCQCN experiments with mixed link speeds.
+    std::size_t ecn_marking_threshold_bytes = 0;
+    std::uint64_t rng_seed = 0x1u;
+  };
+
+  EventInjectorSwitch(Simulator* sim, int num_ports, Options options);
+
+  // -- wiring --------------------------------------------------------------
+  Port& port(int index) { return *ports_[static_cast<std::size_t>(index)]; }
+  int num_ports() const { return static_cast<int>(ports_.size()); }
+
+  /// Installs an L3 route: packets to `dst` leave through `port_index`.
+  void add_route(Ipv4Address dst, int port_index);
+
+  /// Declares the dumper pool: mirror targets with WRR weights.
+  void set_mirror_targets(std::vector<MirrorEngine::Target> targets);
+
+  // -- control plane (populated by the orchestrator) -----------------------
+  void register_flow(const FlowKey& flow, std::uint32_t ipsn);
+  void install_rule(const EventRule& rule);
+  void clear_rules();
+
+  // -- stateful-discovery ablation (§3.3 "one straightforward solution") ----
+  // Instead of the stock stateless design (runtime metadata pushed through
+  // the control plane), the data plane itself detects new QPs: the k-th
+  // flow whose first data packet appears is connection k, its first PSN is
+  // taken as the IPSN, and pending relative rules materialize on the spot.
+  // The ablation bench shows why the paper rejected this: with concurrent
+  // QPs the discovery order races, so intents can bind to the wrong
+  // connection.
+  struct RelativeEventRule {
+    int conn_index = 1;      ///< 1-based order of flow discovery.
+    std::uint32_t psn = 1;   ///< 1-based packet index within the flow.
+    std::uint32_t iter = 1;
+    EventType action = EventType::kDrop;
+    Tick delay = 0;
+  };
+  void install_relative_rule(const RelativeEventRule& rule);
+  int discovered_flows() const { return discovered_; }
+
+  const Options& options() const { return options_; }
+  void set_options(const Options& options) { options_ = options; }
+
+  const SwitchRoceCounters& roce_counters() const { return counters_; }
+  const EventTable& event_table() const { return table_; }
+  const IterTracker& iter_tracker() const { return iter_tracker_; }
+  MirrorEngine& mirror_engine() { return mirror_; }
+
+  // -- data plane ----------------------------------------------------------
+  void handle_packet(int in_port, Packet pkt) override;
+  std::string name() const override { return "event-injector"; }
+
+ private:
+  void forward(Packet pkt);
+  void flush_reorder(const FlowKey& flow);
+
+  struct ReorderSlot {
+    Packet pkt;
+    std::uint64_t flush_event = 0;
+  };
+
+  Simulator* sim_;
+  Options options_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::unordered_map<Ipv4Address, int> routes_;
+  EventTable table_;
+  IterTracker iter_tracker_;
+  MirrorEngine mirror_;
+  SwitchRoceCounters counters_;
+  std::unordered_map<FlowKey, ReorderSlot, FlowKeyHash> reorder_slots_;
+
+  // Stateful-discovery ablation state.
+  std::vector<RelativeEventRule> relative_rules_;
+  std::unordered_map<FlowKey, int, FlowKeyHash> discovery_index_;
+  int discovered_ = 0;
+};
+
+}  // namespace lumina

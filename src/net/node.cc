@@ -1,0 +1,49 @@
+#include "net/node.h"
+
+namespace lumina {
+
+void Port::send(Packet pkt) {
+  if (peer_ == nullptr) return;  // unwired port: blackhole
+  if (queued_bytes_ + pkt.size() > queue_byte_cap_) {
+    ++counters_.drops;
+    return;
+  }
+  queued_bytes_ += pkt.size();
+  counters_.max_queued_bytes =
+      std::max(counters_.max_queued_bytes, queued_bytes_);
+  queue_.push_back(std::move(pkt));
+  if (!transmitting_) start_transmission();
+}
+
+void Port::start_transmission() {
+  if (queue_.empty()) {
+    transmitting_ = false;
+    if (drained_cb_) drained_cb_();
+    return;
+  }
+  transmitting_ = true;
+  Packet pkt = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= pkt.size();
+
+  const Tick tx_delay = tx_time_ns(pkt.wire_size());
+  const Tick done = sim_->now() + tx_delay;
+  busy_until_ = done;
+  ++counters_.tx_packets;
+  counters_.tx_bytes += pkt.size();
+
+  Port* peer = peer_;
+  const Tick arrive = done + params_.propagation;
+  sim_->schedule_at(arrive, [peer, p = std::move(pkt)]() mutable {
+    peer->deliver(std::move(p));
+  });
+  sim_->schedule_at(done, [this] { start_transmission(); });
+}
+
+void Port::deliver(Packet pkt) {
+  ++counters_.rx_packets;
+  counters_.rx_bytes += pkt.size();
+  owner_->handle_packet(index_, std::move(pkt));
+}
+
+}  // namespace lumina

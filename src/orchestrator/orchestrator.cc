@@ -1,0 +1,208 @@
+#include "orchestrator/orchestrator.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace lumina {
+
+std::string IntegrityReport::to_string() const {
+  std::ostringstream out;
+  out << (ok() ? "OK" : "FAILED") << " (trace=" << trace_packets
+      << ", mirrored=" << injector_mirrored << ", roce_rx=" << injector_roce_rx
+      << ", consecutive=" << (seqnums_consecutive ? "yes" : "no")
+      << ", missing=" << missing_seqnums << ")";
+  return out.str();
+}
+
+Orchestrator::Orchestrator(TestConfig config)
+    : Orchestrator(std::move(config), Options{}) {}
+
+Orchestrator::Orchestrator(TestConfig config, Options options)
+    : config_(std::move(config)), options_(options) {
+  // Fill default GIDs so configs may omit ip-list (Listing 1 shows them,
+  // but benches usually construct configs programmatically).
+  if (config_.requester.ip_list.empty()) {
+    config_.requester.ip_list.push_back(Ipv4Address::from_octets(10, 0, 0, 1));
+  }
+  if (config_.responder.ip_list.empty()) {
+    config_.responder.ip_list.push_back(Ipv4Address::from_octets(10, 0, 0, 2));
+  }
+  build_testbed();
+}
+
+Orchestrator::~Orchestrator() = default;
+
+void Orchestrator::build_testbed() {
+  sim_ = std::make_unique<Simulator>();
+
+  const int num_ports = 2 + options_.num_dumpers;
+  switch_ = std::make_unique<EventInjectorSwitch>(sim_.get(), num_ports,
+                                                  options_.switch_options);
+
+  const DeviceProfile& req_prof = DeviceProfile::get(config_.requester.nic_type);
+  const DeviceProfile& resp_prof =
+      DeviceProfile::get(config_.responder.nic_type);
+
+  req_nic_ = std::make_unique<Rnic>(sim_.get(), "requester", req_prof,
+                                    config_.requester.roce,
+                                    MacAddress::from_u48(0x0200000000aaULL));
+  resp_nic_ = std::make_unique<Rnic>(sim_.get(), "responder", resp_prof,
+                                     config_.responder.roce,
+                                     MacAddress::from_u48(0x0200000000bbULL));
+
+  connect(req_nic_->port(), switch_->port(0),
+          LinkParams{req_prof.link_gbps, options_.link_propagation});
+  connect(resp_nic_->port(), switch_->port(1),
+          LinkParams{resp_prof.link_gbps, options_.link_propagation});
+
+  // Routes: every GID of a host resolves to its switch port.
+  for (const auto& ip : config_.requester.ip_list) switch_->add_route(ip, 0);
+  for (const auto& ip : config_.responder.ip_list) switch_->add_route(ip, 1);
+
+  // Traffic dumper pool: links sized like the fastest host link (§3.4 —
+  // pooling is what makes slower dumpers viable; benches vary this).
+  const double dumper_gbps = std::max(req_prof.link_gbps, resp_prof.link_gbps);
+  std::vector<MirrorEngine::Target> targets;
+  TrafficDumper::Options dopt = options_.dumper_options;
+  if (!options_.trim_mirrors) dopt.trim_bytes = 1 << 20;
+  for (int i = 0; i < options_.num_dumpers; ++i) {
+    auto dumper = std::make_unique<TrafficDumper>(
+        sim_.get(), "dumper-" + std::to_string(i), dopt);
+    connect(dumper->port(), switch_->port(2 + i),
+            LinkParams{dumper_gbps, options_.link_propagation});
+    targets.push_back(MirrorEngine::Target{2 + i, 1});
+    dumpers_.push_back(std::move(dumper));
+  }
+  switch_->set_mirror_targets(std::move(targets));
+
+  generator_ = std::make_unique<TrafficGenerator>(
+      sim_.get(), req_nic_.get(), resp_nic_.get(), config_.requester,
+      config_.responder, config_.traffic, config_.ets, options_.seed);
+}
+
+EventRule Orchestrator::translate_intent(const DataPacketEvent& intent) const {
+  // Fig. 2: join the relative intent with the runtime metadata announced by
+  // the traffic generator. Data packets flow requester->responder for
+  // Send/Write; for Read the data (responses) flows responder->requester
+  // but reuses the *requester's* PSN space, so the absolute PSN is always
+  // IPSN_requester + psn - 1.
+  const auto& conns = generator_->connections();
+  const auto idx = static_cast<std::size_t>(intent.qpn - 1);
+  if (idx >= conns.size()) {
+    throw YamlError("event references connection " +
+                    std::to_string(intent.qpn) + " but only " +
+                    std::to_string(conns.size()) + " exist");
+  }
+  const ConnectionMetadata& meta = conns[idx];
+  EventRule rule;
+  if (config_.traffic.verb == RdmaVerb::kRead) {
+    rule.flow = FlowKey{meta.responder.ip, meta.requester.ip,
+                        meta.requester.qpn};
+  } else {
+    rule.flow = FlowKey{meta.requester.ip, meta.responder.ip,
+                        meta.responder.qpn};
+  }
+  rule.psn = psn_add(meta.requester.ipsn, static_cast<std::int64_t>(intent.psn) - 1);
+  rule.iter = intent.iter;
+  rule.action = intent.type;
+  rule.delay = intent.delay;
+  return rule;
+}
+
+void Orchestrator::program_injector() {
+  if (options_.stateful_qp_discovery) {
+    // Ablation: hand the switch relative intents; the data plane discovers
+    // QPs and materializes rules itself. No metadata is shared.
+    for (const auto& intent : config_.traffic.data_pkt_events) {
+      switch_->install_relative_rule(EventInjectorSwitch::RelativeEventRule{
+          intent.qpn, intent.psn, intent.iter, intent.type, intent.delay});
+    }
+    return;
+  }
+  // The requester shares complete traffic metadata with the injector's
+  // control plane (§3.3) — register every data-direction flow for ITER
+  // tracking, then install the translated rules.
+  for (const auto& meta : generator_->connections()) {
+    FlowKey flow;
+    if (config_.traffic.verb == RdmaVerb::kRead) {
+      flow = FlowKey{meta.responder.ip, meta.requester.ip, meta.requester.qpn};
+    } else {
+      flow = FlowKey{meta.requester.ip, meta.responder.ip, meta.responder.qpn};
+    }
+    switch_->register_flow(flow, meta.requester.ipsn);
+  }
+  for (const auto& intent : config_.traffic.data_pkt_events) {
+    switch_->install_rule(translate_intent(intent));
+  }
+}
+
+const TestResult& Orchestrator::run() {
+  if (ran_) return result_;
+  ran_ = true;
+
+  generator_->setup();
+  program_injector();  // tables must be populated before traffic starts
+  generator_->start();
+
+  sim_->run_until(options_.max_sim_time);
+  result_.finished = generator_->finished();
+  result_.duration = sim_->now();
+
+  collect_results();
+  return result_;
+}
+
+void Orchestrator::collect_results() {
+  // TERM all dumpers, then merge and sort by mirror sequence number.
+  std::vector<TracePacket> packets;
+  for (auto& dumper : dumpers_) {
+    dumper->terminate();
+    for (const auto& dumped : dumper->packets()) {
+      TracePacket tp;
+      tp.pkt = dumped.pkt;
+      tp.meta = dumped.meta;
+      tp.orig_len = dumped.orig_len;
+      const auto view = parse_roce(tp.pkt, /*allow_trimmed=*/true);
+      if (!view) continue;
+      tp.view = *view;
+      packets.push_back(std::move(tp));
+    }
+  }
+  std::sort(packets.begin(), packets.end(),
+            [](const TracePacket& a, const TracePacket& b) {
+              return a.meta.mirror_seq < b.meta.mirror_seq;
+            });
+
+  IntegrityReport& integrity = result_.integrity;
+  integrity.trace_packets = packets.size();
+  integrity.injector_mirrored = switch_->mirror_engine().mirrored_count();
+  integrity.injector_roce_rx = switch_->roce_counters().roce_rx;
+  integrity.seqnums_consecutive = true;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    if (packets[i].meta.mirror_seq != i) {
+      integrity.seqnums_consecutive = false;
+      break;
+    }
+  }
+  if (integrity.injector_mirrored >= packets.size()) {
+    integrity.missing_seqnums = integrity.injector_mirrored - packets.size();
+  }
+  integrity.matches_mirrored_count =
+      integrity.injector_mirrored == packets.size();
+  integrity.matches_roce_rx_count =
+      integrity.injector_roce_rx == packets.size();
+
+  result_.trace.packets = std::move(packets);
+  result_.requester_counters = req_nic_->counters();
+  result_.responder_counters = resp_nic_->counters();
+  result_.switch_counters = switch_->roce_counters();
+  result_.verb = config_.traffic.verb;
+  result_.connections = generator_->connections();
+  for (int i = 0; i < generator_->num_connections(); ++i) {
+    result_.flows.push_back(generator_->metrics(i));
+  }
+}
+
+}  // namespace lumina

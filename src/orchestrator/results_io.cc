@@ -1,0 +1,113 @@
+#include "orchestrator/results_io.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "packet/pcap_writer.h"
+
+namespace lumina {
+namespace {
+
+bool write_counters(const RnicCounters& counters, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  for (const auto& [name, value] : counters.entries()) {
+    std::fprintf(f, "%s %llu\n", name.c_str(),
+                 static_cast<unsigned long long>(value));
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool write_switch_counters(const SwitchRoceCounters& counters,
+                           const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "roce_rx %llu\n",
+               static_cast<unsigned long long>(counters.roce_rx));
+  std::fprintf(f, "roce_tx %llu\n",
+               static_cast<unsigned long long>(counters.roce_tx));
+  std::fprintf(f, "mirrored %llu\n",
+               static_cast<unsigned long long>(counters.mirrored));
+  std::fprintf(f, "events_applied %llu\n",
+               static_cast<unsigned long long>(counters.events_applied));
+  std::fprintf(f, "dropped_by_event %llu\n",
+               static_cast<unsigned long long>(counters.dropped_by_event));
+  std::fclose(f);
+  return true;
+}
+
+bool write_flows_csv(const TestResult& result, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "connection,msg_index,posted_at_ns,completed_at_ns,"
+               "completion_time_us,status\n");
+  for (std::size_t c = 0; c < result.flows.size(); ++c) {
+    for (const auto& msg : result.flows[c].messages) {
+      const char* status = msg.completed_at < 0 ? "in-flight"
+                           : msg.status == WcStatus::kSuccess
+                               ? "success"
+                           : msg.status == WcStatus::kRetryExceeded
+                               ? "retry-exceeded"
+                           : msg.status == WcStatus::kRnrRetryExceeded
+                               ? "rnr-retry-exceeded"
+                               : "flushed";
+      std::fprintf(f, "%zu,%d,%lld,%lld,%.3f,%s\n", c, msg.msg_index,
+                   static_cast<long long>(msg.posted_at),
+                   static_cast<long long>(msg.completed_at),
+                   msg.completed_at < 0 ? -1.0 : to_us(msg.completion_time()),
+                   status);
+    }
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool write_connections(const TestResult& result, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  for (std::size_t i = 0; i < result.connections.size(); ++i) {
+    const auto& meta = result.connections[i];
+    std::fprintf(f,
+                 "conn %zu requester ip=%s qpn=0x%x ipsn=%u | "
+                 "responder ip=%s qpn=0x%x ipsn=%u\n",
+                 i + 1, meta.requester.ip.to_string().c_str(),
+                 meta.requester.qpn, meta.requester.ipsn,
+                 meta.responder.ip.to_string().c_str(), meta.responder.qpn,
+                 meta.responder.ipsn);
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+bool write_results(const TestResult& result, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+
+  PcapWriter pcap;
+  if (!pcap.open(dir + "/trace.pcap")) return false;
+  for (const auto& p : result.trace) {
+    if (!pcap.write(p.pkt, p.time(), p.orig_len)) return false;
+  }
+  pcap.close();
+
+  std::FILE* f = std::fopen((dir + "/integrity.txt").c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "%s\n", result.integrity.to_string().c_str());
+  std::fclose(f);
+
+  return write_counters(result.requester_counters,
+                        dir + "/requester_counters.txt") &&
+         write_counters(result.responder_counters,
+                        dir + "/responder_counters.txt") &&
+         write_switch_counters(result.switch_counters,
+                               dir + "/switch_counters.txt") &&
+         write_flows_csv(result, dir + "/flows.csv") &&
+         write_connections(result, dir + "/connections.txt");
+}
+
+}  // namespace lumina

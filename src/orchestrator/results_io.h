@@ -1,0 +1,23 @@
+// Persisting a TestResult to disk — the file layout the real orchestrator
+// collects per run (Table 1):
+//
+//   <dir>/trace.pcap              reconstructed packet trace (ns pcap)
+//   <dir>/integrity.txt           §3.5 integrity-check verdict
+//   <dir>/requester_counters.txt  NIC counters, one `name value` per line
+//   <dir>/responder_counters.txt
+//   <dir>/switch_counters.txt     event-injector port/mirror counters
+//   <dir>/flows.csv               per-message application metrics
+//   <dir>/connections.txt         runtime QP metadata (QPN/IPSN/GID)
+#pragma once
+
+#include <string>
+
+#include "orchestrator/orchestrator.h"
+
+namespace lumina {
+
+/// Writes every artifact into `dir` (created if missing). Returns false on
+/// the first I/O failure.
+bool write_results(const TestResult& result, const std::string& dir);
+
+}  // namespace lumina

@@ -1,0 +1,60 @@
+// Reconstructed packet trace (§3.5).
+//
+// The orchestrator merges the packets captured by every traffic dumper and
+// sorts them by the mirror sequence number the event injector embedded —
+// no clock synchronization is needed because every timestamp comes from
+// the single switch clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "injector/event_table.h"
+#include "injector/mirror.h"
+#include "packet/roce_packet.h"
+#include "util/time.h"
+
+namespace lumina {
+
+struct TracePacket {
+  Packet pkt;      ///< Trimmed capture, UDP port restored.
+  RoceView view;   ///< Parsed headers.
+  MirrorMeta meta; ///< mirror_seq / switch ingress timestamp / event type.
+  std::size_t orig_len = 0;
+
+  Tick time() const { return meta.ingress_timestamp; }
+  bool is_data() const { return is_data_opcode(view.bth.opcode); }
+  FlowKey flow() const {
+    return FlowKey{view.src_ip, view.dst_ip, view.bth.dest_qpn};
+  }
+};
+
+/// The §3.5 integrity check: all three conditions must hold before a trace
+/// is admitted for analysis.
+struct IntegrityReport {
+  bool seqnums_consecutive = false;
+  bool matches_mirrored_count = false;
+  bool matches_roce_rx_count = false;
+  std::uint64_t trace_packets = 0;
+  std::uint64_t injector_mirrored = 0;
+  std::uint64_t injector_roce_rx = 0;
+  std::uint64_t missing_seqnums = 0;
+
+  bool ok() const {
+    return seqnums_consecutive && matches_mirrored_count &&
+           matches_roce_rx_count;
+  }
+  std::string to_string() const;
+};
+
+struct PacketTrace {
+  std::vector<TracePacket> packets;  ///< Sorted by mirror sequence number.
+
+  std::size_t size() const { return packets.size(); }
+  const TracePacket& operator[](std::size_t i) const { return packets[i]; }
+  auto begin() const { return packets.begin(); }
+  auto end() const { return packets.end(); }
+};
+
+}  // namespace lumina

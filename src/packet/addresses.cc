@@ -1,0 +1,48 @@
+#include "packet/addresses.h"
+
+#include <cstdio>
+
+namespace lumina {
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets[0],
+                octets[1], octets[2], octets[3], octets[4], octets[5]);
+  return buf;
+}
+
+std::optional<MacAddress> MacAddress::parse(const std::string& text) {
+  MacAddress m;
+  unsigned int v[6];
+  if (std::sscanf(text.c_str(), "%x:%x:%x:%x:%x:%x", &v[0], &v[1], &v[2],
+                  &v[3], &v[4], &v[5]) != 6) {
+    return std::nullopt;
+  }
+  for (int i = 0; i < 6; ++i) {
+    if (v[i] > 0xff) return std::nullopt;
+    m.octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v[i]);
+  }
+  return m;
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", value >> 24 & 0xff,
+                value >> 16 & 0xff, value >> 8 & 0xff, value & 0xff);
+  return buf;
+}
+
+std::optional<Ipv4Address> Ipv4Address::parse(const std::string& text) {
+  unsigned int a, b, c, d;
+  char extra;
+  const int n =
+      std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &extra);
+  // Accept a bare address or an address followed by a CIDR suffix ("/24").
+  if (n != 4 && !(n == 5 && extra == '/')) return std::nullopt;
+  if (a > 255 || b > 255 || c > 255 || d > 255) return std::nullopt;
+  return Ipv4Address::from_octets(
+      static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+      static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+}  // namespace lumina

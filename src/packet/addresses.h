@@ -1,0 +1,71 @@
+// MAC and IPv4 address value types.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace lumina {
+
+/// 48-bit Ethernet MAC address.
+struct MacAddress {
+  std::array<std::uint8_t, 6> octets{};
+
+  constexpr auto operator<=>(const MacAddress&) const = default;
+
+  /// The 48-bit integer view; Lumina's mirror engine overwrites MAC fields
+  /// with 48-bit metadata (mirror sequence number / timestamp), so integer
+  /// conversion is part of the public contract.
+  constexpr std::uint64_t to_u48() const {
+    std::uint64_t v = 0;
+    for (const auto o : octets) v = v << 8 | o;
+    return v;
+  }
+  static constexpr MacAddress from_u48(std::uint64_t v) {
+    MacAddress m;
+    for (int i = 5; i >= 0; --i) {
+      m.octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v);
+      v >>= 8;
+    }
+    return m;
+  }
+
+  std::string to_string() const;
+  static std::optional<MacAddress> parse(const std::string& text);
+};
+
+/// IPv4 address. RoCEv2 GIDs in this codebase are IPv4-mapped, matching the
+/// paper's testbed (`ip-list: [10.0.0.2/24, ...]`).
+struct Ipv4Address {
+  std::uint32_t value = 0;  // host byte order
+
+  constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+  static constexpr Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c, std::uint8_t d) {
+    return Ipv4Address{static_cast<std::uint32_t>(a) << 24 |
+                       static_cast<std::uint32_t>(b) << 16 |
+                       static_cast<std::uint32_t>(c) << 8 | d};
+  }
+
+  std::string to_string() const;
+  static std::optional<Ipv4Address> parse(const std::string& text);
+};
+
+}  // namespace lumina
+
+template <>
+struct std::hash<lumina::MacAddress> {
+  std::size_t operator()(const lumina::MacAddress& m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.to_u48());
+  }
+};
+
+template <>
+struct std::hash<lumina::Ipv4Address> {
+  std::size_t operator()(const lumina::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value);
+  }
+};

@@ -1,0 +1,29 @@
+#include "packet/ib.h"
+
+namespace lumina {
+
+std::string to_string(IbOpcode op) {
+  switch (op) {
+    case IbOpcode::kSendFirst: return "SEND_FIRST";
+    case IbOpcode::kSendMiddle: return "SEND_MIDDLE";
+    case IbOpcode::kSendLast: return "SEND_LAST";
+    case IbOpcode::kSendOnly: return "SEND_ONLY";
+    case IbOpcode::kWriteFirst: return "WRITE_FIRST";
+    case IbOpcode::kWriteMiddle: return "WRITE_MIDDLE";
+    case IbOpcode::kWriteLast: return "WRITE_LAST";
+    case IbOpcode::kWriteOnly: return "WRITE_ONLY";
+    case IbOpcode::kReadRequest: return "READ_REQUEST";
+    case IbOpcode::kReadRespFirst: return "READ_RESP_FIRST";
+    case IbOpcode::kReadRespMiddle: return "READ_RESP_MIDDLE";
+    case IbOpcode::kReadRespLast: return "READ_RESP_LAST";
+    case IbOpcode::kReadRespOnly: return "READ_RESP_ONLY";
+    case IbOpcode::kAcknowledge: return "ACKNOWLEDGE";
+    case IbOpcode::kAtomicAck: return "ATOMIC_ACK";
+    case IbOpcode::kCmpSwap: return "CMP_SWAP";
+    case IbOpcode::kFetchAdd: return "FETCH_ADD";
+    case IbOpcode::kCnp: return "CNP";
+  }
+  return "UNKNOWN(" + std::to_string(static_cast<int>(op)) + ")";
+}
+
+}  // namespace lumina

@@ -1,0 +1,70 @@
+#include "packet/icrc.h"
+
+#include <array>
+#include <vector>
+
+namespace lumina {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const auto table = make_crc_table();
+  return table;
+}
+
+std::uint32_t crc32_raw(std::uint32_t state,
+                        std::span<const std::uint8_t> data) {
+  for (const std::uint8_t byte : data) {
+    state = crc_table()[(state ^ byte) & 0xff] ^ (state >> 8);
+  }
+  return state;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  return crc32_raw(seed, data) ^ 0xffffffffu;
+}
+
+std::uint32_t compute_icrc(std::span<const std::uint8_t> frame,
+                           std::size_t l3_offset) {
+  // Build the masked pseudo packet. Sizes are small (headers + ≤MTU), so a
+  // scratch copy keeps the masking logic obvious.
+  constexpr std::size_t kIpv4Size = 20;
+  constexpr std::size_t kUdpSize = 8;
+  constexpr std::size_t kBthSize = 12;
+
+  std::vector<std::uint8_t> pseudo;
+  pseudo.reserve(8 + frame.size() - l3_offset);
+
+  // 64 bits of 1s (dummy LRH / fields outside the invariant scope).
+  pseudo.insert(pseudo.end(), 8, 0xff);
+
+  const std::size_t end = frame.size();
+  for (std::size_t i = l3_offset; i < end; ++i) {
+    std::uint8_t b = frame[i];
+    const std::size_t rel = i - l3_offset;
+    if (rel == 1) b = 0xff;                     // IPv4 TOS (DSCP+ECN)
+    else if (rel == 8) b = 0xff;                // IPv4 TTL
+    else if (rel == 10 || rel == 11) b = 0xff;  // IPv4 header checksum
+    else if (rel == kIpv4Size + 6 || rel == kIpv4Size + 7) b = 0xff;  // UDP csum
+    else if (rel == kIpv4Size + kUdpSize + 4) b = 0xff;  // BTH resv8a
+    pseudo.push_back(b);
+  }
+  (void)kBthSize;
+
+  return crc32(pseudo);
+}
+
+}  // namespace lumina

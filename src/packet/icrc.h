@@ -1,0 +1,29 @@
+// RoCEv2 invariant CRC (iCRC).
+//
+// Per IBTA annex A17, the iCRC is CRC32 (Ethernet polynomial, reflected)
+// computed over a pseudo packet: 64 bits of 1s standing in for the fields a
+// router may change, followed by the IP header with TOS/TTL/checksum masked
+// to 1s, the UDP header with checksum masked, the BTH with the resv8a byte
+// masked, and the rest of the transport headers plus payload.
+//
+// The masking is what makes Lumina's metadata embedding legal: rewriting
+// TTL (event type), ECN bits, and the Ethernet MACs (mirror seq/timestamp)
+// never invalidates the iCRC.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace lumina {
+
+/// Plain reflected CRC32 (poly 0xEDB88320), init/final-xor 0xFFFFFFFF.
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t seed = 0xffffffffu);
+
+/// Computes the RoCEv2 iCRC over a serialized frame. `l3_offset` is the
+/// byte offset of the IPv4 header within `frame` (14 for plain Ethernet).
+/// The frame must extend to the end of the IB payload, iCRC excluded.
+std::uint32_t compute_icrc(std::span<const std::uint8_t> frame,
+                           std::size_t l3_offset);
+
+}  // namespace lumina

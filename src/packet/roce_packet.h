@@ -1,0 +1,157 @@
+// Serialized RoCEv2 frame: builder, parser, and in-place field mutators.
+//
+// Packets travel through the simulated testbed as real wire bytes
+// (Ethernet / IPv4 / UDP:4791 / BTH [/RETH|AETH] / payload / iCRC). Every
+// on-path component — RNIC, event-injector switch, traffic dumper — parses
+// and rewrites the same byte image a hardware implementation would see,
+// so header-rewriting tricks (metadata embedding, ECN marking, MigReq
+// rewriting) behave exactly as they do on the Tofino.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "packet/addresses.h"
+#include "packet/ib.h"
+
+namespace lumina {
+
+/// Event kinds the injector can apply; the mirror engine embeds the value
+/// in the TTL field of mirrored copies (§3.4 "Indicating events").
+/// kDelay and kReorder implement the §7 extension ("quantitatively adding
+/// delay and packet reordering ... as part of our future work").
+enum class EventType : std::uint8_t {
+  kNone = 0,
+  kEcn = 1,
+  kDrop = 2,
+  kCorrupt = 3,
+  kRewriteMigReq = 4,
+  kDelay = 5,
+  kReorder = 6,
+};
+
+std::string to_string(EventType t);
+
+/// A frame on the wire. `bytes` is the full L2 frame excluding preamble and
+/// FCS; `kWireOverheadBytes` accounts for those plus the inter-frame gap
+/// when computing serialization delay.
+struct Packet {
+  std::vector<std::uint8_t> bytes;
+
+  static constexpr std::size_t kWireOverheadBytes = 24;  // preamble+FCS+IFG
+
+  std::size_t size() const { return bytes.size(); }
+  std::size_t wire_size() const { return bytes.size() + kWireOverheadBytes; }
+
+  std::span<std::uint8_t> span() { return bytes; }
+  std::span<const std::uint8_t> span() const { return bytes; }
+};
+
+/// Everything needed to build one RoCEv2 packet.
+struct RocePacketSpec {
+  MacAddress src_mac;
+  MacAddress dst_mac;
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  std::uint8_t ttl = 64;
+  std::uint8_t dscp = 0;
+  std::uint8_t ecn = 0b10;  // ECT(0); injector may set CE (0b11)
+  std::uint16_t src_udp_port = 49152;
+
+  IbOpcode opcode = IbOpcode::kSendOnly;
+  bool mig_req = true;
+  bool ack_req = false;
+  std::uint32_t dest_qpn = 0;
+  std::uint32_t psn = 0;
+  std::optional<Reth> reth;
+  std::optional<Aeth> aeth;
+  std::optional<AtomicEth> atomic_eth;        // CmpSwap / FetchAdd requests
+  std::optional<AtomicAckEth> atomic_ack_eth; // AtomicAck responses
+  std::uint32_t payload_len = 0;  // payload bytes (deterministic pattern)
+};
+
+/// Parsed view of a RoCEv2 frame. Header structs are copies; offsets allow
+/// callers to patch the original bytes.
+struct RoceView {
+  MacAddress eth_dst;
+  MacAddress eth_src;
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  std::uint8_t ttl = 0;
+  std::uint8_t dscp = 0;
+  std::uint8_t ecn = 0;
+  std::uint16_t udp_src_port = 0;
+  std::uint16_t udp_dst_port = 0;
+  Bth bth;
+  std::optional<Reth> reth;
+  std::optional<Aeth> aeth;
+  std::optional<AtomicEth> atomic_eth;
+  std::optional<AtomicAckEth> atomic_ack_eth;
+  std::size_t payload_offset = 0;
+  std::size_t payload_len = 0;
+  std::uint32_t icrc = 0;
+
+  bool is_cnp() const { return bth.opcode == IbOpcode::kCnp; }
+  bool ecn_ce() const { return ecn == 0b11; }
+};
+
+/// Fixed byte offsets within a frame (Ethernet + IPv4 without options).
+namespace off {
+inline constexpr std::size_t kEthDst = 0;
+inline constexpr std::size_t kEthSrc = 6;
+inline constexpr std::size_t kEthType = 12;
+inline constexpr std::size_t kIp = 14;
+inline constexpr std::size_t kIpTos = kIp + 1;
+inline constexpr std::size_t kIpTtl = kIp + 8;
+inline constexpr std::size_t kIpCsum = kIp + 10;
+inline constexpr std::size_t kIpSrc = kIp + 12;
+inline constexpr std::size_t kIpDst = kIp + 16;
+inline constexpr std::size_t kUdp = kIp + 20;
+inline constexpr std::size_t kUdpSrcPort = kUdp;
+inline constexpr std::size_t kUdpDstPort = kUdp + 2;
+inline constexpr std::size_t kBth = kUdp + 8;
+inline constexpr std::size_t kBthFlags = kBth + 1;  // SE|M|Pad|TVer
+inline constexpr std::size_t kBthPsn = kBth + 9;
+}  // namespace off
+
+inline constexpr std::uint16_t kRoceUdpPort = 4791;
+
+/// Builds a fully serialized frame (headers, payload pattern, iCRC).
+Packet build_roce_packet(const RocePacketSpec& spec);
+
+/// Parses a frame. Returns nullopt for anything that is not a well-formed
+/// RoCEv2-shaped frame (wrong ethertype/protocol, truncated headers).
+/// Parsing does NOT require the UDP destination port to be 4791, because
+/// the mirror engine deliberately randomizes it (§3.4 RSS trick).
+///
+/// With `allow_trimmed` the frame may be shorter than the IP total length
+/// (the traffic dumper keeps only the first 128 bytes, §5); payload length
+/// is then derived from the IP header and the iCRC is reported as 0.
+std::optional<RoceView> parse_roce(const Packet& pkt,
+                                   bool allow_trimmed = false);
+
+/// Recomputes and verifies the trailing iCRC. Corrupted packets fail.
+bool verify_icrc(const Packet& pkt);
+
+// ---- In-place mutators (the switch/mirror data plane) -------------------
+// ECN / TTL / MAC rewrites never touch the iCRC (those fields are masked,
+// see packet/icrc.h). MigReq is covered by the iCRC, so rewriting it must
+// recompute the trailing CRC, mirroring what a NIC-tolerated rewrite does.
+
+void set_ecn_ce(Packet& pkt);
+void set_ttl(Packet& pkt, std::uint8_t ttl);
+void set_src_mac(Packet& pkt, std::uint64_t value48);
+void set_dst_mac(Packet& pkt, std::uint64_t value48);
+void set_udp_dst_port(Packet& pkt, std::uint16_t port);
+void set_mig_req(Packet& pkt, bool mig_req);
+
+/// Flips one payload bit without fixing the iCRC — the injector's "corrupt"
+/// event. Falls back to the last header byte for zero-payload packets.
+void corrupt_payload_bit(Packet& pkt, std::size_t bit_index = 0);
+
+/// Refreshes the IPv4 header checksum after a header rewrite.
+void refresh_ip_checksum(Packet& pkt);
+
+}  // namespace lumina

@@ -1,0 +1,77 @@
+// Hardware network stack counters (§4 "counter analyzer", Table 1).
+//
+// Names follow the vendors' conventions (NVIDIA on the left of each
+// comment, Intel where it differs). Two counters have vendor-confirmed
+// bugs (§6.2.4) that the profile flags reproduce: on E810 `np_cnp_sent`
+// (Intel: cnpSent) never increments, and on CX4 Lx `implied_nak_seq_err`
+// never increments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lumina {
+
+struct RnicCounters {
+  std::uint64_t tx_packets = 0;
+  std::uint64_t rx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_bytes = 0;
+
+  /// Packets discarded at the port before transport processing — the
+  /// counter both the noisy-neighbor (§6.2.2) and interop (§6.2.3)
+  /// investigations keyed on.
+  std::uint64_t rx_discards_phy = 0;
+
+  /// Responder detected out-of-order request packets (NAK sent).
+  std::uint64_t out_of_sequence = 0;
+  /// Requester received a NAK (sequence error) from the responder.
+  std::uint64_t packet_seq_err = 0;
+  /// Requester detected out-of-order read responses ("implied NAK").
+  std::uint64_t implied_nak_seq_err = 0;
+  /// Transport (ACK) timer expired — retransmission timeout count.
+  std::uint64_t local_ack_timeout_err = 0;
+  std::uint64_t retransmitted_packets = 0;
+  std::uint64_t icrc_error_packets = 0;
+  std::uint64_t duplicate_request = 0;
+  /// Responder sent / requester received RNR NAKs (Send with no posted
+  /// receive buffer).
+  std::uint64_t rnr_nak_sent = 0;
+  std::uint64_t rnr_nak_received = 0;
+  /// Responder rejected a request with a bad rkey / out-of-bounds access.
+  std::uint64_t remote_access_errors = 0;
+
+  /// Notification point: CNPs emitted (Intel: cnpSent).
+  std::uint64_t np_cnp_sent = 0;
+  /// Notification point: ECN-marked RoCE packets received.
+  std::uint64_t np_ecn_marked_roce_packets = 0;
+  /// Reaction point: CNPs received and processed (Intel: cnpHandled).
+  std::uint64_t rp_cnp_handled = 0;
+
+  /// Flattens to (name, value) pairs for dump files and the analyzer.
+  std::vector<std::pair<std::string, std::uint64_t>> entries() const {
+    return {
+        {"tx_packets", tx_packets},
+        {"rx_packets", rx_packets},
+        {"tx_bytes", tx_bytes},
+        {"rx_bytes", rx_bytes},
+        {"rx_discards_phy", rx_discards_phy},
+        {"out_of_sequence", out_of_sequence},
+        {"packet_seq_err", packet_seq_err},
+        {"implied_nak_seq_err", implied_nak_seq_err},
+        {"local_ack_timeout_err", local_ack_timeout_err},
+        {"retransmitted_packets", retransmitted_packets},
+        {"icrc_error_packets", icrc_error_packets},
+        {"duplicate_request", duplicate_request},
+        {"rnr_nak_sent", rnr_nak_sent},
+        {"rnr_nak_received", rnr_nak_received},
+        {"remote_access_errors", remote_access_errors},
+        {"np_cnp_sent", np_cnp_sent},
+        {"np_ecn_marked_roce_packets", np_ecn_marked_roce_packets},
+        {"rp_cnp_handled", rp_cnp_handled},
+    };
+  }
+};
+
+}  // namespace lumina

@@ -1,0 +1,121 @@
+#include "rnic/ets.h"
+
+#include <limits>
+
+namespace lumina {
+
+void EtsScheduler::configure(std::vector<int> weights, double link_gbps,
+                             bool work_conserving) {
+  tc_.clear();
+  cursor_ = 0;
+  work_conserving_ = work_conserving;
+  int total_weight = 0;
+  for (const int w : weights) total_weight += w;
+  if (total_weight <= 0) total_weight = 1;
+  const double link_bytes_per_ns = link_gbps / 8.0;
+  int min_weight = total_weight;
+  for (const int w : weights) {
+    if (w > 0) min_weight = std::min(min_weight, w);
+  }
+  for (const int w : weights) {
+    TcState tc;
+    tc.weight = w;
+    // Scale quanta so the smallest weight gets ~2 MTU-sized packets per
+    // round; ratios between classes follow the weight ratios.
+    tc.quantum_bytes =
+        quantum_bytes_ * static_cast<double>(w) / min_weight;
+    tc.rate_bytes_per_ns =
+        link_bytes_per_ns * static_cast<double>(w) / total_weight;
+    tc.tokens_bytes = burst_bytes_;
+    tc_.push_back(tc);
+  }
+}
+
+void EtsScheduler::refill_tokens(TcState& tc, Tick now) const {
+  if (now <= tc.tokens_updated) return;
+  tc.tokens_bytes += static_cast<double>(now - tc.tokens_updated) *
+                     tc.rate_bytes_per_ns;
+  if (tc.tokens_bytes > burst_bytes_) tc.tokens_bytes = burst_bytes_;
+  tc.tokens_updated = now;
+}
+
+bool EtsScheduler::has_tokens(const TcState& tc, Tick now,
+                              std::size_t bytes) const {
+  if (work_conserving_ || tc_.size() <= 1) return true;
+  double tokens = tc.tokens_bytes;
+  if (now > tc.tokens_updated) {
+    tokens += static_cast<double>(now - tc.tokens_updated) *
+              tc.rate_bytes_per_ns;
+    if (tokens > burst_bytes_) tokens = burst_bytes_;
+  }
+  return tokens >= static_cast<double>(bytes);
+}
+
+std::optional<int> EtsScheduler::pick(Tick now,
+                                      const std::vector<bool>& active,
+                                      const std::vector<std::size_t>& pkt_bytes) {
+  if (tc_.empty()) return std::nullopt;
+  const std::size_t n = tc_.size();
+  // Deficit round-robin (Shreedhar & Varghese): on arriving at a queue the
+  // deficit is topped up by its quantum exactly once; the queue is served
+  // while its deficit covers the head packet, then the round moves on.
+  for (std::size_t step = 0; step < n + 1; ++step) {
+    TcState& tc = tc_[cursor_];
+    const bool eligible = cursor_ < active.size() && active[cursor_] &&
+                          has_tokens(tc, now, pkt_bytes[cursor_]);
+    if (eligible) {
+      if (!tc.in_service) {
+        tc.in_service = true;
+        tc.deficit_bytes += tc.quantum_bytes;
+      }
+      if (tc.deficit_bytes >= static_cast<double>(pkt_bytes[cursor_])) {
+        return static_cast<int>(cursor_);
+      }
+    } else if (!(cursor_ < active.size() && active[cursor_])) {
+      // Inactive classes do not bank deficit (DRR resets on empty).
+      tc.deficit_bytes = 0;
+    }
+    // Leave this queue: the next visit tops the deficit up again.
+    tc.in_service = false;
+    cursor_ = (cursor_ + 1) % n;
+  }
+  return std::nullopt;
+}
+
+void EtsScheduler::on_sent(int tc_index, std::size_t bytes, Tick now) {
+  if (tc_index < 0 || static_cast<std::size_t>(tc_index) >= tc_.size()) return;
+  TcState& tc = tc_[static_cast<std::size_t>(tc_index)];
+  tc.deficit_bytes -= static_cast<double>(bytes);
+  if (tc.deficit_bytes < 0) tc.deficit_bytes = 0;
+  if (!work_conserving_ && tc_.size() > 1) {
+    refill_tokens(tc, now);
+    tc.tokens_bytes -= static_cast<double>(bytes);
+  }
+}
+
+Tick EtsScheduler::next_eligible_time(Tick now, const std::vector<bool>& active,
+                                      const std::vector<std::size_t>& pkt_bytes)
+    const {
+  if (work_conserving_ || tc_.size() <= 1) {
+    return std::numeric_limits<Tick>::max();
+  }
+  Tick best = std::numeric_limits<Tick>::max();
+  for (std::size_t i = 0; i < tc_.size(); ++i) {
+    if (i >= active.size() || !active[i]) continue;
+    const TcState& tc = tc_[i];
+    double tokens = tc.tokens_bytes;
+    if (now > tc.tokens_updated) {
+      tokens += static_cast<double>(now - tc.tokens_updated) *
+                tc.rate_bytes_per_ns;
+      if (tokens > burst_bytes_) tokens = burst_bytes_;
+    }
+    const double need = static_cast<double>(pkt_bytes[i]) - tokens;
+    if (need <= 0) return now;
+    const Tick wait =
+        static_cast<Tick>(need / tc.rate_bytes_per_ns) + 1;
+    if (now + wait < best) best = now + wait;
+  }
+  return best;
+}
+
+}  // namespace lumina

@@ -1,0 +1,330 @@
+#include "rnic/rnic.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace lumina {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Rnic::Rnic(Simulator* sim, std::string name, const DeviceProfile& profile,
+           RoceParameters roce, MacAddress mac)
+    : sim_(sim),
+      name_(std::move(name)),
+      profile_(profile),
+      roce_(roce),
+      mac_(mac),
+      port_(std::make_unique<Port>(sim, this, 0)),
+      cnp_limiter_(profile.cnp_mode) {
+  // QPNs are generated pseudo-randomly at runtime (§3.2) — deterministically
+  // seeded from the host name so runs are reproducible.
+  next_qpn_ = 0x100 + static_cast<std::uint32_t>(fnv1a(name_) % 0xE00000);
+  port_->set_drained_callback([this] { pump(); });
+  configure_ets({100});
+}
+
+Rnic::~Rnic() = default;
+
+QueuePair* Rnic::create_qp(const QpConfig& config) {
+  const std::uint32_t qpn = next_qpn_;
+  next_qpn_ = (next_qpn_ + 0x11) & kPsnMask;
+  auto qp = std::make_unique<QueuePair>(this, qpn, config);
+  QueuePair* raw = qp.get();
+  qps_.push_back(std::move(qp));
+  qp_by_qpn_[qpn] = raw;
+
+  auto rp = std::make_unique<DcqcnRp>(sim_, profile_.dcqcn, profile_.link_gbps);
+  rp->set_enabled(roce_.dcqcn_rp_enable);
+  rp_by_qpn_[qpn] = std::move(rp);
+
+  const auto tc = static_cast<std::size_t>(std::max(0, config.traffic_class));
+  if (tc >= qps_by_tc_.size()) {
+    qps_by_tc_.resize(tc + 1);
+    tc_cursor_.resize(tc + 1, 0);
+  }
+  qps_by_tc_[tc].push_back(raw);
+  return raw;
+}
+
+QueuePair* Rnic::find_qp(std::uint32_t qpn) {
+  const auto it = qp_by_qpn_.find(qpn);
+  return it == qp_by_qpn_.end() ? nullptr : it->second;
+}
+
+void Rnic::configure_ets(const std::vector<int>& weights) {
+  // §6.2.1: the CX6 Dx scheduler is only non-work-conserving when multiple
+  // ETS queues are configured; a single queue behaves normally.
+  const bool work_conserving =
+      !profile_.bug_nonwork_conserving_ets || weights.size() <= 1;
+  ets_.configure(weights, profile_.link_gbps, work_conserving);
+  if (qps_by_tc_.size() < weights.size()) {
+    qps_by_tc_.resize(weights.size());
+    tc_cursor_.resize(weights.size(), 0);
+  }
+}
+
+Tick Rnic::min_cnp_interval() const {
+  // E810's interval is hidden and ignores configuration (§6.3); NVIDIA NICs
+  // honor min_time_between_cnps, including an explicit 0 (a CNP per marked
+  // packet). A negative (unset) value selects the device default.
+  if (!profile_.cnp_interval_configurable ||
+      roce_.min_time_between_cnps < 0) {
+    return profile_.default_min_time_between_cnps;
+  }
+  return roce_.min_time_between_cnps;
+}
+
+DcqcnRp& Rnic::rp_for(std::uint32_t qpn) {
+  auto it = rp_by_qpn_.find(qpn);
+  if (it == rp_by_qpn_.end()) {
+    auto rp =
+        std::make_unique<DcqcnRp>(sim_, profile_.dcqcn, profile_.link_gbps);
+    rp->set_enabled(roce_.dcqcn_rp_enable);
+    it = rp_by_qpn_.emplace(qpn, std::move(rp)).first;
+  }
+  return *it->second;
+}
+
+RocePacketSpec Rnic::packet_spec_for(const QueuePair& qp) const {
+  RocePacketSpec spec;
+  spec.src_mac = mac_;
+  // Hosts are one L3 hop apart; the concrete next-hop MAC is irrelevant to
+  // the analysis (and the mirror engine overwrites MACs anyway).
+  spec.dst_mac = MacAddress::from_u48(0x020000000000ULL | qp.remote().ip.value);
+  spec.src_ip = qp.local().ip;
+  spec.dst_ip = qp.remote().ip;
+  spec.src_udp_port = static_cast<std::uint16_t>(49152 + (qp.qpn() & 0x3fff));
+  spec.dest_qpn = qp.remote().qpn;
+  spec.mig_req = profile_.mig_req_default;
+  return spec;
+}
+
+void Rnic::enqueue_control(Packet pkt) {
+  control_queue_.push_back(std::move(pkt));
+  pump();
+}
+
+void Rnic::notify_tx_ready() { pump(); }
+
+void Rnic::read_slow_path_begin() {
+  ++active_read_episodes_;
+  if (profile_.bug_noisy_neighbor &&
+      active_read_episodes_ > profile_.noisy_neighbor_capacity) {
+    // §6.2.2: too many concurrent read-loss slow paths wedge the whole RX
+    // pipeline; every arriving packet is discarded while stalled, hurting
+    // connections that never saw a drop.
+    const Tick until = sim_->now() + profile_.noisy_neighbor_stall;
+    if (until > rx_stalled_until_) {
+      rx_stalled_until_ = until;
+      LUMINA_LOG(kInfo) << name_ << ": RX pipeline stalled ("
+                        << active_read_episodes_
+                        << " concurrent read slow paths)";
+    }
+  }
+}
+
+void Rnic::read_slow_path_end() {
+  if (active_read_episodes_ > 0) --active_read_episodes_;
+}
+
+// ---------------------------------------------------------------------------
+// RX path
+// ---------------------------------------------------------------------------
+
+void Rnic::handle_packet(int in_port, Packet pkt) {
+  (void)in_port;
+  const Tick now = sim_->now();
+  ++counters_.rx_packets;
+  counters_.rx_bytes += pkt.size();
+
+  if (now < rx_stalled_until_) {
+    ++counters_.rx_discards_phy;
+    return;
+  }
+
+  const auto view = parse_roce(pkt);
+  if (!view) return;
+  if (!verify_icrc(pkt)) {
+    ++counters_.icrc_error_packets;
+    return;
+  }
+
+  QueuePair* qp = find_qp(view->bth.dest_qpn);
+  if (qp == nullptr) return;
+
+  Tick delay = profile_.rx_pipeline_delay;
+
+  // §6.2.3: APM reconciliation slow path — data packets carrying MigReq=0
+  // for a not-yet-reconciled QP pass through a shared service queue with
+  // finite capacity; overflow shows up as rx_discards_phy.
+  if (profile_.apm_slow_path_on_mig_req0 && is_data_opcode(view->bth.opcode) &&
+      !view->bth.mig_req && !qp->apm_reconciled()) {
+    const Tick service = profile_.apm_slow_path_service;
+    const std::size_t backlog =
+        apm_busy_until_ > now
+            ? static_cast<std::size_t>((apm_busy_until_ - now) / service)
+            : 0;
+    if (backlog >= profile_.apm_slow_path_queue_pkts) {
+      apm_shedding_ = true;
+    } else if (apm_shedding_ && backlog == 0) {
+      apm_shedding_ = false;  // resume only once fully drained
+    }
+    if (apm_shedding_) {
+      ++counters_.rx_discards_phy;
+      return;
+    }
+    const Tick start = std::max(now, apm_busy_until_);
+    apm_busy_until_ = start + service;
+    delay = (apm_busy_until_ - now) + profile_.rx_pipeline_delay;
+  }
+
+  // DCQCN notification point.
+  if (is_data_opcode(view->bth.opcode) && view->ecn_ce() &&
+      roce_.dcqcn_np_enable) {
+    ++counters_.np_ecn_marked_roce_packets;
+    maybe_send_cnp(*qp);
+  }
+
+  sim_->schedule_after(delay, [this, v = *view, qp] {
+    if (v.bth.opcode == IbOpcode::kCnp) {
+      qp->on_cnp();
+    } else if (v.bth.opcode == IbOpcode::kAcknowledge) {
+      qp->on_ack_packet(v);
+    } else if (v.bth.opcode == IbOpcode::kAtomicAck) {
+      qp->on_atomic_ack(v);
+    } else if (is_read_response(v.bth.opcode)) {
+      qp->on_read_response_packet(v);
+    } else {
+      qp->on_request_packet(v);
+    }
+  });
+}
+
+void Rnic::notify_out_of_order(QueuePair& qp) {
+  if (!profile_.cnp_on_out_of_order || !roce_.dcqcn_np_enable) return;
+  maybe_send_cnp(qp);
+}
+
+void Rnic::maybe_send_cnp(QueuePair& qp) {
+  if (!cnp_limiter_.allow(qp.remote().ip, qp.qpn(), sim_->now(),
+                          min_cnp_interval())) {
+    return;
+  }
+  if (!profile_.bug_cnp_sent_counter_stuck) {
+    ++counters_.np_cnp_sent;  // §6.2.4: stuck at 0 on E810
+  }
+  RocePacketSpec spec = packet_spec_for(qp);
+  spec.opcode = IbOpcode::kCnp;
+  spec.psn = 0;
+  enqueue_control(build_roce_packet(spec));
+}
+
+// ---------------------------------------------------------------------------
+// TX path (egress engine)
+// ---------------------------------------------------------------------------
+
+void Rnic::pump() {
+  if (!port_->idle()) return;  // drained callback re-enters pump()
+  const Tick now = sim_->now();
+
+  if (!control_queue_.empty()) {
+    Packet pkt = std::move(control_queue_.front());
+    control_queue_.pop_front();
+    ++counters_.tx_packets;
+    counters_.tx_bytes += pkt.size();
+    port_->send(std::move(pkt));
+    return;
+  }
+
+  const std::size_t ntc = qps_by_tc_.size();
+  std::vector<bool> active(ntc, false);
+  std::vector<std::size_t> bytes(ntc, 0);
+  std::vector<QueuePair*> chosen(ntc, nullptr);
+  Tick earliest = std::numeric_limits<Tick>::max();
+
+  for (std::size_t tc = 0; tc < ntc; ++tc) {
+    const auto& qps = qps_by_tc_[tc];
+    if (qps.empty()) continue;
+    const std::size_t n = qps.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      QueuePair* qp = qps[(tc_cursor_[tc] + k) % n];
+      const Tick ready = qp->tx_ready_time();
+      if (ready == std::numeric_limits<Tick>::max()) continue;
+      const Tick t = std::max(ready, qp->pacing_next);
+      if (t <= now) {
+        active[tc] = true;
+        chosen[tc] = qp;
+        bytes[tc] = qp->next_packet_bytes() + Packet::kWireOverheadBytes;
+        break;
+      }
+      earliest = std::min(earliest, t);
+    }
+  }
+
+  bool any_active = false;
+  for (std::size_t tc = 0; tc < ntc; ++tc) any_active = any_active || active[tc];
+
+  if (any_active) {
+    const auto pick = ets_.pick(now, active, bytes);
+    if (pick) {
+      const auto tc = static_cast<std::size_t>(*pick);
+      QueuePair* qp = chosen[tc];
+      auto pkt = qp->build_next_packet(now);
+      if (pkt) {
+        const std::size_t wire = pkt->wire_size();
+        DcqcnRp& rp = rp_for(qp->qpn());
+        const double rate = rp.rate_gbps();
+        qp->pacing_next =
+            now + static_cast<Tick>(static_cast<double>(wire) * 8.0 / rate);
+        rp.on_packet_sent(wire);
+        ets_.on_sent(*pick, wire, now);
+        // Advance the round-robin cursor past the QP just served.
+        auto& qps = qps_by_tc_[tc];
+        for (std::size_t k = 0; k < qps.size(); ++k) {
+          if (qps[(tc_cursor_[tc] + k) % qps.size()] == qp) {
+            tc_cursor_[tc] = (tc_cursor_[tc] + k + 1) % qps.size();
+            break;
+          }
+        }
+        ++counters_.tx_packets;
+        counters_.tx_bytes += pkt->size();
+        port_->send(std::move(*pkt));
+        return;
+      }
+      // A ready QP produced no packet (stale readiness); retry shortly.
+      earliest = std::min(earliest, now + 1);
+    } else {
+      // All active classes are token-starved (non-work-conserving mode).
+      earliest = std::min(
+          earliest, ets_.next_eligible_time(now, active, bytes));
+    }
+  }
+
+  if (earliest != std::numeric_limits<Tick>::max()) {
+    schedule_pump(std::max(earliest, now + 1));
+  }
+}
+
+void Rnic::schedule_pump(Tick when) {
+  if (pump_scheduled_for_ >= 0 && pump_scheduled_for_ <= when) return;
+  pump_scheduled_for_ = when;
+  sim_->schedule_at(when, [this, when] {
+    if (pump_scheduled_for_ == when) pump_scheduled_for_ = -1;
+    pump();
+  });
+}
+
+}  // namespace lumina

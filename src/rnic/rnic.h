@@ -1,0 +1,116 @@
+// The RNIC model: RX pipeline, egress engine (ETS + DCQCN pacing), QP
+// registry, DCQCN notification point, and the device-specific slow paths
+// that reproduce the paper's findings (noisy-neighbor stall §6.2.2, APM
+// MigReq slow path §6.2.3, counter bugs §6.2.4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/node.h"
+#include "rnic/counters.h"
+#include "rnic/dcqcn.h"
+#include "rnic/device_profile.h"
+#include "rnic/ets.h"
+#include "rnic/qp.h"
+#include "sim/simulator.h"
+
+namespace lumina {
+
+class Rnic : public Node {
+ public:
+  Rnic(Simulator* sim, std::string name, const DeviceProfile& profile,
+       RoceParameters roce, MacAddress mac);
+  ~Rnic() override;
+
+  // -- wiring ----------------------------------------------------------------
+  Port& port() { return *port_; }
+  MacAddress mac() const { return mac_; }
+
+  // -- verbs-ish control path -------------------------------------------------
+  /// Creates an RC QP. The returned pointer remains owned by the Rnic.
+  QueuePair* create_qp(const QpConfig& config);
+  QueuePair* find_qp(std::uint32_t qpn);
+
+  /// Configures ETS traffic-class weights. QPs map to classes via
+  /// QpConfig::traffic_class. With the CX6 Dx profile and more than one
+  /// class this scheduler is non-work-conserving (§6.2.1).
+  void configure_ets(const std::vector<int>& weights);
+
+  const DeviceProfile& profile() const { return profile_; }
+  const RoceParameters& roce() const { return roce_; }
+  RnicCounters& counters() { return counters_; }
+  const RnicCounters& counters() const { return counters_; }
+  Simulator* sim() { return sim_; }
+
+  /// Resolved minimum CNP interval: the configured value when the device
+  /// honors configuration, otherwise the device default — E810's interval
+  /// is hidden and ignores configuration (§6.3).
+  Tick min_cnp_interval() const;
+
+  // -- services used by QueuePair ---------------------------------------------
+  /// Queues a control packet (ACK/NAK/CNP) with strict priority.
+  void enqueue_control(Packet pkt);
+  /// Kicks the egress engine (new work / hold expired).
+  void notify_tx_ready();
+  /// Requester read-OOO slow-path episode accounting (§6.2.2).
+  void read_slow_path_begin();
+  void read_slow_path_end();
+  /// NVIDIA lossy-RoCE extension: the NP emits a CNP alongside the NACK
+  /// when it detects out-of-order arrival (§4 "Congestion notification").
+  void notify_out_of_order(QueuePair& qp);
+  /// DCQCN RP rate state for a QP.
+  DcqcnRp& rp_for(std::uint32_t qpn);
+  /// Builds the L2/L3/UDP part of a packet spec for a QP's wire peers.
+  RocePacketSpec packet_spec_for(const QueuePair& qp) const;
+
+  // -- Node -------------------------------------------------------------------
+  void handle_packet(int in_port, Packet pkt) override;
+  std::string name() const override { return name_; }
+
+ private:
+  void process_packet(Packet pkt, const RoceView& view);
+  void pump();
+  void schedule_pump(Tick when);
+  void maybe_send_cnp(QueuePair& qp);
+
+  Simulator* sim_;
+  std::string name_;
+  DeviceProfile profile_;
+  RoceParameters roce_;
+  MacAddress mac_;
+  std::unique_ptr<Port> port_;
+  RnicCounters counters_;
+
+  std::vector<std::unique_ptr<QueuePair>> qps_;
+  std::unordered_map<std::uint32_t, QueuePair*> qp_by_qpn_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<DcqcnRp>> rp_by_qpn_;
+  std::uint32_t next_qpn_;
+
+  // Egress engine.
+  std::deque<Packet> control_queue_;
+  EtsScheduler ets_;
+  std::vector<std::vector<QueuePair*>> qps_by_tc_;  // per traffic class
+  std::vector<std::size_t> tc_cursor_;              // RR within a class
+  Tick pump_scheduled_for_ = -1;
+
+  // NP state.
+  CnpRateLimiter cnp_limiter_;
+
+  // §6.2.2 noisy neighbor: RX pipeline stall.
+  int active_read_episodes_ = 0;
+  Tick rx_stalled_until_ = 0;
+
+  // §6.2.3 APM slow path: shared service queue for MigReq=0 packets. Once
+  // the queue overflows it sheds load until it drains below a low
+  // watermark, so a burst's tail is dropped contiguously — which is why
+  // the victims recover by timeout rather than NACK (the responder never
+  // sees the out-of-order arrival).
+  Tick apm_busy_until_ = 0;
+  bool apm_shedding_ = false;
+};
+
+}  // namespace lumina

@@ -1,0 +1,21 @@
+#include "rnic/verbs.h"
+
+#include <array>
+
+namespace lumina {
+
+Tick rnr_timer_to_wait(std::uint8_t code) {
+  // IBTA vol. 1 table 45: RNR NAK timer field encoding, in 10 us units
+  // except code 0 (655.36 ms).
+  static constexpr std::array<Tick, 32> kWaitNs = {
+      655'360'000, 10'000,      20'000,      30'000,      40'000,
+      60'000,      80'000,      120'000,     160'000,     240'000,
+      320'000,     480'000,     640'000,     960'000,     1'280'000,
+      1'920'000,   2'560'000,   3'840'000,   5'120'000,   7'680'000,
+      10'240'000,  15'360'000,  20'480'000,  30'720'000,  40'960'000,
+      61'440'000,  81'920'000,  122'880'000, 163'840'000, 245'760'000,
+      327'680'000, 491'520'000};
+  return kWaitNs[code & 0x1f];
+}
+
+}  // namespace lumina

@@ -1,0 +1,76 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace lumina {
+
+Simulator::Simulator() { set_log_clock(&now_); }
+
+Simulator::~Simulator() { set_log_clock(nullptr); }
+
+std::uint64_t Simulator::schedule_at(Tick when, Callback cb) {
+  Event ev;
+  ev.when = when < now_ ? now_ : when;
+  ev.seq = next_seq_++;
+  ev.id = next_id_++;
+  ev.cb = std::move(cb);
+  const std::uint64_t id = ev.id;
+  queue_.push(std::move(ev));
+  return id;
+}
+
+std::uint64_t Simulator::schedule_after(Tick delay, Callback cb) {
+  return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(cb));
+}
+
+void Simulator::cancel(std::uint64_t event_id) {
+  if (event_id != 0) cancelled_.insert(event_id);
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; move out via const_cast, which is safe
+    // because we pop immediately afterwards.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.when;
+    ++processed_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::run_until(Tick deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    // Peek past tombstones without firing.
+    if (cancelled_.contains(queue_.top().id)) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+std::size_t Simulator::pending_events() const {
+  return queue_.size() >= cancelled_.size() ? queue_.size() - cancelled_.size()
+                                            : 0;
+}
+
+}  // namespace lumina

@@ -1,0 +1,80 @@
+// Discrete-event simulation kernel.
+//
+// The entire testbed (hosts, switch, dumpers, links) runs on one Simulator.
+// Events are (time, sequence) ordered: two events scheduled for the same
+// tick fire in scheduling order, which keeps runs bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.h"
+
+namespace lumina {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator();
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  Tick now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `when` (clamped to `now()`).
+  /// Returns an event id usable with `cancel()`.
+  std::uint64_t schedule_at(Tick when, Callback cb);
+
+  /// Schedules `cb` to run `delay` ns from now (negative delays clamp to 0).
+  std::uint64_t schedule_after(Tick delay, Callback cb);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is
+  /// a no-op. O(1): the event is tombstoned and skipped at pop time.
+  void cancel(std::uint64_t event_id);
+
+  /// Runs until the event queue drains or `stop()` is called.
+  void run();
+
+  /// Runs until simulated time would exceed `deadline`. Events at exactly
+  /// `deadline` still fire.
+  void run_until(Tick deadline);
+
+  /// Stops the run loop after the current callback returns.
+  void stop() { stopped_ = true; }
+
+  std::uint64_t events_processed() const { return processed_; }
+  std::size_t pending_events() const;
+
+ private:
+  struct Event {
+    Tick when = 0;
+    std::uint64_t seq = 0;  // tie-breaker: FIFO among same-tick events
+    std::uint64_t id = 0;
+    Callback cb;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool step();  // fires one event; returns false when queue is empty
+
+  Tick now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace lumina

@@ -1,0 +1,40 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace lumina {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+const std::int64_t* g_clock = nullptr;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+void set_log_clock(const std::int64_t* now_ns) { g_clock = now_ns; }
+
+namespace detail {
+
+void emit(LogLevel level, const std::string& msg) {
+  if (g_clock != nullptr) {
+    std::fprintf(stderr, "[%s @%.3fus] %s\n", level_name(level),
+                 static_cast<double>(*g_clock) / 1e3, msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  }
+}
+
+}  // namespace detail
+}  // namespace lumina

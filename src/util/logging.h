@@ -1,0 +1,52 @@
+// Minimal leveled logging to stderr.
+//
+// The simulator is single-threaded, so no locking is needed. Log lines are
+// prefixed with the current simulated time when a Simulator is attached
+// (see sim/simulator.h), which makes traces of micro-behaviors readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lumina {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Hook used by the Simulator to prefix log lines with simulated time.
+/// Returns -1 when no simulation clock is active.
+void set_log_clock(const std::int64_t* now_ns);
+
+namespace detail {
+void emit(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+/// Streaming log statement: LOG(kInfo) << "qp " << qpn << " timed out";
+class LogStatement {
+ public:
+  explicit LogStatement(LogLevel level) : level_(level) {}
+  ~LogStatement() { detail::emit(level_, stream_.str()); }
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace lumina
+
+#define LUMINA_LOG(level)                                \
+  if (static_cast<int>(::lumina::LogLevel::level) <      \
+      static_cast<int>(::lumina::log_level())) {         \
+  } else                                                 \
+    ::lumina::LogStatement(::lumina::LogLevel::level)

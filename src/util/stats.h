@@ -1,0 +1,66 @@
+// Small statistics helpers shared by analyzers and benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace lumina {
+
+/// Accumulates samples and answers summary queries. Percentile queries sort
+/// a copy lazily; the accumulator itself is append-only.
+class SampleStats {
+ public:
+  void add(double v) { samples_.push_back(v); }
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const std::vector<double>& samples() const { return samples_; }
+
+  double sum() const {
+    double s = 0;
+    for (double v : samples_) s += v;
+    return s;
+  }
+
+  double mean() const { return samples_.empty() ? 0.0 : sum() / count(); }
+
+  double min() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double max() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  double stddev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double acc = 0;
+    for (double v : samples_) acc += (v - m) * (v - m);
+    return std::sqrt(acc / (count() - 1));
+  }
+
+  /// Nearest-rank percentile, p in [0, 100].
+  double percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p / 100.0 * (sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - lo;
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+  double median() const { return percentile(50.0); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace lumina

@@ -1,0 +1,23 @@
+#include "util/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lumina {
+
+std::string format_duration(Tick t) {
+  const double abs_t = std::abs(static_cast<double>(t));
+  char buf[48];
+  if (abs_t < static_cast<double>(kMicrosecond)) {
+    std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(t));
+  } else if (abs_t < static_cast<double>(kMillisecond)) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", to_us(t));
+  } else if (abs_t < static_cast<double>(kSecond)) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", to_ms(t));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4fs", to_s(t));
+  }
+  return buf;
+}
+
+}  // namespace lumina

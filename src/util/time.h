@@ -1,0 +1,42 @@
+// Simulation time types.
+//
+// All simulation time is carried as a signed 64-bit count of nanoseconds
+// (`Tick`). A signed type makes interval arithmetic safe, and 64 bits of
+// nanoseconds cover ~292 years of simulated time, far beyond any test run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lumina {
+
+/// Simulation timestamp / duration, in nanoseconds.
+using Tick = std::int64_t;
+
+inline constexpr Tick kNanosecond = 1;
+inline constexpr Tick kMicrosecond = 1'000;
+inline constexpr Tick kMillisecond = 1'000'000;
+inline constexpr Tick kSecond = 1'000'000'000;
+
+/// User-defined literals so test and model code can write `4 * kMicrosecond`
+/// or `4096_ns` interchangeably.
+namespace time_literals {
+constexpr Tick operator""_ns(unsigned long long v) { return static_cast<Tick>(v); }
+constexpr Tick operator""_us(unsigned long long v) { return static_cast<Tick>(v) * kMicrosecond; }
+constexpr Tick operator""_ms(unsigned long long v) { return static_cast<Tick>(v) * kMillisecond; }
+constexpr Tick operator""_s(unsigned long long v) { return static_cast<Tick>(v) * kSecond; }
+}  // namespace time_literals
+
+/// Converts a tick count to fractional microseconds (for reporting).
+constexpr double to_us(Tick t) { return static_cast<double>(t) / kMicrosecond; }
+
+/// Converts a tick count to fractional milliseconds (for reporting).
+constexpr double to_ms(Tick t) { return static_cast<double>(t) / kMillisecond; }
+
+/// Converts a tick count to fractional seconds (for reporting).
+constexpr double to_s(Tick t) { return static_cast<double>(t) / kSecond; }
+
+/// Renders a duration with an auto-selected unit, e.g. "4.10us", "83.2ms".
+std::string format_duration(Tick t);
+
+}  // namespace lumina

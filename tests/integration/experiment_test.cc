@@ -1,0 +1,239 @@
+// Parameterized end-to-end sweeps: every NIC model x every verb x several
+// loss scenarios, all through the full orchestrator pipeline, asserting
+// protocol invariants that must hold regardless of device profile.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analyzers/cnp_analyzer.h"
+#include "analyzers/gbn_fsm.h"
+#include "analyzers/retrans_perf.h"
+#include "orchestrator/orchestrator.h"
+
+namespace lumina {
+namespace {
+
+using NicVerb = std::tuple<NicType, RdmaVerb>;
+
+std::string nic_verb_name(const ::testing::TestParamInfo<NicVerb>& info) {
+  return to_string(std::get<0>(info.param)) + "_" +
+         to_string(std::get<1>(info.param));
+}
+
+TestConfig make_config(NicType nic, RdmaVerb verb) {
+  TestConfig cfg;
+  cfg.requester.nic_type = nic;
+  cfg.responder.nic_type = nic;
+  cfg.traffic.verb = verb;
+  cfg.traffic.num_connections = 2;
+  cfg.traffic.num_msgs_per_qp = 3;
+  cfg.traffic.message_size = 8192;
+  cfg.traffic.mtu = 1024;
+  // Above every device's fast-retransmission path (E810 read: 83 ms).
+  cfg.traffic.min_retransmit_timeout = 18;
+  return cfg;
+}
+
+class NicVerbSweep : public ::testing::TestWithParam<NicVerb> {};
+
+TEST_P(NicVerbSweep, CleanTransferCompletesWithIntegrity) {
+  const auto [nic, verb] = GetParam();
+  Orchestrator orch(make_config(nic, verb));
+  const TestResult& result = orch.run();
+  ASSERT_TRUE(result.finished);
+  EXPECT_TRUE(result.integrity.ok()) << result.integrity.to_string();
+  for (const auto& flow : result.flows) {
+    EXPECT_EQ(flow.completed(), 3u);
+    EXPECT_FALSE(flow.aborted);
+  }
+  // No retransmissions on a clean path.
+  EXPECT_EQ(result.requester_counters.retransmitted_packets, 0u);
+  EXPECT_EQ(result.responder_counters.retransmitted_packets, 0u);
+  EXPECT_EQ(result.requester_counters.local_ack_timeout_err, 0u);
+  // The trace passes the Go-Back-N specification check.
+  const auto gbn = check_gbn_compliance(result.trace, verb);
+  EXPECT_TRUE(gbn.compliant());
+  EXPECT_EQ(gbn.episodes_seen, 0u);
+}
+
+TEST_P(NicVerbSweep, SingleDropRecoversAndStaysCompliant) {
+  const auto [nic, verb] = GetParam();
+  TestConfig cfg = make_config(nic, verb);
+  cfg.traffic.data_pkt_events.push_back(
+      DataPacketEvent{1, 3, EventType::kDrop, 1});
+  Orchestrator orch(cfg);
+  const TestResult& result = orch.run();
+  ASSERT_TRUE(result.finished);
+  for (const auto& flow : result.flows) {
+    EXPECT_EQ(flow.completed(), 3u);
+    EXPECT_FALSE(flow.aborted);
+  }
+  // All NICs pass the FSM-based retransmission-logic check (§6.1: "all the
+  // RNICs pass our FSM-based retransmission logic check").
+  const auto gbn = check_gbn_compliance(result.trace, verb);
+  EXPECT_TRUE(gbn.compliant())
+      << (gbn.violations.empty() ? "" : gbn.violations[0].description);
+  EXPECT_GE(gbn.episodes_seen, 1u);
+
+  // Exactly one recovery episode is attributable to the injected drop.
+  const auto episodes = analyze_retransmissions(result.trace, verb);
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_TRUE(episodes[0].retransmit_time.has_value());
+}
+
+TEST_P(NicVerbSweep, DoubleDropViaIterStillRecovers) {
+  const auto [nic, verb] = GetParam();
+  TestConfig cfg = make_config(nic, verb);
+  cfg.traffic.num_msgs_per_qp = 1;
+  cfg.traffic.data_pkt_events.push_back(
+      DataPacketEvent{1, 4, EventType::kDrop, 1});
+  cfg.traffic.data_pkt_events.push_back(
+      DataPacketEvent{1, 4, EventType::kDrop, 2});
+  Orchestrator orch(cfg);
+  const TestResult& result = orch.run();
+  ASSERT_TRUE(result.finished);
+  EXPECT_EQ(result.flows[0].completed(), 1u);
+  const auto episodes = analyze_retransmissions(result.trace, verb);
+  EXPECT_EQ(episodes.size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNicsVerbs, NicVerbSweep,
+    ::testing::Combine(::testing::Values(NicType::kCx4Lx, NicType::kCx5,
+                                         NicType::kCx6Dx, NicType::kE810),
+                       ::testing::Values(RdmaVerb::kWrite, RdmaVerb::kRead,
+                                         RdmaVerb::kSendRecv)),
+    nic_verb_name);
+
+// ---------------------------------------------------------------------------
+// Device-behavior spot checks through the full pipeline
+// ---------------------------------------------------------------------------
+
+TEST(DeviceBehavior, RetransmissionLatencyOrderingMatchesFig8and9) {
+  const auto total_recovery_us = [](NicType nic, RdmaVerb verb) {
+    TestConfig cfg = make_config(nic, verb);
+    cfg.traffic.num_connections = 1;
+    cfg.traffic.num_msgs_per_qp = 1;
+    cfg.traffic.message_size = 32 * 1024;
+    cfg.traffic.data_pkt_events.push_back(
+        DataPacketEvent{1, 8, EventType::kDrop, 1});
+    Orchestrator orch(cfg);
+    const auto episodes =
+        analyze_retransmissions(orch.run().trace, verb);
+    return episodes.empty() || !episodes[0].total_latency()
+               ? -1.0
+               : to_us(*episodes[0].total_latency());
+  };
+
+  const double cx5_write = total_recovery_us(NicType::kCx5, RdmaVerb::kWrite);
+  const double cx4_write = total_recovery_us(NicType::kCx4Lx, RdmaVerb::kWrite);
+  const double e810_write = total_recovery_us(NicType::kE810, RdmaVerb::kWrite);
+  const double cx4_read = total_recovery_us(NicType::kCx4Lx, RdmaVerb::kRead);
+  const double e810_read = total_recovery_us(NicType::kE810, RdmaVerb::kRead);
+
+  EXPECT_LT(cx5_write, 15.0);              // ~4-8 us
+  EXPECT_GT(cx4_write, 100.0);             // ~200 us
+  EXPECT_GT(cx4_write, 10 * cx5_write);
+  EXPECT_GT(e810_write, cx5_write);
+  EXPECT_GT(cx4_read, 250.0);              // ~300 us
+  EXPECT_GT(e810_read, 50'000.0);          // ~83 ms
+}
+
+TEST(DeviceBehavior, E810IgnoresCnpIntervalConfiguration) {
+  const auto cnp_count = [](NicType nic) {
+    TestConfig cfg = make_config(nic, RdmaVerb::kWrite);
+    cfg.requester.roce.dcqcn_rp_enable = false;
+    cfg.responder.roce.dcqcn_rp_enable = false;
+    cfg.requester.roce.min_time_between_cnps = 0;  // CNP per packet
+    cfg.responder.roce.min_time_between_cnps = 0;
+    cfg.traffic.num_connections = 1;
+    cfg.traffic.num_msgs_per_qp = 1;
+    cfg.traffic.message_size = 32 * 1024;
+    for (int k = 1; k <= 32; ++k) {
+      cfg.traffic.data_pkt_events.push_back(DataPacketEvent{
+          1, static_cast<std::uint32_t>(k), EventType::kEcn, 1});
+    }
+    Orchestrator orch(cfg);
+    return analyze_cnps(orch.run().trace).cnps.size();
+  };
+  EXPECT_EQ(cnp_count(NicType::kCx5), 32u);  // honors "no limit"
+  EXPECT_LT(cnp_count(NicType::kE810), 8u);  // hidden 50 us interval
+}
+
+TEST(DeviceBehavior, NvidiaEmitsCnpAlongsideNackOnOutOfOrder) {
+  // Lossy-RoCE extension: a drop (no ECN anywhere) still produces a CNP
+  // from the NVIDIA NP.
+  TestConfig cfg = make_config(NicType::kCx5, RdmaVerb::kWrite);
+  cfg.traffic.num_connections = 1;
+  cfg.traffic.data_pkt_events.push_back(
+      DataPacketEvent{1, 3, EventType::kDrop, 1});
+  Orchestrator orch(cfg);
+  const auto report = analyze_cnps(orch.run().trace);
+  EXPECT_GE(report.cnps.size(), 1u);
+  EXPECT_EQ(report.ecn_marked_data_packets, 0u);
+}
+
+TEST(DeviceBehavior, E810DoesNotEmitCnpOnOutOfOrder) {
+  TestConfig cfg = make_config(NicType::kE810, RdmaVerb::kWrite);
+  cfg.traffic.num_connections = 1;
+  cfg.traffic.data_pkt_events.push_back(
+      DataPacketEvent{1, 3, EventType::kDrop, 1});
+  Orchestrator orch(cfg);
+  EXPECT_EQ(analyze_cnps(orch.run().trace).cnps.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// YAML end-to-end: the paper's configs drive a run unchanged
+// ---------------------------------------------------------------------------
+
+TEST(YamlEndToEnd, Listing1And2DriveACompleteRun) {
+  const YamlNode root = parse_yaml(R"(
+requester:
+  nic:
+    type: cx5
+    ip-list: [10.0.0.2/24, 10.0.0.12/24]
+  roce-parameters:
+    dcqcn-rp-enable: False
+    dcqcn-np-enable: True
+    min-time-between-cnps: 0
+    adaptive-retrans: False
+responder:
+  nic:
+    type: cx5
+    ip-list: [10.0.1.2/24]
+traffic:
+  num-connections: 2
+  rdma-verb: write
+  num-msgs-per-qp: 10
+  mtu: 1024
+  message-size: 10240
+  multi-gid: true
+  barrier-sync: true
+  tx-depth: 1
+  min-retransmit-timeout: 14
+  max-retransmit-retry: 7
+  data-pkt-events:
+  - {qpn: 1, psn: 4, type: ecn, iter: 1}
+  - {qpn: 2, psn: 5, type: drop, iter: 1}
+  - {qpn: 2, psn: 5, type: drop, iter: 2}
+)");
+  Orchestrator orch(load_test_config(root));
+  const TestResult& result = orch.run();
+  ASSERT_TRUE(result.finished);
+  EXPECT_TRUE(result.integrity.ok());
+  EXPECT_EQ(result.flows[0].completed(), 10u);
+  EXPECT_EQ(result.flows[1].completed(), 10u);
+
+  // The ECN mark produced a CNP, and the NVIDIA lossy-RoCE extension adds
+  // one more for the out-of-order episode on connection 2.
+  const auto cnps = analyze_cnps(result.trace);
+  EXPECT_EQ(cnps.ecn_marked_data_packets, 1u);
+  EXPECT_EQ(cnps.cnps.size(), 2u);
+  const auto episodes = analyze_retransmissions(result.trace, RdmaVerb::kWrite);
+  ASSERT_EQ(episodes.size(), 2u);
+  EXPECT_EQ(episodes[0].iter, 1u);
+  EXPECT_EQ(episodes[1].iter, 2u);
+}
+
+}  // namespace
+}  // namespace lumina

@@ -1,0 +1,216 @@
+// End-to-end tests: full testbed (hosts + injector switch + dumper pool)
+// runs through the orchestrator, results validated through the analyzers.
+#include <gtest/gtest.h>
+
+#include "analyzers/cnp_analyzer.h"
+#include "analyzers/counter_analyzer.h"
+#include "analyzers/gbn_fsm.h"
+#include "analyzers/retrans_perf.h"
+#include "orchestrator/orchestrator.h"
+
+namespace lumina {
+namespace {
+
+TestConfig basic_config(NicType nic, RdmaVerb verb) {
+  TestConfig cfg;
+  cfg.requester.nic_type = nic;
+  cfg.responder.nic_type = nic;
+  cfg.traffic.verb = verb;
+  cfg.traffic.num_connections = 1;
+  cfg.traffic.num_msgs_per_qp = 3;
+  cfg.traffic.message_size = 10240;
+  cfg.traffic.mtu = 1024;
+  return cfg;
+}
+
+TEST(Integration, CleanWriteTransferCompletes) {
+  Orchestrator orch(basic_config(NicType::kCx5, RdmaVerb::kWrite));
+  const TestResult& result = orch.run();
+
+  ASSERT_TRUE(result.finished) << "traffic did not complete";
+  EXPECT_TRUE(result.integrity.ok()) << result.integrity.to_string();
+  ASSERT_EQ(result.flows.size(), 1u);
+  EXPECT_EQ(result.flows[0].completed(), 3u);
+  EXPECT_FALSE(result.flows[0].aborted);
+  EXPECT_GT(result.flows[0].goodput_gbps(), 1.0);
+  // 3 messages x 10 data packets + ACKs must be in the trace.
+  EXPECT_GE(result.trace.size(), 33u);
+}
+
+TEST(Integration, CleanReadTransferCompletes) {
+  Orchestrator orch(basic_config(NicType::kCx5, RdmaVerb::kRead));
+  const TestResult& result = orch.run();
+  ASSERT_TRUE(result.finished);
+  EXPECT_TRUE(result.integrity.ok()) << result.integrity.to_string();
+  EXPECT_EQ(result.flows[0].completed(), 3u);
+}
+
+TEST(Integration, CleanSendTransferCompletes) {
+  Orchestrator orch(basic_config(NicType::kCx5, RdmaVerb::kSendRecv));
+  const TestResult& result = orch.run();
+  ASSERT_TRUE(result.finished);
+  EXPECT_TRUE(result.integrity.ok()) << result.integrity.to_string();
+  EXPECT_EQ(result.flows[0].completed(), 3u);
+}
+
+TEST(Integration, WriteDropRecoversViaNack) {
+  TestConfig cfg = basic_config(NicType::kCx5, RdmaVerb::kWrite);
+  cfg.traffic.data_pkt_events.push_back(
+      DataPacketEvent{1, 5, EventType::kDrop, 1});
+  Orchestrator orch(cfg);
+  const TestResult& result = orch.run();
+
+  ASSERT_TRUE(result.finished);
+  EXPECT_TRUE(result.integrity.ok()) << result.integrity.to_string();
+  EXPECT_EQ(result.flows[0].completed(), 3u);
+
+  const auto episodes = analyze_retransmissions(result.trace, RdmaVerb::kWrite);
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_FALSE(episodes[0].timeout_recovery);
+  ASSERT_TRUE(episodes[0].nack_generation_latency().has_value());
+  ASSERT_TRUE(episodes[0].nack_reaction_latency().has_value());
+  EXPECT_GT(*episodes[0].nack_generation_latency(), 0);
+  EXPECT_GT(*episodes[0].nack_reaction_latency(), 0);
+
+  // Counters reflect the loss.
+  EXPECT_GE(result.responder_counters.out_of_sequence, 1u);
+  EXPECT_GE(result.requester_counters.packet_seq_err, 1u);
+  EXPECT_GE(result.requester_counters.retransmitted_packets, 1u);
+
+  const auto gbn = check_gbn_compliance(result.trace, RdmaVerb::kWrite);
+  EXPECT_TRUE(gbn.compliant()) << gbn.violations.size() << " violations; first: "
+                               << (gbn.violations.empty()
+                                       ? ""
+                                       : gbn.violations[0].description);
+}
+
+TEST(Integration, ReadDropRecoversViaReRequest) {
+  TestConfig cfg = basic_config(NicType::kCx5, RdmaVerb::kRead);
+  cfg.traffic.data_pkt_events.push_back(
+      DataPacketEvent{1, 5, EventType::kDrop, 1});
+  Orchestrator orch(cfg);
+  const TestResult& result = orch.run();
+
+  ASSERT_TRUE(result.finished);
+  EXPECT_EQ(result.flows[0].completed(), 3u);
+  const auto episodes = analyze_retransmissions(result.trace, RdmaVerb::kRead);
+  ASSERT_EQ(episodes.size(), 1u);
+  ASSERT_TRUE(episodes[0].nack_time.has_value());
+  ASSERT_TRUE(episodes[0].retransmit_time.has_value());
+  EXPECT_GE(result.requester_counters.implied_nak_seq_err, 1u);
+
+  const auto gbn = check_gbn_compliance(result.trace, RdmaVerb::kRead);
+  EXPECT_TRUE(gbn.compliant());
+}
+
+TEST(Integration, TailDropRecoversViaTimeout) {
+  TestConfig cfg = basic_config(NicType::kCx5, RdmaVerb::kWrite);
+  cfg.traffic.num_msgs_per_qp = 1;
+  cfg.traffic.min_retransmit_timeout = 10;  // 4.2 ms RTO to keep tests fast
+  // Message is 10 packets; drop the last one -> no OOO arrival, no NACK.
+  cfg.traffic.data_pkt_events.push_back(
+      DataPacketEvent{1, 10, EventType::kDrop, 1});
+  Orchestrator orch(cfg);
+  const TestResult& result = orch.run();
+
+  ASSERT_TRUE(result.finished);
+  EXPECT_EQ(result.flows[0].completed(), 1u);
+  EXPECT_GE(result.requester_counters.local_ack_timeout_err, 1u);
+
+  const auto episodes = analyze_retransmissions(result.trace, RdmaVerb::kWrite);
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_TRUE(episodes[0].timeout_recovery);
+  // MCT dominated by the 4.2 ms RTO.
+  EXPECT_GT(result.flows[0].avg_mct_us(), 4000.0);
+}
+
+TEST(Integration, DoubleDropWithIterTargeting) {
+  // Listing 2: drop a packet, then drop its retransmission via iter=2.
+  TestConfig cfg = basic_config(NicType::kCx5, RdmaVerb::kWrite);
+  cfg.traffic.num_msgs_per_qp = 1;
+  cfg.traffic.data_pkt_events.push_back(
+      DataPacketEvent{1, 5, EventType::kDrop, 1});
+  cfg.traffic.data_pkt_events.push_back(
+      DataPacketEvent{1, 5, EventType::kDrop, 2});
+  Orchestrator orch(cfg);
+  const TestResult& result = orch.run();
+
+  ASSERT_TRUE(result.finished);
+  EXPECT_EQ(result.flows[0].completed(), 1u);
+  const auto episodes = analyze_retransmissions(result.trace, RdmaVerb::kWrite);
+  EXPECT_EQ(episodes.size(), 2u);  // both drops found with correct iters
+  ASSERT_GE(episodes.size(), 2u);
+  EXPECT_EQ(episodes[0].iter, 1u);
+  EXPECT_EQ(episodes[1].iter, 2u);
+}
+
+TEST(Integration, EcnMarkTriggersCnp) {
+  TestConfig cfg = basic_config(NicType::kCx5, RdmaVerb::kWrite);
+  cfg.requester.roce.dcqcn_rp_enable = true;
+  cfg.responder.roce.dcqcn_np_enable = true;
+  cfg.traffic.data_pkt_events.push_back(
+      DataPacketEvent{1, 4, EventType::kEcn, 1});
+  Orchestrator orch(cfg);
+  const TestResult& result = orch.run();
+
+  ASSERT_TRUE(result.finished);
+  const auto cnps = analyze_cnps(result.trace);
+  EXPECT_EQ(cnps.ecn_marked_data_packets, 1u);
+  EXPECT_EQ(cnps.cnps.size(), 1u);
+  EXPECT_GE(result.responder_counters.np_cnp_sent, 1u);
+  EXPECT_GE(result.requester_counters.rp_cnp_handled, 1u);
+}
+
+TEST(Integration, CorruptionDetectedByIcrc) {
+  TestConfig cfg = basic_config(NicType::kCx5, RdmaVerb::kWrite);
+  cfg.traffic.num_msgs_per_qp = 1;
+  cfg.traffic.data_pkt_events.push_back(
+      DataPacketEvent{1, 5, EventType::kCorrupt, 1});
+  Orchestrator orch(cfg);
+  const TestResult& result = orch.run();
+
+  ASSERT_TRUE(result.finished);
+  EXPECT_EQ(result.flows[0].completed(), 1u);
+  EXPECT_GE(result.responder_counters.icrc_error_packets, 1u);
+  // The corrupted packet is discarded like a loss; recovery must happen.
+  EXPECT_GE(result.requester_counters.retransmitted_packets, 1u);
+}
+
+TEST(Integration, MultiQpTransfer) {
+  TestConfig cfg = basic_config(NicType::kCx6Dx, RdmaVerb::kWrite);
+  cfg.traffic.num_connections = 4;
+  cfg.traffic.num_msgs_per_qp = 2;
+  cfg.traffic.barrier_sync = true;
+  Orchestrator orch(cfg);
+  const TestResult& result = orch.run();
+
+  ASSERT_TRUE(result.finished);
+  EXPECT_TRUE(result.integrity.ok()) << result.integrity.to_string();
+  for (const auto& flow : result.flows) {
+    EXPECT_EQ(flow.completed(), 2u);
+  }
+}
+
+TEST(Integration, CountersConsistentOnHealthyNics) {
+  TestConfig cfg = basic_config(NicType::kCx5, RdmaVerb::kWrite);
+  cfg.traffic.data_pkt_events.push_back(
+      DataPacketEvent{1, 3, EventType::kDrop, 1});
+  cfg.traffic.data_pkt_events.push_back(
+      DataPacketEvent{1, 7, EventType::kEcn, 1});
+  Orchestrator orch(cfg);
+  const TestResult& result = orch.run();
+  ASSERT_TRUE(result.finished);
+
+  const auto report = check_counters(
+      result.trace, RdmaVerb::kWrite, result.requester_counters,
+      result.responder_counters, {result.connections[0].requester.ip},
+      {result.connections[0].responder.ip});
+  EXPECT_TRUE(report.consistent())
+      << (report.inconsistencies.empty()
+              ? ""
+              : report.inconsistencies[0].counter + ": " +
+                    report.inconsistencies[0].note);
+}
+
+}  // namespace
+}  // namespace lumina

@@ -1,0 +1,154 @@
+// Unit tests for typed test-configuration loading (config/test_config).
+#include <gtest/gtest.h>
+
+#include "config/test_config.h"
+#include "rnic/verbs.h"
+
+namespace lumina {
+namespace {
+
+TEST(Config, VerbParsing) {
+  EXPECT_EQ(parse_verb("write"), RdmaVerb::kWrite);
+  EXPECT_EQ(parse_verb("read"), RdmaVerb::kRead);
+  EXPECT_EQ(parse_verb("send"), RdmaVerb::kSendRecv);
+  EXPECT_EQ(parse_verb("send-recv"), RdmaVerb::kSendRecv);
+  EXPECT_EQ(parse_verb("send_recv"), RdmaVerb::kSendRecv);
+  EXPECT_FALSE(parse_verb("atomic").has_value());
+  EXPECT_EQ(to_string(RdmaVerb::kRead), "read");
+}
+
+TEST(Config, NicTypeParsing) {
+  EXPECT_EQ(parse_nic_type("cx4"), NicType::kCx4Lx);
+  EXPECT_EQ(parse_nic_type("cx4lx"), NicType::kCx4Lx);
+  EXPECT_EQ(parse_nic_type("cx5"), NicType::kCx5);
+  EXPECT_EQ(parse_nic_type("cx6"), NicType::kCx6Dx);
+  EXPECT_EQ(parse_nic_type("cx6dx"), NicType::kCx6Dx);
+  EXPECT_EQ(parse_nic_type("e810"), NicType::kE810);
+  EXPECT_FALSE(parse_nic_type("cx9").has_value());
+}
+
+TEST(Config, LoadsHostBlock) {
+  const YamlNode root = parse_yaml(R"(
+workspace: /tmp/ws
+control-ip: host-a
+nic:
+  type: e810
+  if-name: ens1
+  switch-port: 12
+  ip-list: [192.168.1.5/24]
+roce-parameters:
+  dcqcn-rp-enable: False
+  min-time-between-cnps: 8
+  adaptive-retrans: True
+)");
+  const HostConfig cfg = load_host_config(root);
+  EXPECT_EQ(cfg.workspace, "/tmp/ws");
+  EXPECT_EQ(cfg.control_ip, "host-a");
+  EXPECT_EQ(cfg.nic_type, NicType::kE810);
+  EXPECT_EQ(cfg.if_name, "ens1");
+  EXPECT_EQ(cfg.switch_port, 12);
+  ASSERT_EQ(cfg.ip_list.size(), 1u);
+  EXPECT_EQ(cfg.ip_list[0].to_string(), "192.168.1.5");
+  EXPECT_FALSE(cfg.roce.dcqcn_rp_enable);
+  EXPECT_TRUE(cfg.roce.dcqcn_np_enable);  // default
+  EXPECT_EQ(cfg.roce.min_time_between_cnps, 8 * kMicrosecond);
+  EXPECT_TRUE(cfg.roce.adaptive_retrans);
+}
+
+TEST(Config, CnpIntervalUnsetMeansDeviceDefault) {
+  const HostConfig unset = load_host_config(parse_yaml("nic:\n  type: cx5\n"));
+  EXPECT_LT(unset.roce.min_time_between_cnps, 0);  // sentinel: unset
+  const HostConfig zero = load_host_config(parse_yaml(
+      "nic:\n  type: cx5\nroce-parameters:\n  min-time-between-cnps: 0\n"));
+  EXPECT_EQ(zero.roce.min_time_between_cnps, 0);  // explicit 0 = no limit
+}
+
+TEST(Config, LoadsTrafficBlock) {
+  const YamlNode root = parse_yaml(R"(
+num-connections: 4
+rdma-verb: read
+num-msgs-per-qp: 7
+mtu: 4096
+message-size: 1048576
+multi-gid: true
+barrier-sync: true
+tx-depth: 3
+min-retransmit-timeout: 10
+max-retransmit-retry: 5
+data-pkt-events:
+- {qpn: 1, psn: 4, type: ecn, iter: 1}
+- {qpn: 2, psn: 5, type: drop, iter: 2}
+- {qpn: 3, psn: 9, type: corrupt, iter: 1}
+)");
+  const TrafficConfig cfg = load_traffic_config(root);
+  EXPECT_EQ(cfg.num_connections, 4);
+  EXPECT_EQ(cfg.verb, RdmaVerb::kRead);
+  EXPECT_EQ(cfg.num_msgs_per_qp, 7);
+  EXPECT_EQ(cfg.mtu, 4096u);
+  EXPECT_EQ(cfg.message_size, 1048576u);
+  EXPECT_TRUE(cfg.multi_gid);
+  EXPECT_TRUE(cfg.barrier_sync);
+  EXPECT_EQ(cfg.tx_depth, 3);
+  EXPECT_EQ(cfg.min_retransmit_timeout, 10);
+  EXPECT_EQ(cfg.max_retransmit_retry, 5);
+  ASSERT_EQ(cfg.data_pkt_events.size(), 3u);
+  EXPECT_EQ(cfg.data_pkt_events[0].type, EventType::kEcn);
+  EXPECT_EQ(cfg.data_pkt_events[1].type, EventType::kDrop);
+  EXPECT_EQ(cfg.data_pkt_events[1].iter, 2u);
+  EXPECT_EQ(cfg.data_pkt_events[2].type, EventType::kCorrupt);
+}
+
+TEST(Config, TrafficDefaults) {
+  const TrafficConfig cfg = load_traffic_config(parse_yaml("mtu: 1024\n"));
+  EXPECT_EQ(cfg.num_connections, 1);
+  EXPECT_EQ(cfg.verb, RdmaVerb::kWrite);
+  EXPECT_EQ(cfg.min_retransmit_timeout, 14);
+  EXPECT_EQ(cfg.max_retransmit_retry, 7);
+  EXPECT_FALSE(cfg.barrier_sync);
+  EXPECT_TRUE(cfg.data_pkt_events.empty());
+}
+
+TEST(Config, RejectsUnknownEnumValues) {
+  EXPECT_THROW(load_traffic_config(parse_yaml("rdma-verb: atomic\n")),
+               YamlError);
+  EXPECT_THROW(load_host_config(parse_yaml("nic:\n  type: cx9\n")),
+               YamlError);
+  EXPECT_THROW(load_traffic_config(parse_yaml(
+                   "data-pkt-events:\n- {qpn: 1, psn: 1, type: explode}\n")),
+               YamlError);
+  EXPECT_THROW(load_host_config(parse_yaml(
+                   "nic:\n  type: cx5\n  ip-list: [999.0.0.1]\n")),
+               YamlError);
+}
+
+TEST(Config, LoadsFullDocument) {
+  const YamlNode root = parse_yaml(R"(
+requester:
+  nic:
+    type: cx4
+    ip-list: [10.0.0.2/24]
+responder:
+  nic:
+    type: e810
+    ip-list: [10.0.1.2/24]
+traffic:
+  num-connections: 2
+  rdma-verb: send
+)");
+  const TestConfig cfg = load_test_config(root);
+  EXPECT_EQ(cfg.requester.nic_type, NicType::kCx4Lx);
+  EXPECT_EQ(cfg.responder.nic_type, NicType::kE810);
+  EXPECT_EQ(cfg.traffic.verb, RdmaVerb::kSendRecv);
+  EXPECT_EQ(cfg.traffic.num_connections, 2);
+}
+
+TEST(Config, IbTimeoutFormula) {
+  EXPECT_EQ(ib_timeout_to_rto(0), 4096);
+  EXPECT_EQ(ib_timeout_to_rto(1), 8192);
+  EXPECT_EQ(ib_timeout_to_rto(14), Tick{4096} << 14);  // 67.1 ms
+  EXPECT_NEAR(to_ms(ib_timeout_to_rto(14)), 67.1, 0.1);
+}
+
+
+}  // namespace
+}  // namespace lumina

@@ -1,0 +1,207 @@
+// Unit tests for DCQCN: RP rate state machine and NP CNP rate limiting
+// with the three device scopes (§6.3).
+#include <gtest/gtest.h>
+
+#include "rnic/dcqcn.h"
+
+namespace lumina {
+namespace {
+
+const Ipv4Address kIpA = Ipv4Address::from_octets(10, 0, 0, 1);
+const Ipv4Address kIpB = Ipv4Address::from_octets(10, 0, 0, 2);
+
+// ---------------------------------------------------------------------------
+// Reaction point
+// ---------------------------------------------------------------------------
+
+TEST(DcqcnRp, StartsAtLineRate) {
+  Simulator sim;
+  DcqcnRp rp(&sim, DcqcnParams{}, 100.0);
+  EXPECT_DOUBLE_EQ(rp.rate_gbps(), 100.0);
+  EXPECT_DOUBLE_EQ(rp.alpha(), 1.0);
+}
+
+TEST(DcqcnRp, CnpCutsRateMultiplicatively) {
+  Simulator sim;
+  DcqcnRp rp(&sim, DcqcnParams{}, 100.0);
+  rp.on_cnp();
+  // First CNP with alpha=1 halves the rate.
+  EXPECT_NEAR(rp.rate_gbps(), 50.0, 0.01);
+  EXPECT_EQ(rp.cnps_processed(), 1u);
+  rp.on_cnp();
+  EXPECT_LT(rp.rate_gbps(), 50.0);
+}
+
+TEST(DcqcnRp, RateNeverFallsBelowMinimum) {
+  Simulator sim;
+  DcqcnParams params;
+  params.min_rate_gbps = 2.0;
+  DcqcnRp rp(&sim, params, 100.0);
+  for (int i = 0; i < 50; ++i) rp.on_cnp();
+  EXPECT_GE(rp.rate_gbps(), 2.0);
+}
+
+TEST(DcqcnRp, RecoversTowardLineRateAfterCongestionEnds) {
+  Simulator sim;
+  DcqcnRp rp(&sim, DcqcnParams{}, 100.0);
+  rp.on_cnp();
+  rp.on_cnp();
+  const double throttled = rp.rate_gbps();
+  sim.run_until(sim.now() + 10 * kMillisecond);  // timers recover the rate
+  EXPECT_GT(rp.rate_gbps(), throttled);
+  EXPECT_NEAR(rp.rate_gbps(), 100.0, 1.0);
+}
+
+TEST(DcqcnRp, AlphaDecaysAfterCongestion) {
+  Simulator sim;
+  DcqcnRp rp(&sim, DcqcnParams{}, 100.0);
+  rp.on_cnp();
+  const double alpha_after_cnp = rp.alpha();
+  EXPECT_GT(alpha_after_cnp, 0.9);  // pushed toward 1
+  sim.run_until(sim.now() + 2 * kMillisecond);
+  EXPECT_LT(rp.alpha(), alpha_after_cnp / 2);
+}
+
+TEST(DcqcnRp, LaterCnpsCutLessOnceAlphaDecays) {
+  Simulator sim;
+  DcqcnRp rp(&sim, DcqcnParams{}, 100.0);
+  rp.on_cnp();  // halves
+  sim.run_until(sim.now() + 5 * kMillisecond);  // alpha decays, rate recovers
+  const double rate = rp.rate_gbps();
+  rp.on_cnp();
+  // Cut factor is (1 - alpha/2); with decayed alpha it is much gentler.
+  EXPECT_GT(rp.rate_gbps(), rate * 0.7);
+}
+
+TEST(DcqcnRp, DisabledRpIgnoresCnps) {
+  Simulator sim;
+  DcqcnRp rp(&sim, DcqcnParams{}, 100.0);
+  rp.set_enabled(false);
+  rp.on_cnp();
+  EXPECT_DOUBLE_EQ(rp.rate_gbps(), 100.0);
+}
+
+TEST(DcqcnRp, ByteCounterAdvancesRecovery) {
+  Simulator sim;
+  DcqcnParams params;
+  params.byte_counter_threshold = 64 * 1024;
+  DcqcnRp rp(&sim, params, 100.0);
+  rp.on_cnp();
+  const double throttled = rp.rate_gbps();
+  // No timer advance: only bytes flow.
+  for (int i = 0; i < 256; ++i) rp.on_packet_sent(1024);
+  EXPECT_GT(rp.rate_gbps(), throttled);
+}
+
+// ---------------------------------------------------------------------------
+// NP rate limiter scopes
+// ---------------------------------------------------------------------------
+
+constexpr Tick kInterval = 4 * kMicrosecond;
+
+TEST(CnpRateLimiter, PerPortIsOneGlobalDomain) {
+  CnpRateLimiter limiter(CnpRateLimitMode::kPerPort);
+  EXPECT_TRUE(limiter.allow(kIpA, 1, 0, kInterval));
+  // Different QP, different IP — still paced by the single domain.
+  EXPECT_FALSE(limiter.allow(kIpB, 2, 1000, kInterval));
+  EXPECT_FALSE(limiter.allow(kIpA, 3, 3999, kInterval));
+  EXPECT_TRUE(limiter.allow(kIpB, 4, kInterval, kInterval));
+}
+
+TEST(CnpRateLimiter, PerDestIpPacesEachRemoteIndependently) {
+  CnpRateLimiter limiter(CnpRateLimitMode::kPerDestIp);
+  EXPECT_TRUE(limiter.allow(kIpA, 1, 0, kInterval));
+  EXPECT_TRUE(limiter.allow(kIpB, 1, 100, kInterval));   // other IP: fresh
+  EXPECT_FALSE(limiter.allow(kIpA, 2, 200, kInterval));  // same IP: paced
+  EXPECT_TRUE(limiter.allow(kIpA, 2, kInterval + 1, kInterval));
+}
+
+TEST(CnpRateLimiter, PerQpPacesEachQpIndependently) {
+  CnpRateLimiter limiter(CnpRateLimitMode::kPerQp);
+  EXPECT_TRUE(limiter.allow(kIpA, 1, 0, kInterval));
+  EXPECT_TRUE(limiter.allow(kIpA, 2, 1, kInterval));     // other QP: fresh
+  EXPECT_FALSE(limiter.allow(kIpA, 1, 100, kInterval));  // same QP: paced
+  EXPECT_TRUE(limiter.allow(kIpA, 1, kInterval, kInterval));
+}
+
+TEST(CnpRateLimiter, ZeroIntervalMeansCnpPerPacket) {
+  CnpRateLimiter limiter(CnpRateLimitMode::kPerPort);
+  for (Tick t = 0; t < 10; ++t) {
+    EXPECT_TRUE(limiter.allow(kIpA, 1, t, 0));
+  }
+}
+
+class LimiterSweep : public ::testing::TestWithParam<CnpRateLimitMode> {};
+
+TEST_P(LimiterSweep, EmissionRateBoundedByInterval) {
+  CnpRateLimiter limiter(GetParam());
+  int emitted = 0;
+  // One congested QP: regardless of scope, its CNPs respect the interval.
+  for (Tick t = 0; t < 100 * kMicrosecond; t += 500) {
+    if (limiter.allow(kIpA, 7, t, kInterval)) ++emitted;
+  }
+  EXPECT_LE(emitted, 26);  // 100us / 4us + 1
+  EXPECT_GE(emitted, 24);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scopes, LimiterSweep,
+                         ::testing::Values(CnpRateLimitMode::kPerPort,
+                                           CnpRateLimitMode::kPerDestIp,
+                                           CnpRateLimitMode::kPerQp));
+
+TEST(CnpRateLimiter, ModeToString) {
+  EXPECT_EQ(to_string(CnpRateLimitMode::kPerPort), "per-port");
+  EXPECT_EQ(to_string(CnpRateLimitMode::kPerDestIp), "per-dest-ip");
+  EXPECT_EQ(to_string(CnpRateLimitMode::kPerQp), "per-qp");
+}
+
+// ---------------------------------------------------------------------------
+// Device profile invariants (§6 encoded parameters)
+// ---------------------------------------------------------------------------
+
+TEST(DeviceProfile, EncodesPaperFindings) {
+  const auto& cx4 = DeviceProfile::get(NicType::kCx4Lx);
+  const auto& cx5 = DeviceProfile::get(NicType::kCx5);
+  const auto& cx6 = DeviceProfile::get(NicType::kCx6Dx);
+  const auto& e810 = DeviceProfile::get(NicType::kE810);
+
+  // Fig. 8/9 orderings.
+  EXPECT_GT(cx4.nack_react_delay_write, 20 * cx5.nack_react_delay_write);
+  EXPECT_GT(e810.nack_gen_delay_read, 1000 * e810.nack_gen_delay_write);
+  EXPECT_GT(cx4.nack_gen_delay_read, 10 * cx4.nack_gen_delay_write);
+  EXPECT_LT(cx5.nack_gen_delay_read, 5 * kMicrosecond);
+  EXPECT_LT(cx6.nack_gen_delay_read, 5 * kMicrosecond);
+
+  // §6.2 bugs live on the right devices only.
+  EXPECT_TRUE(cx6.bug_nonwork_conserving_ets);
+  EXPECT_FALSE(cx5.bug_nonwork_conserving_ets);
+  EXPECT_TRUE(cx4.bug_noisy_neighbor);
+  EXPECT_FALSE(e810.bug_noisy_neighbor);
+  EXPECT_TRUE(cx5.apm_slow_path_on_mig_req0);
+  EXPECT_FALSE(cx6.apm_slow_path_on_mig_req0);
+  EXPECT_TRUE(e810.bug_cnp_sent_counter_stuck);
+  EXPECT_TRUE(cx4.bug_implied_nak_counter_stuck);
+  EXPECT_FALSE(cx5.bug_implied_nak_counter_stuck);
+
+  // §6.2.3 MigReq defaults.
+  EXPECT_FALSE(e810.mig_req_default);
+  EXPECT_TRUE(cx4.mig_req_default && cx5.mig_req_default &&
+              cx6.mig_req_default);
+
+  // §6.3 CNP scopes and intervals.
+  EXPECT_EQ(cx4.cnp_mode, CnpRateLimitMode::kPerDestIp);
+  EXPECT_EQ(cx5.cnp_mode, CnpRateLimitMode::kPerPort);
+  EXPECT_EQ(cx6.cnp_mode, CnpRateLimitMode::kPerPort);
+  EXPECT_EQ(e810.cnp_mode, CnpRateLimitMode::kPerQp);
+  EXPECT_FALSE(e810.cnp_interval_configurable);
+  EXPECT_NEAR(to_us(e810.default_min_time_between_cnps), 50.0, 1.0);
+
+  // §6.3 adaptive retransmission: NVIDIA only.
+  EXPECT_TRUE(cx4.adaptive_retrans_available);
+  EXPECT_TRUE(cx5.adaptive_retrans_available);
+  EXPECT_TRUE(cx6.adaptive_retrans_available);
+  EXPECT_FALSE(e810.adaptive_retrans_available);
+}
+
+}  // namespace
+}  // namespace lumina

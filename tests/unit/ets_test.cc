@@ -1,0 +1,158 @@
+// Unit tests for the ETS egress scheduler: DRR fairness, work
+// conservation, and the CX6 Dx non-work-conserving bug mode (§6.2.1).
+#include <gtest/gtest.h>
+
+#include "rnic/ets.h"
+
+namespace lumina {
+namespace {
+
+constexpr std::size_t kPkt = 1024;
+
+/// Serves the scheduler for `rounds` packets with the given active set and
+/// returns how many packets each class got.
+std::vector<int> serve(EtsScheduler& ets, const std::vector<bool>& active,
+                       int rounds, Tick start = 0, Tick per_pkt = 100) {
+  std::vector<int> served(active.size(), 0);
+  const std::vector<std::size_t> sizes(active.size(), kPkt);
+  Tick now = start;
+  for (int i = 0; i < rounds; ++i) {
+    const auto pick = ets.pick(now, active, sizes);
+    if (!pick) {
+      now = ets.next_eligible_time(now, active, sizes);
+      if (now == std::numeric_limits<Tick>::max()) break;
+      continue;
+    }
+    ++served[static_cast<std::size_t>(*pick)];
+    ets.on_sent(*pick, kPkt, now);
+    now += per_pkt;
+  }
+  return served;
+}
+
+TEST(Ets, UnconfiguredPicksNothing) {
+  EtsScheduler ets;
+  EXPECT_FALSE(ets.configured());
+  EXPECT_FALSE(ets.pick(0, {true}, {kPkt}).has_value());
+}
+
+TEST(Ets, EqualWeightsShareEqually) {
+  EtsScheduler ets;
+  ets.configure({50, 50}, 100.0, /*work_conserving=*/true);
+  const auto served = serve(ets, {true, true}, 1000);
+  EXPECT_NEAR(served[0], 500, 20);
+  EXPECT_NEAR(served[1], 500, 20);
+}
+
+TEST(Ets, WeightsControlShares) {
+  EtsScheduler ets;
+  ets.configure({75, 25}, 100.0, true);
+  const auto served = serve(ets, {true, true}, 1000);
+  EXPECT_NEAR(served[0], 750, 30);
+  EXPECT_NEAR(served[1], 250, 30);
+}
+
+TEST(Ets, WorkConservingGivesIdleBandwidthAway) {
+  EtsScheduler ets;
+  ets.configure({50, 50}, 100.0, true);
+  // Class 1 has nothing to send: class 0 takes everything.
+  const auto served = serve(ets, {true, false}, 1000);
+  EXPECT_EQ(served[0], 1000);
+  EXPECT_EQ(served[1], 0);
+}
+
+TEST(Ets, NonWorkConservingCapsAtGuaranteedRate) {
+  // The CX6 Dx bug: with the other class idle, the active class is still
+  // limited to ~weight% of the link.
+  EtsScheduler ets;
+  ets.configure({50, 50}, 100.0, /*work_conserving=*/false);
+  // Link 100 Gbps, 1024 B packets: full rate is one packet every ~82 ns.
+  // Serve with per-packet time 82 ns: an uncapped class would take all
+  // 1000 slots; a 50%-capped class only ~half.
+  const auto served = serve(ets, {true, false}, 1000, 0, 82);
+  EXPECT_LT(served[0], 650);
+  EXPECT_GT(served[0], 350);
+}
+
+TEST(Ets, NonWorkConservingBothActiveStillSplit) {
+  EtsScheduler ets;
+  ets.configure({50, 50}, 100.0, false);
+  const auto served = serve(ets, {true, true}, 1000, 0, 82);
+  EXPECT_NEAR(served[0], served[1], 60);
+}
+
+TEST(Ets, SingleClassIsNeverCapped) {
+  // §6.2.1: the bug only manifests with multiple ETS queues configured.
+  EtsScheduler ets;
+  ets.configure({100}, 100.0, false);
+  const auto served = serve(ets, {true}, 1000, 0, 82);
+  EXPECT_EQ(served[0], 1000);
+}
+
+TEST(Ets, NextEligibleTimeBoundsTokenWait) {
+  EtsScheduler ets;
+  ets.configure({50, 50}, 100.0, false);
+  const std::vector<bool> active = {true, false};
+  const std::vector<std::size_t> sizes = {kPkt, kPkt};
+  // Exhaust class 0 tokens.
+  Tick now = 0;
+  while (ets.pick(now, active, sizes)) {
+    ets.on_sent(0, kPkt, now);
+  }
+  const Tick next = ets.next_eligible_time(now, active, sizes);
+  EXPECT_GT(next, now);
+  EXPECT_LT(next, now + 100 * kMicrosecond);
+  // At that time the class is eligible again.
+  EXPECT_TRUE(ets.pick(next + 1, active, sizes).has_value());
+}
+
+TEST(Ets, WorkConservingNeverReportsTokenStarvation) {
+  EtsScheduler ets;
+  ets.configure({10, 90}, 100.0, true);
+  EXPECT_EQ(ets.next_eligible_time(0, {true, true}, {kPkt, kPkt}),
+            std::numeric_limits<Tick>::max());
+}
+
+class EtsWeightSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(EtsWeightSweep, ServedRatioTracksWeightRatio) {
+  const auto [w0, w1] = GetParam();
+  EtsScheduler ets;
+  ets.configure({w0, w1}, 100.0, true);
+  const auto served = serve(ets, {true, true}, 2000);
+  const double expected =
+      static_cast<double>(w0) / static_cast<double>(w0 + w1);
+  const double actual =
+      static_cast<double>(served[0]) / (served[0] + served[1]);
+  EXPECT_NEAR(actual, expected, 0.05) << "weights " << w0 << "/" << w1;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, EtsWeightSweep,
+                         ::testing::Values(std::pair{50, 50},
+                                           std::pair{60, 40},
+                                           std::pair{75, 25},
+                                           std::pair{90, 10},
+                                           std::pair{30, 70}));
+
+TEST(Ets, ThreeClasses) {
+  EtsScheduler ets;
+  ets.configure({20, 30, 50}, 100.0, true);
+  std::vector<int> served(3, 0);
+  const std::vector<bool> active = {true, true, true};
+  const std::vector<std::size_t> sizes(3, kPkt);
+  Tick now = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const auto pick = ets.pick(now, active, sizes);
+    ASSERT_TRUE(pick.has_value());
+    ++served[static_cast<std::size_t>(*pick)];
+    ets.on_sent(*pick, kPkt, now);
+    now += 100;
+  }
+  EXPECT_NEAR(served[0], 600, 60);
+  EXPECT_NEAR(served[1], 900, 60);
+  EXPECT_NEAR(served[2], 1500, 60);
+}
+
+}  // namespace
+}  // namespace lumina

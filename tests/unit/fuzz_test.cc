@@ -1,0 +1,143 @@
+// Unit tests for the genetic fuzzer (§4, Algorithm 1).
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzzer.h"
+#include "fuzz/targets.h"
+
+namespace lumina {
+namespace {
+
+/// A cheap synthetic target so fuzzer mechanics can be tested without
+/// running full simulations for every assertion: score = message size,
+/// anomaly when the mutated message size crosses a threshold.
+FuzzTarget synthetic_target() {
+  FuzzTarget target;
+  target.make_initial = [](Rng& rng) {
+    TestConfig cfg;
+    cfg.traffic.verb = RdmaVerb::kWrite;
+    cfg.traffic.num_msgs_per_qp = 1;
+    cfg.traffic.message_size = 1024 + rng.next_below(4) * 1024;
+    return cfg;
+  };
+  target.mutate = [](TestConfig& cfg, Rng& rng) {
+    cfg.traffic.message_size += rng.next_below(3) * 1024;
+  };
+  target.score = [](const TestConfig& cfg, const TestResult&) {
+    return static_cast<double>(cfg.traffic.message_size);
+  };
+  target.is_anomaly = [](const TestConfig& cfg, const TestResult&) {
+    return cfg.traffic.message_size >= 8 * 1024;
+  };
+  return target;
+}
+
+TEST(Fuzzer, ClimbsTowardHigherScores) {
+  GeneticFuzzer::Options options;
+  options.pool_size = 4;
+  options.max_iterations = 120;
+  options.seed = 7;
+  GeneticFuzzer fuzzer(synthetic_target(), options);
+  const FuzzOutcome outcome = fuzzer.run();
+  // The hill is trivially climbable: the anomaly must be reached.
+  ASSERT_TRUE(outcome.anomaly.has_value());
+  EXPECT_GE(outcome.anomaly->config.traffic.message_size, 8u * 1024u);
+  EXPECT_LE(outcome.iterations,
+            options.pool_size + options.max_iterations);
+}
+
+TEST(Fuzzer, StopsAtIterationBudgetWithoutAnomaly) {
+  FuzzTarget target = synthetic_target();
+  target.is_anomaly = [](const TestConfig&, const TestResult&) {
+    return false;  // unreachable
+  };
+  GeneticFuzzer::Options options;
+  options.pool_size = 2;
+  options.max_iterations = 5;
+  GeneticFuzzer fuzzer(target, options);
+  const FuzzOutcome outcome = fuzzer.run();
+  EXPECT_FALSE(outcome.anomaly.has_value());
+  EXPECT_EQ(outcome.iterations, 7);
+  EXPECT_EQ(outcome.history.size(), 7u);
+}
+
+TEST(Fuzzer, AnomalyInInitialPoolShortCircuits) {
+  FuzzTarget target = synthetic_target();
+  target.is_anomaly = [](const TestConfig&, const TestResult&) {
+    return true;  // first config already anomalous
+  };
+  GeneticFuzzer fuzzer(target, {});
+  const FuzzOutcome outcome = fuzzer.run();
+  ASSERT_TRUE(outcome.anomaly.has_value());
+  EXPECT_EQ(outcome.iterations, 1);
+}
+
+TEST(Fuzzer, DeterministicForSameSeed) {
+  GeneticFuzzer::Options options;
+  options.pool_size = 3;
+  options.max_iterations = 10;
+  options.seed = 99;
+  FuzzTarget target = synthetic_target();
+  target.is_anomaly = [](const TestConfig&, const TestResult&) {
+    return false;
+  };
+  GeneticFuzzer a(target, options);
+  GeneticFuzzer b(target, options);
+  const FuzzOutcome oa = a.run();
+  const FuzzOutcome ob = b.run();
+  ASSERT_EQ(oa.history.size(), ob.history.size());
+  for (std::size_t i = 0; i < oa.history.size(); ++i) {
+    EXPECT_EQ(oa.history[i].config.traffic.message_size,
+              ob.history[i].config.traffic.message_size);
+  }
+}
+
+TEST(Fuzzer, NoisyNeighborTargetProducesValidConfigs) {
+  Rng rng(5);
+  const FuzzTarget target = make_noisy_neighbor_target(NicType::kCx4Lx);
+  for (int i = 0; i < 20; ++i) {
+    TestConfig cfg = target.make_initial(rng);
+    EXPECT_EQ(cfg.traffic.verb, RdmaVerb::kRead);
+    EXPECT_GE(cfg.traffic.num_connections, 8);
+    EXPECT_LE(cfg.traffic.num_connections, 40);
+    EXPECT_LE(static_cast<int>(cfg.traffic.data_pkt_events.size()),
+              cfg.traffic.num_connections);
+    for (int m = 0; m < 5; ++m) {
+      target.mutate(cfg, rng);
+      EXPECT_GE(cfg.traffic.num_connections, 4);
+      EXPECT_LE(cfg.traffic.num_connections, 64);
+      EXPECT_LE(static_cast<int>(cfg.traffic.data_pkt_events.size()),
+                cfg.traffic.num_connections);
+      for (const auto& ev : cfg.traffic.data_pkt_events) {
+        EXPECT_GE(ev.qpn, 1);
+        EXPECT_LE(ev.qpn, cfg.traffic.num_connections);
+      }
+    }
+  }
+}
+
+TEST(Fuzzer, LossyTargetScoresCounterBugsHigh) {
+  // The lossy-network target must score an E810 run (stuck cnpSent after
+  // drops/marks...) higher than a healthy CX5 run of the same shape.
+  const FuzzTarget target = make_lossy_network_target(NicType::kCx4Lx);
+  TestConfig cfg;
+  cfg.requester.nic_type = NicType::kCx4Lx;
+  cfg.responder.nic_type = NicType::kCx4Lx;
+  cfg.traffic.verb = RdmaVerb::kRead;
+  cfg.traffic.message_size = 20 * 1024;
+  cfg.traffic.data_pkt_events.push_back(
+      DataPacketEvent{1, 5, EventType::kDrop, 1});
+  Orchestrator bad(cfg);
+  const double bad_score = target.score(cfg, bad.run());
+  EXPECT_TRUE(target.is_anomaly(cfg, bad.result()));  // implied_nak stuck
+
+  TestConfig good_cfg = cfg;
+  good_cfg.requester.nic_type = NicType::kCx5;
+  good_cfg.responder.nic_type = NicType::kCx5;
+  Orchestrator good(good_cfg);
+  const double good_score = target.score(good_cfg, good.run());
+  EXPECT_FALSE(target.is_anomaly(good_cfg, good.result()));
+  EXPECT_GT(bad_score, good_score);
+}
+
+}  // namespace
+}  // namespace lumina

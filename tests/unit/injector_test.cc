@@ -1,0 +1,418 @@
+// Unit tests for the event-injector switch: ITER tracking (Fig. 3), the
+// match-action event table, metadata embedding (§3.4), weighted
+// round-robin mirroring, and the data-plane pipeline.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "injector/event_table.h"
+#include "util/random.h"
+#include "injector/mirror.h"
+#include "injector/switch.h"
+
+namespace lumina {
+namespace {
+
+const FlowKey kFlow{Ipv4Address::from_octets(10, 0, 0, 1),
+                    Ipv4Address::from_octets(10, 0, 0, 2), 0xea};
+
+// ---------------------------------------------------------------------------
+// IterTracker — the Fig. 3 walkthrough and beyond
+// ---------------------------------------------------------------------------
+
+TEST(IterTracker, Figure3Walkthrough) {
+  // Packets: 1 2 3 4 | 2 3 4 | 3 4   (drop 2 in round 1, 3 in round 2)
+  IterTracker tracker;
+  tracker.register_flow(kFlow, 1);
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> expected = {
+      {1, 1}, {2, 1}, {3, 1}, {4, 1},  // first round
+      {2, 2}, {3, 2}, {4, 2},          // retransmission round 2
+      {3, 3}, {4, 3},                  // retransmission round 3
+  };
+  for (const auto& [psn, iter] : expected) {
+    EXPECT_EQ(tracker.observe(kFlow, psn), iter) << "psn " << psn;
+  }
+}
+
+TEST(IterTracker, EqualPsnStartsNewRound) {
+  IterTracker tracker;
+  tracker.register_flow(kFlow, 10);
+  EXPECT_EQ(tracker.observe(kFlow, 10), 1u);
+  EXPECT_EQ(tracker.observe(kFlow, 10), 2u);  // PSN == last -> new round
+  EXPECT_EQ(tracker.observe(kFlow, 10), 3u);
+}
+
+TEST(IterTracker, FirstPacketOfRegisteredFlowIsRoundOne) {
+  // last-PSN initializes to IPSN-1 so the first packet stays in round 1.
+  IterTracker tracker;
+  tracker.register_flow(kFlow, 1000);
+  EXPECT_EQ(tracker.observe(kFlow, 1000), 1u);
+  EXPECT_EQ(tracker.observe(kFlow, 1001), 1u);
+}
+
+TEST(IterTracker, StatefulDiscoveryFallback) {
+  // Unregistered flows are discovered on first sight (ablation mode).
+  IterTracker tracker;
+  EXPECT_EQ(tracker.observe(kFlow, 500), 1u);
+  EXPECT_EQ(tracker.observe(kFlow, 501), 1u);
+  EXPECT_EQ(tracker.observe(kFlow, 500), 2u);
+  EXPECT_EQ(tracker.tracked_flows(), 1u);
+}
+
+TEST(IterTracker, FlowsAreIndependent) {
+  IterTracker tracker;
+  FlowKey other = kFlow;
+  other.dst_qpn = 0xfe;
+  tracker.register_flow(kFlow, 1);
+  tracker.register_flow(other, 1);
+  tracker.observe(kFlow, 1);
+  tracker.observe(kFlow, 1);  // flow A now round 2
+  EXPECT_EQ(tracker.iter(kFlow), 2u);
+  EXPECT_EQ(tracker.iter(other), 1u);
+}
+
+TEST(IterTracker, HandlesPsnWrap) {
+  IterTracker tracker;
+  tracker.register_flow(kFlow, 0xfffffe);
+  EXPECT_EQ(tracker.observe(kFlow, 0xfffffe), 1u);
+  EXPECT_EQ(tracker.observe(kFlow, 0xffffff), 1u);
+  EXPECT_EQ(tracker.observe(kFlow, 0x000000), 1u);  // wrap is forward
+  EXPECT_EQ(tracker.observe(kFlow, 0xffffff), 2u);  // going back: new round
+}
+
+/// Property: ITER computed by the tracker matches a reference model that
+/// replays the same PSN sequence.
+class IterPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IterPropertyTest, MatchesReferenceModel) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  IterTracker tracker;
+  tracker.register_flow(kFlow, 100);
+  std::uint32_t last = 99;
+  std::uint32_t ref_iter = 1;
+  std::uint32_t psn = 100;
+  for (int i = 0; i < 500; ++i) {
+    // Random walk: mostly forward, occasional rewinds (retransmissions).
+    if (rng.next_bool(0.15)) {
+      psn = psn_add(psn, -static_cast<std::int64_t>(rng.next_below(5)) - 1);
+    } else {
+      psn = psn_add(psn, 1);
+    }
+    if (!psn_gt(psn, last)) ++ref_iter;
+    last = psn;
+    EXPECT_EQ(tracker.observe(kFlow, psn), ref_iter) << "step " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IterPropertyTest,
+                         ::testing::Values(1, 2, 3, 7, 42));
+
+// ---------------------------------------------------------------------------
+// EventTable
+// ---------------------------------------------------------------------------
+
+TEST(EventTable, ExactMatchAndConsumption) {
+  EventTable table;
+  table.install(EventRule{kFlow, 1004, 1, EventType::kEcn});
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_FALSE(table.match(kFlow, 1003, 1).has_value());
+  EXPECT_FALSE(table.match(kFlow, 1004, 2).has_value());
+  FlowKey other = kFlow;
+  other.dst_qpn = 0x1;
+  EXPECT_FALSE(table.match(other, 1004, 1).has_value());
+  const auto hit = table.match(kFlow, 1004, 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->type, EventType::kEcn);
+  // Single-shot: the rule is consumed.
+  EXPECT_FALSE(table.match(kFlow, 1004, 1).has_value());
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.hits(), 1u);
+}
+
+TEST(EventTable, PeekDoesNotConsume) {
+  EventTable table;
+  table.install(EventRule{kFlow, 7, 1, EventType::kDrop});
+  EXPECT_TRUE(table.peek(kFlow, 7, 1).has_value());
+  EXPECT_TRUE(table.peek(kFlow, 7, 1).has_value());
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(EventTable, SameKeyDifferentIter) {
+  EventTable table;
+  table.install(EventRule{kFlow, 5, 1, EventType::kDrop});
+  table.install(EventRule{kFlow, 5, 2, EventType::kDrop});
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_TRUE(table.match(kFlow, 5, 2).has_value());
+  EXPECT_TRUE(table.match(kFlow, 5, 1).has_value());
+}
+
+TEST(EventTable, PaperScaleCapacity) {
+  // §5: ~100K events for 10K connections fit in ~1 MB of table memory.
+  EventTable table;
+  for (std::uint32_t c = 0; c < 10'000; ++c) {
+    FlowKey flow = kFlow;
+    flow.dst_qpn = c;
+    for (std::uint32_t e = 0; e < 10; ++e) {
+      table.install(EventRule{flow, 1000 + e, 1, EventType::kDrop});
+    }
+  }
+  EXPECT_EQ(table.size(), 100'000u);
+  FlowKey probe = kFlow;
+  probe.dst_qpn = 9'999;
+  EXPECT_TRUE(table.match(probe, 1009, 1).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// MirrorEngine — metadata embedding + WRR
+// ---------------------------------------------------------------------------
+
+Packet sample_packet() {
+  RocePacketSpec spec;
+  spec.src_ip = kFlow.src_ip;
+  spec.dst_ip = kFlow.dst_ip;
+  spec.opcode = IbOpcode::kWriteOnly;
+  spec.reth = Reth{0, 0, 512};
+  spec.payload_len = 512;
+  spec.dest_qpn = kFlow.dst_qpn;
+  spec.psn = 42;
+  return build_roce_packet(spec);
+}
+
+TEST(MirrorEngine, EmbedsAndExtractsMetadata) {
+  MirrorEngine engine(1);
+  engine.set_targets({{2, 1}});
+  const auto mirrored = engine.mirror(sample_packet(), EventType::kDrop,
+                                      123'456'789);
+  const MirrorMeta meta = extract_mirror_meta(mirrored.clone);
+  EXPECT_EQ(meta.mirror_seq, 0u);
+  EXPECT_EQ(meta.ingress_timestamp, 123'456'789);
+  EXPECT_EQ(meta.event, EventType::kDrop);
+
+  const auto second = engine.mirror(sample_packet(), EventType::kNone, 99);
+  EXPECT_EQ(extract_mirror_meta(second.clone).mirror_seq, 1u);
+  EXPECT_EQ(engine.mirrored_count(), 2u);
+}
+
+TEST(MirrorEngine, CloneStillParsesAndOriginalUntouched) {
+  MirrorEngine engine(1);
+  engine.set_targets({{2, 1}});
+  const Packet original = sample_packet();
+  const auto mirrored = engine.mirror(original, EventType::kEcn, 5);
+  const auto view = parse_roce(mirrored.clone);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->bth.psn, 42u);
+  EXPECT_NE(view->udp_dst_port, kRoceUdpPort);  // randomized for RSS
+  // Restoration brings the clone back to a proper RoCE packet.
+  Packet restored = mirrored.clone;
+  restore_roce_udp_port(restored);
+  EXPECT_EQ(parse_roce(restored)->udp_dst_port, kRoceUdpPort);
+  // The original was cloned, not mutated.
+  EXPECT_EQ(parse_roce(original)->udp_dst_port, kRoceUdpPort);
+  EXPECT_EQ(parse_roce(original)->ttl, 64);
+}
+
+TEST(MirrorEngine, RandomizationCanBeDisabled) {
+  MirrorEngine engine(1);
+  engine.set_targets({{2, 1}});
+  engine.set_randomize_udp_port(false);
+  const auto mirrored = engine.mirror(sample_packet(), EventType::kNone, 0);
+  EXPECT_EQ(parse_roce(mirrored.clone)->udp_dst_port, kRoceUdpPort);
+}
+
+TEST(MirrorEngine, WrrHonorsWeights) {
+  MirrorEngine engine(1);
+  engine.set_targets({{2, 1}, {3, 3}});
+  std::map<int, int> counts;
+  for (int i = 0; i < 4000; ++i) {
+    ++counts[engine.mirror(sample_packet(), EventType::kNone, 0).port_index];
+  }
+  EXPECT_EQ(counts[2], 1000);
+  EXPECT_EQ(counts[3], 3000);
+}
+
+TEST(MirrorEngine, EqualWeightsAlternate) {
+  MirrorEngine engine(1);
+  engine.set_targets({{2, 1}, {3, 1}});
+  std::map<int, int> counts;
+  for (int i = 0; i < 100; ++i) {
+    ++counts[engine.mirror(sample_packet(), EventType::kNone, 0).port_index];
+  }
+  EXPECT_EQ(counts[2], 50);
+  EXPECT_EQ(counts[3], 50);
+}
+
+// ---------------------------------------------------------------------------
+// The switch data plane
+// ---------------------------------------------------------------------------
+
+class CaptureNode : public Node {
+ public:
+  CaptureNode(Simulator* sim, std::string name)
+      : name_(std::move(name)), port_(sim, this, 0) {}
+  void handle_packet(int, Packet pkt) override {
+    packets.push_back(std::move(pkt));
+  }
+  std::string name() const override { return name_; }
+  Port& port() { return port_; }
+  std::vector<Packet> packets;
+
+ private:
+  std::string name_;
+  Port port_;
+};
+
+class SwitchTest : public ::testing::Test {
+ protected:
+  SwitchTest()
+      : sw(&sim, 4, EventInjectorSwitch::Options{}),
+        host_a(&sim, "host-a"),
+        host_b(&sim, "host-b"),
+        dumper(&sim, "dumper") {
+    connect(host_a.port(), sw.port(0), LinkParams{100.0, 10});
+    connect(host_b.port(), sw.port(1), LinkParams{100.0, 10});
+    connect(dumper.port(), sw.port(2), LinkParams{100.0, 10});
+    sw.add_route(kFlow.src_ip, 0);
+    sw.add_route(kFlow.dst_ip, 1);
+    sw.set_mirror_targets({{2, 1}});
+  }
+
+  Simulator sim;
+  EventInjectorSwitch sw;
+  CaptureNode host_a;
+  CaptureNode host_b;
+  CaptureNode dumper;
+};
+
+TEST_F(SwitchTest, ForwardsByDestinationIp) {
+  host_a.port().send(sample_packet());
+  sim.run();
+  ASSERT_EQ(host_b.packets.size(), 1u);
+  EXPECT_TRUE(host_a.packets.empty());
+  EXPECT_EQ(sw.roce_counters().roce_rx, 1u);
+  EXPECT_EQ(sw.roce_counters().roce_tx, 1u);
+}
+
+TEST_F(SwitchTest, MirrorsEveryRocePacket) {
+  host_a.port().send(sample_packet());
+  host_a.port().send(sample_packet());
+  sim.run();
+  EXPECT_EQ(dumper.packets.size(), 2u);
+  EXPECT_EQ(sw.roce_counters().mirrored, 2u);
+  // Mirror copies carry consecutive sequence numbers.
+  EXPECT_EQ(extract_mirror_meta(dumper.packets[0]).mirror_seq, 0u);
+  EXPECT_EQ(extract_mirror_meta(dumper.packets[1]).mirror_seq, 1u);
+}
+
+TEST_F(SwitchTest, DropRuleDropsButStillMirrors) {
+  sw.register_flow(kFlow, 42);
+  sw.install_rule(EventRule{kFlow, 42, 1, EventType::kDrop});
+  host_a.port().send(sample_packet());
+  sim.run();
+  EXPECT_TRUE(host_b.packets.empty());  // dropped before the MMU
+  ASSERT_EQ(dumper.packets.size(), 1u);  // but mirrored (§3.4)
+  EXPECT_EQ(extract_mirror_meta(dumper.packets[0]).event, EventType::kDrop);
+  EXPECT_EQ(sw.roce_counters().dropped_by_event, 1u);
+  EXPECT_EQ(sw.roce_counters().events_applied, 1u);
+}
+
+TEST_F(SwitchTest, EcnRuleMarksForwardedPacket) {
+  sw.register_flow(kFlow, 42);
+  sw.install_rule(EventRule{kFlow, 42, 1, EventType::kEcn});
+  host_a.port().send(sample_packet());
+  sim.run();
+  ASSERT_EQ(host_b.packets.size(), 1u);
+  EXPECT_TRUE(parse_roce(host_b.packets[0])->ecn_ce());
+  EXPECT_TRUE(verify_icrc(host_b.packets[0]));  // ECN is iCRC-masked
+  EXPECT_EQ(extract_mirror_meta(dumper.packets.at(0)).event, EventType::kEcn);
+}
+
+TEST_F(SwitchTest, CorruptRuleBreaksIcrc) {
+  sw.register_flow(kFlow, 42);
+  sw.install_rule(EventRule{kFlow, 42, 1, EventType::kCorrupt});
+  host_a.port().send(sample_packet());
+  sim.run();
+  ASSERT_EQ(host_b.packets.size(), 1u);
+  EXPECT_FALSE(verify_icrc(host_b.packets[0]));
+}
+
+TEST_F(SwitchTest, EnforceDropsFalseKeepsTablesButForwards) {
+  auto options = sw.options();
+  options.enforce_drops = false;
+  sw.set_options(options);
+  sw.register_flow(kFlow, 42);
+  sw.install_rule(EventRule{kFlow, 42, 1, EventType::kDrop});
+  host_a.port().send(sample_packet());
+  sim.run();
+  EXPECT_EQ(host_b.packets.size(), 1u);  // matched but not enforced (§5)
+  EXPECT_EQ(sw.roce_counters().events_applied, 1u);
+}
+
+TEST_F(SwitchTest, RewriteMigReqAction) {
+  auto options = sw.options();
+  options.rewrite_mig_req = true;
+  sw.set_options(options);
+  RocePacketSpec spec;
+  spec.src_ip = kFlow.src_ip;
+  spec.dst_ip = kFlow.dst_ip;
+  spec.opcode = IbOpcode::kSendOnly;
+  spec.payload_len = 128;
+  spec.mig_req = false;  // E810-style
+  host_a.port().send(build_roce_packet(spec));
+  sim.run();
+  ASSERT_EQ(host_b.packets.size(), 1u);
+  EXPECT_TRUE(parse_roce(host_b.packets[0])->bth.mig_req);
+  EXPECT_TRUE(verify_icrc(host_b.packets[0]));
+}
+
+TEST_F(SwitchTest, EventStageAddsLatency) {
+  // Compare arrival times with and without the event-injection stages.
+  host_a.port().send(sample_packet());
+  sim.run();
+  ASSERT_EQ(host_b.packets.size(), 1u);
+  const Tick with_events = sim.now();
+
+  Simulator sim2;
+  EventInjectorSwitch::Options options;
+  options.enable_event_injection = false;
+  EventInjectorSwitch sw2(&sim2, 4, options);
+  CaptureNode a2(&sim2, "a2"), b2(&sim2, "b2");
+  connect(a2.port(), sw2.port(0), LinkParams{100.0, 10});
+  connect(b2.port(), sw2.port(1), LinkParams{100.0, 10});
+  sw2.add_route(kFlow.dst_ip, 1);
+  a2.port().send(sample_packet());
+  sim2.run();
+  ASSERT_EQ(b2.packets.size(), 1u);
+  EXPECT_EQ(with_events - sim2.now(),
+            EventInjectorSwitch::Options{}.event_stage_latency);
+}
+
+TEST_F(SwitchTest, UnroutableDestinationIsDropped) {
+  RocePacketSpec spec;
+  spec.src_ip = kFlow.src_ip;
+  spec.dst_ip = Ipv4Address::from_octets(172, 16, 0, 1);  // no route
+  spec.opcode = IbOpcode::kSendOnly;
+  host_a.port().send(build_roce_packet(spec));
+  sim.run();
+  EXPECT_TRUE(host_b.packets.empty());
+  EXPECT_EQ(sw.roce_counters().mirrored, 1u);  // still mirrored at ingress
+}
+
+TEST_F(SwitchTest, ControlPacketsAreNotInjectable) {
+  // ACKs match no event rules even if one is installed for their PSN.
+  sw.register_flow(kFlow, 42);
+  sw.install_rule(EventRule{kFlow, 42, 1, EventType::kDrop});
+  RocePacketSpec spec;
+  spec.src_ip = kFlow.src_ip;
+  spec.dst_ip = kFlow.dst_ip;
+  spec.dest_qpn = kFlow.dst_qpn;
+  spec.psn = 42;
+  spec.opcode = IbOpcode::kAcknowledge;
+  spec.aeth = Aeth::ack(0);
+  host_a.port().send(build_roce_packet(spec));
+  sim.run();
+  EXPECT_EQ(host_b.packets.size(), 1u);  // forwarded, not dropped
+  EXPECT_EQ(sw.roce_counters().events_applied, 0u);
+}
+
+}  // namespace
+}  // namespace lumina

@@ -1,0 +1,220 @@
+// Tests for the library bug suite (src/suite) and the trace-statistics
+// analyzer.
+#include <gtest/gtest.h>
+
+#include "analyzers/rate_timeline.h"
+#include "analyzers/trace_stats.h"
+#include "orchestrator/orchestrator.h"
+#include "suite/bug_detectors.h"
+
+namespace lumina {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bug suite — spot checks (the exhaustive 4x6 matrix runs in the Table 2
+// bench; here each detector is exercised once positive, once negative).
+// ---------------------------------------------------------------------------
+
+TEST(BugSuite, EtsDetectorSeparatesCx6FromCx5) {
+  EXPECT_TRUE(detect_issue(KnownIssue::kNonWorkConservingEts,
+                           NicType::kCx6Dx)
+                  .affected);
+  EXPECT_FALSE(
+      detect_issue(KnownIssue::kNonWorkConservingEts, NicType::kCx5)
+          .affected);
+}
+
+TEST(BugSuite, CounterDetectorSeparatesE810FromCx6) {
+  const auto e810 =
+      detect_issue(KnownIssue::kCounterInconsistency, NicType::kE810);
+  EXPECT_TRUE(e810.affected);
+  EXPECT_NE(e810.evidence.find("np_cnp_sent"), std::string::npos);
+  EXPECT_FALSE(
+      detect_issue(KnownIssue::kCounterInconsistency, NicType::kCx6Dx)
+          .affected);
+}
+
+TEST(BugSuite, AdaptiveRetransDetectorSeparatesNvidiaFromIntel) {
+  EXPECT_TRUE(detect_issue(KnownIssue::kAdaptiveRetransDeviation,
+                           NicType::kCx5)
+                  .affected);
+  EXPECT_FALSE(detect_issue(KnownIssue::kAdaptiveRetransDeviation,
+                            NicType::kE810)
+                   .affected);
+}
+
+TEST(BugSuite, RunBugSuiteCoversEveryKnownIssue) {
+  const auto results = run_bug_suite(NicType::kCx5);
+  ASSERT_EQ(results.size(), all_known_issues().size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].issue, all_known_issues()[i]);
+    EXPECT_EQ(results[i].nic, NicType::kCx5);
+    EXPECT_FALSE(results[i].evidence.empty());
+  }
+}
+
+TEST(BugSuite, IssueNamesMatchTable2) {
+  EXPECT_EQ(to_string(KnownIssue::kNoisyNeighbor), "Noisy neighbor (6.2.2)");
+  EXPECT_EQ(to_string(KnownIssue::kCnpRateLimiting),
+            "CNP rate limiting (6.3)");
+}
+
+// ---------------------------------------------------------------------------
+// Trace statistics
+// ---------------------------------------------------------------------------
+
+TEST(TraceStats, AccountsForEveryPacketClass) {
+  TestConfig cfg;
+  cfg.requester.nic_type = NicType::kCx5;
+  cfg.responder.nic_type = NicType::kCx5;
+  cfg.traffic.verb = RdmaVerb::kWrite;
+  cfg.traffic.num_msgs_per_qp = 2;
+  cfg.traffic.message_size = 8192;
+  cfg.traffic.data_pkt_events.push_back(
+      DataPacketEvent{1, 3, EventType::kDrop, 1});
+  cfg.traffic.data_pkt_events.push_back(
+      DataPacketEvent{1, 14, EventType::kEcn, 1});
+  Orchestrator orch(cfg);
+  const TestResult& result = orch.run();
+
+  const TraceStats stats = compute_trace_stats(result.trace);
+  EXPECT_EQ(stats.total_packets, result.trace.size());
+  EXPECT_EQ(stats.total_packets,
+            stats.data_packets + stats.ack_packets + stats.nak_packets +
+                stats.cnp_packets + stats.read_requests);
+  EXPECT_EQ(stats.nak_packets, 1u);
+  EXPECT_GE(stats.cnp_packets, 1u);  // ECN mark + NVIDIA OOO-CNP
+  EXPECT_GT(stats.span, 0);
+
+  ASSERT_EQ(stats.flows.size(), 1u);  // one data direction
+  const FlowStats& flow = stats.flows[0];
+  // 16 original packets + the Go-Back-N retransmission round.
+  EXPECT_GT(flow.data_packets, 16u);
+  EXPECT_GE(flow.retransmitted_packets, 1u);
+  EXPECT_GT(flow.throughput_gbps(), 1.0);
+  EXPECT_GT(flow.inter_arrival_us.count(), 0u);
+}
+
+TEST(TraceStats, ReadTrafficShowsBothDirections) {
+  TestConfig cfg;
+  cfg.requester.nic_type = NicType::kCx5;
+  cfg.responder.nic_type = NicType::kCx5;
+  cfg.traffic.verb = RdmaVerb::kRead;
+  cfg.traffic.message_size = 8192;
+  Orchestrator orch(cfg);
+  const TestResult& result = orch.run();
+  const TraceStats stats = compute_trace_stats(result.trace);
+  EXPECT_EQ(stats.read_requests, 1u);
+  ASSERT_EQ(stats.flows.size(), 1u);  // responses are the only data stream
+  EXPECT_EQ(stats.flows[0].flow.src_ip, result.connections[0].responder.ip);
+  EXPECT_EQ(stats.flows[0].data_bytes, 8192u);
+}
+
+TEST(TraceStats, EmptyTraceIsSafe) {
+  const TraceStats stats = compute_trace_stats(PacketTrace{});
+  EXPECT_EQ(stats.total_packets, 0u);
+  EXPECT_TRUE(stats.flows.empty());
+  EXPECT_EQ(stats.span, 0);
+  EXPECT_FALSE(stats.to_string().empty());
+}
+
+TEST(TraceStats, SummaryMentionsEveryFlow) {
+  TestConfig cfg;
+  cfg.requester.nic_type = NicType::kCx5;
+  cfg.responder.nic_type = NicType::kCx5;
+  cfg.traffic.num_connections = 2;
+  cfg.traffic.message_size = 4096;
+  Orchestrator orch(cfg);
+  const TestResult& result = orch.run();
+  const std::string summary = compute_trace_stats(result.trace).to_string();
+  EXPECT_NE(summary.find("-> "), std::string::npos);
+  EXPECT_NE(summary.find("Gbps"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Rate timeline
+// ---------------------------------------------------------------------------
+
+TEST(RateTimeline, BucketsThroughputPerFlow) {
+  TestConfig cfg;
+  cfg.requester.nic_type = NicType::kCx5;
+  cfg.responder.nic_type = NicType::kCx5;
+  cfg.traffic.verb = RdmaVerb::kWrite;
+  cfg.traffic.num_msgs_per_qp = 20;
+  cfg.traffic.message_size = 64 * 1024;
+  cfg.traffic.tx_depth = 4;
+  Orchestrator::Options options;
+  options.num_dumpers = 3;
+  options.dumper_options.per_packet_service = 80;
+  Orchestrator orch(cfg, options);
+  const TestResult& result = orch.run();
+
+  const auto timelines =
+      compute_rate_timeline(result.trace, 10 * kMicrosecond);
+  ASSERT_EQ(timelines.size(), 1u);
+  const FlowTimeline& tl = timelines[0];
+  EXPECT_GT(tl.points.size(), 5u);
+  // Mid-run windows sit near line rate (payload share of 100 Gbps).
+  EXPECT_GT(tl.peak_gbps(), 70.0);
+  EXPECT_LT(tl.peak_gbps(), 100.0);
+  EXPECT_GT(tl.tail_mean_gbps(3), 30.0);
+  // Sparkline has one character per window.
+  EXPECT_EQ(render_sparkline(tl).size(), tl.points.size());
+}
+
+TEST(RateTimeline, ThrottledFlowShowsLowerRateThanCleanFlow) {
+  TestConfig cfg;
+  cfg.requester.nic_type = NicType::kCx5;
+  cfg.responder.nic_type = NicType::kCx5;
+  cfg.requester.roce.min_time_between_cnps = 4 * kMicrosecond;
+  cfg.traffic.verb = RdmaVerb::kWrite;
+  cfg.traffic.num_connections = 2;
+  cfg.traffic.num_msgs_per_qp = 4;
+  cfg.traffic.message_size = 256 * 1024;
+  cfg.traffic.tx_depth = 2;
+  // Mark every 25th packet of connection 1 only.
+  for (int k = 25; k <= 1024; k += 25) {
+    cfg.traffic.data_pkt_events.push_back(DataPacketEvent{
+        1, static_cast<std::uint32_t>(k), EventType::kEcn, 1});
+  }
+  Orchestrator::Options options;
+  options.num_dumpers = 3;
+  options.dumper_options.per_packet_service = 80;
+  Orchestrator orch(cfg, options);
+  const TestResult& result = orch.run();
+
+  const auto timelines =
+      compute_rate_timeline(result.trace, 20 * kMicrosecond);
+  ASSERT_EQ(timelines.size(), 2u);
+  // Identify which timeline belongs to the marked connection.
+  const auto& meta = result.connections[0];
+  const FlowTimeline* marked = nullptr;
+  const FlowTimeline* clean = nullptr;
+  for (const auto& tl : timelines) {
+    if (tl.flow.dst_qpn == meta.responder.qpn) {
+      marked = &tl;
+    } else {
+      clean = &tl;
+    }
+  }
+  ASSERT_NE(marked, nullptr);
+  ASSERT_NE(clean, nullptr);
+  EXPECT_LT(marked->tail_mean_gbps(5), clean->tail_mean_gbps(5));
+}
+
+TEST(RateTimeline, EmptyAndDegenerateInputs) {
+  EXPECT_TRUE(compute_rate_timeline(PacketTrace{}, kMicrosecond).empty());
+  TestConfig cfg;
+  cfg.requester.nic_type = NicType::kCx5;
+  cfg.responder.nic_type = NicType::kCx5;
+  cfg.traffic.message_size = 1024;
+  Orchestrator orch(cfg);
+  const TestResult& result = orch.run();
+  EXPECT_TRUE(compute_rate_timeline(result.trace, 0).empty());
+  const auto timelines = compute_rate_timeline(result.trace, kSecond);
+  ASSERT_EQ(timelines.size(), 1u);
+  EXPECT_EQ(timelines[0].points.size(), 1u);
+}
+
+}  // namespace
+}  // namespace lumina

@@ -1,0 +1,143 @@
+// Unit tests for util: time formatting, deterministic PRNG, statistics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace lumina {
+namespace {
+
+using namespace time_literals;
+
+TEST(Time, LiteralsAndConstants) {
+  EXPECT_EQ(1_us, kMicrosecond);
+  EXPECT_EQ(1_ms, kMillisecond);
+  EXPECT_EQ(1_s, kSecond);
+  EXPECT_EQ(4096_ns, 4096);
+  EXPECT_EQ(3_us, 3000);
+}
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(to_us(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_ms(2'500'000), 2.5);
+  EXPECT_DOUBLE_EQ(to_s(3 * kSecond), 3.0);
+}
+
+TEST(Time, FormatDurationPicksUnit) {
+  EXPECT_EQ(format_duration(999), "999ns");
+  EXPECT_EQ(format_duration(1500), "1.50us");
+  EXPECT_EQ(format_duration(2'500'000), "2.500ms");
+  EXPECT_EQ(format_duration(4 * kSecond), "4.0000s");
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextInIsInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, NextDoubleInHalfOpenUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(13);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.next_below(kBuckets)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets / 10);
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.next_bool(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits, 25000, 1000);
+}
+
+TEST(SampleStats, EmptyIsSafe) {
+  SampleStats stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(SampleStats, BasicMoments) {
+  SampleStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(v);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_NEAR(stats.stddev(), 2.138, 0.001);  // sample stddev
+}
+
+TEST(SampleStats, PercentilesInterpolate) {
+  SampleStats stats;
+  for (int i = 1; i <= 100; ++i) stats.add(i);
+  EXPECT_DOUBLE_EQ(stats.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(100), 100.0);
+  EXPECT_NEAR(stats.median(), 50.5, 0.01);
+  EXPECT_NEAR(stats.percentile(99), 99.01, 0.01);
+}
+
+TEST(SampleStats, SingleSample) {
+  SampleStats stats;
+  stats.add(42.0);
+  EXPECT_DOUBLE_EQ(stats.median(), 42.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace lumina

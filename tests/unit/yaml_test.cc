@@ -1,0 +1,240 @@
+// Unit tests for the YAML-subset parser (config/yaml_lite).
+#include <gtest/gtest.h>
+
+#include "config/yaml_lite.h"
+
+namespace lumina {
+namespace {
+
+TEST(Yaml, EmptyDocumentIsNull) {
+  EXPECT_TRUE(parse_yaml("").is_null());
+  EXPECT_TRUE(parse_yaml("   \n# only a comment\n").is_null());
+}
+
+TEST(Yaml, ScalarTypes) {
+  const YamlNode root = parse_yaml(
+      "int: 42\n"
+      "neg: -7\n"
+      "float: 3.25\n"
+      "t1: true\n"
+      "t2: True\n"
+      "f1: false\n"
+      "f2: False\n"
+      "text: hello world\n"
+      "quoted: \"a: b, c\"\n");
+  EXPECT_EQ(root["int"].as_int(), 42);
+  EXPECT_EQ(root["neg"].as_int(), -7);
+  EXPECT_DOUBLE_EQ(root["float"].as_double(), 3.25);
+  EXPECT_TRUE(root["t1"].as_bool());
+  EXPECT_TRUE(root["t2"].as_bool());
+  EXPECT_FALSE(root["f1"].as_bool());
+  EXPECT_FALSE(root["f2"].as_bool());
+  EXPECT_EQ(root["text"].as_string(), "hello world");
+  EXPECT_EQ(root["quoted"].as_string(), "a: b, c");
+}
+
+TEST(Yaml, TypeMismatchThrows) {
+  const YamlNode root = parse_yaml("key: banana\n");
+  EXPECT_THROW(root["key"].as_int(), YamlError);
+  EXPECT_THROW(root["key"].as_bool(), YamlError);
+  EXPECT_THROW(root["key"].as_double(), YamlError);
+  EXPECT_NO_THROW(root["key"].as_string());
+}
+
+TEST(Yaml, MissingKeysAreNullAndDefaultable) {
+  const YamlNode root = parse_yaml("a: 1\n");
+  EXPECT_TRUE(root["missing"].is_null());
+  EXPECT_EQ(root["missing"].as_int_or(99), 99);
+  EXPECT_EQ(root["missing"].as_string_or("dflt"), "dflt");
+  EXPECT_TRUE(root["missing"].as_bool_or(true));
+  EXPECT_DOUBLE_EQ(root["missing"].as_double_or(2.5), 2.5);
+  EXPECT_EQ(root["a"].as_int_or(99), 1);
+}
+
+TEST(Yaml, NestedBlocks) {
+  const YamlNode root = parse_yaml(
+      "outer:\n"
+      "  inner:\n"
+      "    deep: 3\n"
+      "  sibling: x\n"
+      "next: 1\n");
+  EXPECT_EQ(root["outer"]["inner"]["deep"].as_int(), 3);
+  EXPECT_EQ(root["outer"]["sibling"].as_string(), "x");
+  EXPECT_EQ(root["next"].as_int(), 1);
+}
+
+TEST(Yaml, FlowLists) {
+  const YamlNode root = parse_yaml("ips: [10.0.0.2/24, 10.0.0.12/24]\n");
+  const YamlNode& ips = root["ips"];
+  ASSERT_TRUE(ips.is_list());
+  ASSERT_EQ(ips.size(), 2u);
+  EXPECT_EQ(ips[0].as_string(), "10.0.0.2/24");
+  EXPECT_EQ(ips[1].as_string(), "10.0.0.12/24");
+  EXPECT_TRUE(ips[5].is_null());  // out of range -> null
+}
+
+TEST(Yaml, EmptyFlowContainers) {
+  const YamlNode root = parse_yaml("l: []\nm: {}\n");
+  EXPECT_TRUE(root["l"].is_list());
+  EXPECT_EQ(root["l"].size(), 0u);
+  EXPECT_TRUE(root["m"].is_map());
+  EXPECT_EQ(root["m"].size(), 0u);
+}
+
+TEST(Yaml, FlowMaps) {
+  const YamlNode root =
+      parse_yaml("ev: {qpn: 1, psn: 4, type: ecn, iter: 1}\n");
+  const YamlNode& ev = root["ev"];
+  ASSERT_TRUE(ev.is_map());
+  EXPECT_EQ(ev["qpn"].as_int(), 1);
+  EXPECT_EQ(ev["psn"].as_int(), 4);
+  EXPECT_EQ(ev["type"].as_string(), "ecn");
+  EXPECT_EQ(ev["iter"].as_int(), 1);
+}
+
+TEST(Yaml, BlockListAtParentIndent) {
+  // Listing 2 style: "- ..." items at the same indentation as the key.
+  const YamlNode root = parse_yaml(
+      "data-pkt-events:\n"
+      "- {qpn: 1, psn: 4, type: ecn, iter: 1}\n"
+      "- {qpn: 2, psn: 5, type: drop, iter: 1}\n");
+  const YamlNode& events = root["data-pkt-events"];
+  ASSERT_TRUE(events.is_list());
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1]["type"].as_string(), "drop");
+}
+
+TEST(Yaml, BlockListIndented) {
+  const YamlNode root = parse_yaml(
+      "items:\n"
+      "  - 1\n"
+      "  - 2\n"
+      "  - 3\n");
+  ASSERT_EQ(root["items"].size(), 3u);
+  EXPECT_EQ(root["items"][2].as_int(), 3);
+}
+
+TEST(Yaml, InlineMapListItems) {
+  const YamlNode root = parse_yaml(
+      "rules:\n"
+      "- name: a\n"
+      "  value: 1\n"
+      "- name: b\n"
+      "  value: 2\n");
+  ASSERT_EQ(root["rules"].size(), 2u);
+  EXPECT_EQ(root["rules"][0]["name"].as_string(), "a");
+  EXPECT_EQ(root["rules"][1]["value"].as_int(), 2);
+}
+
+TEST(Yaml, CommentsStripped) {
+  const YamlNode root = parse_yaml(
+      "# leading comment\n"
+      "a: 1  # trailing comment\n"
+      "url: http://x#y\n");  // '#' not preceded by space: kept
+  EXPECT_EQ(root["a"].as_int(), 1);
+  EXPECT_EQ(root["url"].as_string(), "http://x#y");
+}
+
+TEST(Yaml, MapEntriesPreserveOrder) {
+  const YamlNode root = parse_yaml("b: 1\na: 2\nc: 3\n");
+  const auto& entries = root.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].first, "b");
+  EXPECT_EQ(entries[1].first, "a");
+  EXPECT_EQ(entries[2].first, "c");
+}
+
+TEST(Yaml, DuplicateKeyOverwrites) {
+  const YamlNode root = parse_yaml("a: 1\na: 2\n");
+  EXPECT_EQ(root["a"].as_int(), 2);
+  EXPECT_EQ(root.size(), 1u);
+}
+
+TEST(Yaml, ParsesListing1Verbatim) {
+  // The paper's host configuration snippet, as printed.
+  const YamlNode root = parse_yaml(R"(requester:
+  workspace: /home/foo/bar/
+  control-ip: cx4-testing-traffic-requester
+  nic:
+    type: cx4
+    if-name: enp4s0
+    switch-port: 144
+    ip-list: [10.0.0.2/24,10.0.0.12/24]
+  roce-parameters:
+    dcqcn-rp-enable: False
+    dcqcn-np-enable: True
+    min-time-between-cnps: 0
+    adaptive-retrans: False
+    slow-restart: True
+)");
+  const YamlNode& req = root["requester"];
+  EXPECT_EQ(req["workspace"].as_string(), "/home/foo/bar/");
+  EXPECT_EQ(req["nic"]["type"].as_string(), "cx4");
+  EXPECT_EQ(req["nic"]["switch-port"].as_int(), 144);
+  EXPECT_EQ(req["nic"]["ip-list"].size(), 2u);
+  EXPECT_FALSE(req["roce-parameters"]["dcqcn-rp-enable"].as_bool());
+  EXPECT_TRUE(req["roce-parameters"]["slow-restart"].as_bool());
+}
+
+TEST(Yaml, ParsesListing2Verbatim) {
+  const YamlNode root = parse_yaml(R"(traffic:
+  num-connections: 2
+  rdma-verb: write
+  num-msgs-per-qp: 10
+  mtu: 1024
+  message-size: 10240
+  multi-gid: true
+  barrier-sync: true
+  tx-depth: 1
+  min-retransmit-timeout: 14
+  max-retransmit-retry: 7
+  data-pkt-events:
+  # Mark ECN on the 4th pkt of the 1st QP conn
+  - {qpn: 1, psn: 4, type: ecn, iter: 1}
+  # Drop the 5th pkt of the 2nd QP conn
+  - {qpn: 2, psn: 5, type: drop, iter: 1}
+  # Drop the retransmitted 5th pkt of the 2nd QP conn
+  - {qpn: 2, psn: 5, type: drop, iter: 2}
+)");
+  const YamlNode& traffic = root["traffic"];
+  EXPECT_EQ(traffic["num-connections"].as_int(), 2);
+  EXPECT_EQ(traffic["rdma-verb"].as_string(), "write");
+  EXPECT_TRUE(traffic["multi-gid"].as_bool());
+  const YamlNode& events = traffic["data-pkt-events"];
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[2]["iter"].as_int(), 2);
+  EXPECT_EQ(events[2]["type"].as_string(), "drop");
+}
+
+TEST(Yaml, ErrorsCarryLineNumbers) {
+  try {
+    parse_yaml("ok: 1\nbroken here\n");
+    FAIL() << "expected YamlError";
+  } catch (const YamlError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Yaml, RejectsTabs) {
+  EXPECT_THROW(parse_yaml("a:\n\tb: 1\n"), YamlError);
+}
+
+TEST(Yaml, RejectsUnterminatedFlow) {
+  EXPECT_THROW(parse_yaml("a: [1, 2\n"), YamlError);
+  EXPECT_THROW(parse_yaml("a: {x: 1\n"), YamlError);
+  EXPECT_THROW(parse_yaml("a: \"unterminated\n"), YamlError);
+}
+
+TEST(Yaml, NestedFlowContainers) {
+  const YamlNode root = parse_yaml("a: [[1, 2], {k: [3]}]\n");
+  ASSERT_EQ(root["a"].size(), 2u);
+  EXPECT_EQ(root["a"][0][1].as_int(), 2);
+  EXPECT_EQ(root["a"][1]["k"][0].as_int(), 3);
+}
+
+TEST(Yaml, FileNotFoundThrows) {
+  EXPECT_THROW(parse_yaml_file("/no/such/file.yaml"), YamlError);
+}
+
+}  // namespace
+}  // namespace lumina

@@ -1,0 +1,192 @@
+// lumina_run — the command-line front end, mirroring how the real tool is
+// driven: a YAML test configuration in, a results directory out.
+//
+//   lumina_run <config.yaml> [results-dir]
+//
+// Runs the configured experiment on the simulated testbed, prints a
+// human-readable report (integrity, per-connection metrics, retransmission
+// episodes, Go-Back-N compliance, counter consistency), and persists the
+// Table 1 artifacts (trace.pcap, counters, flows.csv) when a results
+// directory is given.
+#include <cstdio>
+#include <cstring>
+
+#include "analyzers/cnp_analyzer.h"
+#include "analyzers/counter_analyzer.h"
+#include "analyzers/gbn_fsm.h"
+#include "analyzers/retrans_perf.h"
+#include "analyzers/trace_stats.h"
+#include "orchestrator/orchestrator.h"
+#include "orchestrator/results_io.h"
+#include "suite/bug_detectors.h"
+
+using namespace lumina;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <config.yaml> [results-dir]\n"
+               "       %s --screen <cx4|cx5|cx6|e810>\n"
+               "\n"
+               "Runs a Lumina test described by a YAML configuration "
+               "(Listing 1 + Listing 2 format)\n"
+               "on the simulated testbed and prints the analysis report.\n"
+               "--screen runs the full bug suite (Table 2 detectors) "
+               "against one NIC model.\n",
+               argv0, argv0);
+}
+
+int run_screen(const char* nic_name) {
+  const auto nic = parse_nic_type(nic_name);
+  if (!nic) {
+    std::fprintf(stderr, "error: unknown NIC type '%s'\n", nic_name);
+    return 1;
+  }
+  std::printf("Screening %s against all known issues (Table 2):\n",
+              DeviceProfile::get(*nic).name.c_str());
+  int affected = 0;
+  for (const auto& result : run_bug_suite(*nic)) {
+    std::printf("  [%s] %-34s %s\n",
+                result.affected ? "AFFECTED" : "clean   ",
+                to_string(result.issue).c_str(), result.evidence.c_str());
+    if (result.affected) ++affected;
+  }
+  std::printf("%d of %zu issues detected.\n", affected,
+              all_known_issues().size());
+  return 0;
+}
+
+std::vector<Ipv4Address> side_ips(const std::vector<ConnectionMetadata>& conns,
+                                  bool requester) {
+  std::vector<Ipv4Address> ips;
+  for (const auto& c : conns) {
+    const Ipv4Address ip = requester ? c.requester.ip : c.responder.ip;
+    if (std::find(ips.begin(), ips.end(), ip) == ips.end()) ips.push_back(ip);
+  }
+  return ips;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0) {
+    usage(argv[0]);
+    return argc < 2 ? 1 : 0;
+  }
+  if (std::strcmp(argv[1], "--screen") == 0) {
+    if (argc < 3) {
+      usage(argv[0]);
+      return 1;
+    }
+    return run_screen(argv[2]);
+  }
+
+  TestConfig cfg;
+  try {
+    cfg = load_test_config(parse_yaml_file(argv[1]));
+  } catch (const YamlError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+
+  std::printf("== Lumina test: %d %s connection(s), %d x %llu B messages\n",
+              cfg.traffic.num_connections, to_string(cfg.traffic.verb).c_str(),
+              cfg.traffic.num_msgs_per_qp,
+              static_cast<unsigned long long>(cfg.traffic.message_size));
+  std::printf("   requester NIC: %s\n",
+              DeviceProfile::get(cfg.requester.nic_type).name.c_str());
+  std::printf("   responder NIC: %s\n",
+              DeviceProfile::get(cfg.responder.nic_type).name.c_str());
+  std::printf("   injected events: %zu\n", cfg.traffic.data_pkt_events.size());
+
+  Orchestrator orch(cfg);
+  const TestResult& result = orch.run();
+
+  std::printf("\n== Integrity check (Section 3.5)\n   %s\n",
+              result.integrity.to_string().c_str());
+  if (!result.integrity.ok()) {
+    std::printf("   trace incomplete: results are NOT analyzable\n");
+  }
+  if (!result.finished) {
+    std::printf("   WARNING: traffic did not finish before the deadline\n");
+  }
+
+  std::printf("\n== Trace statistics\n%s",
+              compute_trace_stats(result.trace).to_string().c_str());
+
+  std::printf("\n== Application metrics\n");
+  for (std::size_t i = 0; i < result.flows.size(); ++i) {
+    const FlowMetrics& flow = result.flows[i];
+    std::printf("   conn %zu: %zu/%d msgs, avg MCT %.2f us, goodput "
+                "%.2f Gbps%s\n",
+                i + 1, flow.completed(), cfg.traffic.num_msgs_per_qp,
+                flow.avg_mct_us(), flow.goodput_gbps(),
+                flow.aborted ? " [ABORTED]" : "");
+  }
+
+  const auto episodes = analyze_retransmissions(result.trace,
+                                                cfg.traffic.verb);
+  std::printf("\n== Retransmission episodes: %zu\n", episodes.size());
+  for (const auto& ep : episodes) {
+    std::printf("   PSN %u iter %u: %s", ep.psn, ep.iter,
+                ep.timeout_recovery ? "timeout recovery" : "NACK recovery");
+    if (const auto gen = ep.nack_generation_latency()) {
+      std::printf(", NACK gen %s", format_duration(*gen).c_str());
+    }
+    if (const auto react = ep.nack_reaction_latency()) {
+      std::printf(", NACK react %s", format_duration(*react).c_str());
+    }
+    if (const auto total = ep.total_latency()) {
+      std::printf(", total %s", format_duration(*total).c_str());
+    }
+    std::printf("\n");
+  }
+
+  const auto gbn = check_gbn_compliance(result.trace, cfg.traffic.verb);
+  std::printf("\n== Go-Back-N specification check: %s (%zu flows, %zu "
+              "episodes)\n",
+              gbn.compliant() ? "PASS" : "FAIL", gbn.flows_checked,
+              gbn.episodes_seen);
+  for (const auto& v : gbn.violations) {
+    std::printf("   [%s] %s (mirror seq %llu)\n", v.rule.c_str(),
+                v.description.c_str(),
+                static_cast<unsigned long long>(v.mirror_seq));
+  }
+
+  const auto cnps = analyze_cnps(result.trace);
+  if (cnps.ecn_marked_data_packets > 0 || !cnps.cnps.empty()) {
+    std::printf("\n== Congestion notification\n");
+    std::printf("   ECN-marked data packets: %llu, CNPs: %zu\n",
+                static_cast<unsigned long long>(cnps.ecn_marked_data_packets),
+                cnps.cnps.size());
+    if (const auto gap = cnps.min_interval_global()) {
+      std::printf("   min inter-CNP gap: %s\n",
+                  format_duration(*gap).c_str());
+    }
+  }
+
+  const auto counters = check_counters(
+      result.trace, cfg.traffic.verb, result.requester_counters,
+      result.responder_counters, side_ips(result.connections, true),
+      side_ips(result.connections, false));
+  std::printf("\n== Counter consistency: %s\n",
+              counters.consistent() ? "OK" : "INCONSISTENT");
+  for (const auto& inc : counters.inconsistencies) {
+    std::printf("   %s (%s): reported %llu, expected >= %llu — %s\n",
+                inc.counter.c_str(), inc.nic.c_str(),
+                static_cast<unsigned long long>(inc.reported),
+                static_cast<unsigned long long>(inc.expected_at_least),
+                inc.note.c_str());
+  }
+
+  if (argc > 2) {
+    if (write_results(result, argv[2])) {
+      std::printf("\nresults written to %s/\n", argv[2]);
+    } else {
+      std::fprintf(stderr, "error: failed to write results to %s\n", argv[2]);
+      return 1;
+    }
+  }
+  return result.integrity.ok() && gbn.compliant() ? 0 : 2;
+}
