@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_stateless_injector.cc" "bench-build/CMakeFiles/ablation_stateless_injector.dir/ablation_stateless_injector.cc.o" "gcc" "bench-build/CMakeFiles/ablation_stateless_injector.dir/ablation_stateless_injector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/suite/CMakeFiles/lumina_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzz/CMakeFiles/lumina_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzers/CMakeFiles/lumina_analyzers.dir/DependInfo.cmake"
+  "/root/repo/build/src/orchestrator/CMakeFiles/lumina_orchestrator.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/lumina_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/dumper/CMakeFiles/lumina_dumper.dir/DependInfo.cmake"
+  "/root/repo/build/src/injector/CMakeFiles/lumina_injector.dir/DependInfo.cmake"
+  "/root/repo/build/src/rnic/CMakeFiles/lumina_rnic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lumina_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/lumina_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/lumina_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lumina_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lumina_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

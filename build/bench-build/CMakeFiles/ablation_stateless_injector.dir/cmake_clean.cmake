@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_stateless_injector"
+  "../bench/ablation_stateless_injector.pdb"
+  "CMakeFiles/ablation_stateless_injector.dir/ablation_stateless_injector.cc.o"
+  "CMakeFiles/ablation_stateless_injector.dir/ablation_stateless_injector.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stateless_injector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_dcqcn_closed_loop"
+  "../bench/ext_dcqcn_closed_loop.pdb"
+  "CMakeFiles/ext_dcqcn_closed_loop.dir/ext_dcqcn_closed_loop.cc.o"
+  "CMakeFiles/ext_dcqcn_closed_loop.dir/ext_dcqcn_closed_loop.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dcqcn_closed_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_reorder_sensitivity"
+  "../bench/ext_reorder_sensitivity.pdb"
+  "CMakeFiles/ext_reorder_sensitivity.dir/ext_reorder_sensitivity.cc.o"
+  "CMakeFiles/ext_reorder_sensitivity.dir/ext_reorder_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_reorder_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

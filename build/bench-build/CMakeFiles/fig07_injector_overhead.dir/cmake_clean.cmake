@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_injector_overhead"
+  "../bench/fig07_injector_overhead.pdb"
+  "CMakeFiles/fig07_injector_overhead.dir/fig07_injector_overhead.cc.o"
+  "CMakeFiles/fig07_injector_overhead.dir/fig07_injector_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_injector_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_nack_generation"
+  "../bench/fig08_nack_generation.pdb"
+  "CMakeFiles/fig08_nack_generation.dir/fig08_nack_generation.cc.o"
+  "CMakeFiles/fig08_nack_generation.dir/fig08_nack_generation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_nack_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_nack_reaction"
+  "../bench/fig09_nack_reaction.pdb"
+  "CMakeFiles/fig09_nack_reaction.dir/fig09_nack_reaction.cc.o"
+  "CMakeFiles/fig09_nack_reaction.dir/fig09_nack_reaction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_nack_reaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

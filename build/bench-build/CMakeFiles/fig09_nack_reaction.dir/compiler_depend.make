@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_nack_reaction.
+# This may be replaced when dependencies are built.

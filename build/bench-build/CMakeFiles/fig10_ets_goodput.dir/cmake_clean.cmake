@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_ets_goodput"
+  "../bench/fig10_ets_goodput.pdb"
+  "CMakeFiles/fig10_ets_goodput.dir/fig10_ets_goodput.cc.o"
+  "CMakeFiles/fig10_ets_goodput.dir/fig10_ets_goodput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ets_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

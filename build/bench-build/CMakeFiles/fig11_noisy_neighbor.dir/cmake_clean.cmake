@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_noisy_neighbor"
+  "../bench/fig11_noisy_neighbor.pdb"
+  "CMakeFiles/fig11_noisy_neighbor.dir/fig11_noisy_neighbor.cc.o"
+  "CMakeFiles/fig11_noisy_neighbor.dir/fig11_noisy_neighbor.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_noisy_neighbor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

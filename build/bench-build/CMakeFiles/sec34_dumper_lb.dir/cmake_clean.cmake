@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec34_dumper_lb"
+  "../bench/sec34_dumper_lb.pdb"
+  "CMakeFiles/sec34_dumper_lb.dir/sec34_dumper_lb.cc.o"
+  "CMakeFiles/sec34_dumper_lb.dir/sec34_dumper_lb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec34_dumper_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec5_pipeline_micro"
+  "../bench/sec5_pipeline_micro.pdb"
+  "CMakeFiles/sec5_pipeline_micro.dir/sec5_pipeline_micro.cc.o"
+  "CMakeFiles/sec5_pipeline_micro.dir/sec5_pipeline_micro.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_pipeline_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec5_pipeline_micro.
+# This may be replaced when dependencies are built.

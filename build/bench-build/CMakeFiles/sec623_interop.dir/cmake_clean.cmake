@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec623_interop"
+  "../bench/sec623_interop.pdb"
+  "CMakeFiles/sec623_interop.dir/sec623_interop.cc.o"
+  "CMakeFiles/sec623_interop.dir/sec623_interop.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec623_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec623_interop.
+# This may be replaced when dependencies are built.

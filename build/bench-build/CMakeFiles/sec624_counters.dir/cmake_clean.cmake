@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec624_counters"
+  "../bench/sec624_counters.pdb"
+  "CMakeFiles/sec624_counters.dir/sec624_counters.cc.o"
+  "CMakeFiles/sec624_counters.dir/sec624_counters.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec624_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec624_counters.
+# This may be replaced when dependencies are built.

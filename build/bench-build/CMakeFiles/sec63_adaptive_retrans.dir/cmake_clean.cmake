@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec63_adaptive_retrans"
+  "../bench/sec63_adaptive_retrans.pdb"
+  "CMakeFiles/sec63_adaptive_retrans.dir/sec63_adaptive_retrans.cc.o"
+  "CMakeFiles/sec63_adaptive_retrans.dir/sec63_adaptive_retrans.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec63_adaptive_retrans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec63_adaptive_retrans.
+# This may be replaced when dependencies are built.

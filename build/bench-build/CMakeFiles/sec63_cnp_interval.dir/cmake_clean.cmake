@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec63_cnp_interval"
+  "../bench/sec63_cnp_interval.pdb"
+  "CMakeFiles/sec63_cnp_interval.dir/sec63_cnp_interval.cc.o"
+  "CMakeFiles/sec63_cnp_interval.dir/sec63_cnp_interval.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec63_cnp_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec63_cnp_mode"
+  "../bench/sec63_cnp_mode.pdb"
+  "CMakeFiles/sec63_cnp_mode.dir/sec63_cnp_mode.cc.o"
+  "CMakeFiles/sec63_cnp_mode.dir/sec63_cnp_mode.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec63_cnp_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

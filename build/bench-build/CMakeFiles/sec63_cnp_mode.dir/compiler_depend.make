@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec63_cnp_mode.
+# This may be replaced when dependencies are built.

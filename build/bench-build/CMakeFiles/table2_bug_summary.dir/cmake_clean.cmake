@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_bug_summary"
+  "../bench/table2_bug_summary.pdb"
+  "CMakeFiles/table2_bug_summary.dir/table2_bug_summary.cc.o"
+  "CMakeFiles/table2_bug_summary.dir/table2_bug_summary.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_bug_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

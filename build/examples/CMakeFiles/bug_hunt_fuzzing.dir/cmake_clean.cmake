@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bug_hunt_fuzzing.dir/bug_hunt_fuzzing.cpp.o"
+  "CMakeFiles/bug_hunt_fuzzing.dir/bug_hunt_fuzzing.cpp.o.d"
+  "bug_hunt_fuzzing"
+  "bug_hunt_fuzzing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bug_hunt_fuzzing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bug_hunt_fuzzing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interop_debugging.dir/interop_debugging.cpp.o"
+  "CMakeFiles/interop_debugging.dir/interop_debugging.cpp.o.d"
+  "interop_debugging"
+  "interop_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interop_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retransmission_study.dir/retransmission_study.cpp.o"
+  "CMakeFiles/retransmission_study.dir/retransmission_study.cpp.o.d"
+  "retransmission_study"
+  "retransmission_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retransmission_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yaml_driven_test.dir/yaml_driven_test.cpp.o"
+  "CMakeFiles/yaml_driven_test.dir/yaml_driven_test.cpp.o.d"
+  "yaml_driven_test"
+  "yaml_driven_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yaml_driven_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

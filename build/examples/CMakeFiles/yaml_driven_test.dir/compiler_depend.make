@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for yaml_driven_test.
+# This may be replaced when dependencies are built.

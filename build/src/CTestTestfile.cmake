@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("config")
+subdirs("sim")
+subdirs("packet")
+subdirs("net")
+subdirs("injector")
+subdirs("rnic")
+subdirs("host")
+subdirs("dumper")
+subdirs("orchestrator")
+subdirs("analyzers")
+subdirs("fuzz")
+subdirs("suite")

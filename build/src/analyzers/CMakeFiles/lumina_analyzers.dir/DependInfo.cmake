@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analyzers/cnp_analyzer.cc" "src/analyzers/CMakeFiles/lumina_analyzers.dir/cnp_analyzer.cc.o" "gcc" "src/analyzers/CMakeFiles/lumina_analyzers.dir/cnp_analyzer.cc.o.d"
+  "/root/repo/src/analyzers/common.cc" "src/analyzers/CMakeFiles/lumina_analyzers.dir/common.cc.o" "gcc" "src/analyzers/CMakeFiles/lumina_analyzers.dir/common.cc.o.d"
+  "/root/repo/src/analyzers/counter_analyzer.cc" "src/analyzers/CMakeFiles/lumina_analyzers.dir/counter_analyzer.cc.o" "gcc" "src/analyzers/CMakeFiles/lumina_analyzers.dir/counter_analyzer.cc.o.d"
+  "/root/repo/src/analyzers/gbn_fsm.cc" "src/analyzers/CMakeFiles/lumina_analyzers.dir/gbn_fsm.cc.o" "gcc" "src/analyzers/CMakeFiles/lumina_analyzers.dir/gbn_fsm.cc.o.d"
+  "/root/repo/src/analyzers/rate_timeline.cc" "src/analyzers/CMakeFiles/lumina_analyzers.dir/rate_timeline.cc.o" "gcc" "src/analyzers/CMakeFiles/lumina_analyzers.dir/rate_timeline.cc.o.d"
+  "/root/repo/src/analyzers/retrans_perf.cc" "src/analyzers/CMakeFiles/lumina_analyzers.dir/retrans_perf.cc.o" "gcc" "src/analyzers/CMakeFiles/lumina_analyzers.dir/retrans_perf.cc.o.d"
+  "/root/repo/src/analyzers/trace_stats.cc" "src/analyzers/CMakeFiles/lumina_analyzers.dir/trace_stats.cc.o" "gcc" "src/analyzers/CMakeFiles/lumina_analyzers.dir/trace_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/orchestrator/CMakeFiles/lumina_orchestrator.dir/DependInfo.cmake"
+  "/root/repo/build/src/rnic/CMakeFiles/lumina_rnic.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/lumina_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lumina_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/lumina_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/dumper/CMakeFiles/lumina_dumper.dir/DependInfo.cmake"
+  "/root/repo/build/src/injector/CMakeFiles/lumina_injector.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lumina_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/lumina_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lumina_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumina_analyzers.dir/cnp_analyzer.cc.o"
+  "CMakeFiles/lumina_analyzers.dir/cnp_analyzer.cc.o.d"
+  "CMakeFiles/lumina_analyzers.dir/common.cc.o"
+  "CMakeFiles/lumina_analyzers.dir/common.cc.o.d"
+  "CMakeFiles/lumina_analyzers.dir/counter_analyzer.cc.o"
+  "CMakeFiles/lumina_analyzers.dir/counter_analyzer.cc.o.d"
+  "CMakeFiles/lumina_analyzers.dir/gbn_fsm.cc.o"
+  "CMakeFiles/lumina_analyzers.dir/gbn_fsm.cc.o.d"
+  "CMakeFiles/lumina_analyzers.dir/rate_timeline.cc.o"
+  "CMakeFiles/lumina_analyzers.dir/rate_timeline.cc.o.d"
+  "CMakeFiles/lumina_analyzers.dir/retrans_perf.cc.o"
+  "CMakeFiles/lumina_analyzers.dir/retrans_perf.cc.o.d"
+  "CMakeFiles/lumina_analyzers.dir/trace_stats.cc.o"
+  "CMakeFiles/lumina_analyzers.dir/trace_stats.cc.o.d"
+  "liblumina_analyzers.a"
+  "liblumina_analyzers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumina_analyzers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

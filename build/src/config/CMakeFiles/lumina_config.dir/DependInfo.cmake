@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/test_config.cc" "src/config/CMakeFiles/lumina_config.dir/test_config.cc.o" "gcc" "src/config/CMakeFiles/lumina_config.dir/test_config.cc.o.d"
+  "/root/repo/src/config/yaml_lite.cc" "src/config/CMakeFiles/lumina_config.dir/yaml_lite.cc.o" "gcc" "src/config/CMakeFiles/lumina_config.dir/yaml_lite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/packet/CMakeFiles/lumina_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lumina_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

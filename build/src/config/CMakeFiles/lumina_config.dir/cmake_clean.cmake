@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumina_config.dir/test_config.cc.o"
+  "CMakeFiles/lumina_config.dir/test_config.cc.o.d"
+  "CMakeFiles/lumina_config.dir/yaml_lite.cc.o"
+  "CMakeFiles/lumina_config.dir/yaml_lite.cc.o.d"
+  "liblumina_config.a"
+  "liblumina_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumina_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumina_dumper.dir/dumper.cc.o"
+  "CMakeFiles/lumina_dumper.dir/dumper.cc.o.d"
+  "liblumina_dumper.a"
+  "liblumina_dumper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumina_dumper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

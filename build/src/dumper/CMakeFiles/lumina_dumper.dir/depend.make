@@ -1,0 +1,2 @@
+# Empty dependencies file for lumina_dumper.
+# This may be replaced when dependencies are built.

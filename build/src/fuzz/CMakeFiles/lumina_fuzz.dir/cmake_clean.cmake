@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumina_fuzz.dir/fuzzer.cc.o"
+  "CMakeFiles/lumina_fuzz.dir/fuzzer.cc.o.d"
+  "CMakeFiles/lumina_fuzz.dir/targets.cc.o"
+  "CMakeFiles/lumina_fuzz.dir/targets.cc.o.d"
+  "liblumina_fuzz.a"
+  "liblumina_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumina_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumina_host.dir/traffic_generator.cc.o"
+  "CMakeFiles/lumina_host.dir/traffic_generator.cc.o.d"
+  "liblumina_host.a"
+  "liblumina_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumina_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumina_injector.dir/event_table.cc.o"
+  "CMakeFiles/lumina_injector.dir/event_table.cc.o.d"
+  "CMakeFiles/lumina_injector.dir/mirror.cc.o"
+  "CMakeFiles/lumina_injector.dir/mirror.cc.o.d"
+  "CMakeFiles/lumina_injector.dir/switch.cc.o"
+  "CMakeFiles/lumina_injector.dir/switch.cc.o.d"
+  "liblumina_injector.a"
+  "liblumina_injector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumina_injector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

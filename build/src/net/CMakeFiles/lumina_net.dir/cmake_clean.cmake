@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumina_net.dir/node.cc.o"
+  "CMakeFiles/lumina_net.dir/node.cc.o.d"
+  "liblumina_net.a"
+  "liblumina_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumina_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumina_orchestrator.dir/orchestrator.cc.o"
+  "CMakeFiles/lumina_orchestrator.dir/orchestrator.cc.o.d"
+  "CMakeFiles/lumina_orchestrator.dir/results_io.cc.o"
+  "CMakeFiles/lumina_orchestrator.dir/results_io.cc.o.d"
+  "liblumina_orchestrator.a"
+  "liblumina_orchestrator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumina_orchestrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packet/addresses.cc" "src/packet/CMakeFiles/lumina_packet.dir/addresses.cc.o" "gcc" "src/packet/CMakeFiles/lumina_packet.dir/addresses.cc.o.d"
+  "/root/repo/src/packet/ib.cc" "src/packet/CMakeFiles/lumina_packet.dir/ib.cc.o" "gcc" "src/packet/CMakeFiles/lumina_packet.dir/ib.cc.o.d"
+  "/root/repo/src/packet/icrc.cc" "src/packet/CMakeFiles/lumina_packet.dir/icrc.cc.o" "gcc" "src/packet/CMakeFiles/lumina_packet.dir/icrc.cc.o.d"
+  "/root/repo/src/packet/pcap_writer.cc" "src/packet/CMakeFiles/lumina_packet.dir/pcap_writer.cc.o" "gcc" "src/packet/CMakeFiles/lumina_packet.dir/pcap_writer.cc.o.d"
+  "/root/repo/src/packet/roce_packet.cc" "src/packet/CMakeFiles/lumina_packet.dir/roce_packet.cc.o" "gcc" "src/packet/CMakeFiles/lumina_packet.dir/roce_packet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lumina_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

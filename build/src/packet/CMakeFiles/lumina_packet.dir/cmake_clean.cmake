@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumina_packet.dir/addresses.cc.o"
+  "CMakeFiles/lumina_packet.dir/addresses.cc.o.d"
+  "CMakeFiles/lumina_packet.dir/ib.cc.o"
+  "CMakeFiles/lumina_packet.dir/ib.cc.o.d"
+  "CMakeFiles/lumina_packet.dir/icrc.cc.o"
+  "CMakeFiles/lumina_packet.dir/icrc.cc.o.d"
+  "CMakeFiles/lumina_packet.dir/pcap_writer.cc.o"
+  "CMakeFiles/lumina_packet.dir/pcap_writer.cc.o.d"
+  "CMakeFiles/lumina_packet.dir/roce_packet.cc.o"
+  "CMakeFiles/lumina_packet.dir/roce_packet.cc.o.d"
+  "liblumina_packet.a"
+  "liblumina_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumina_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rnic/dcqcn.cc" "src/rnic/CMakeFiles/lumina_rnic.dir/dcqcn.cc.o" "gcc" "src/rnic/CMakeFiles/lumina_rnic.dir/dcqcn.cc.o.d"
+  "/root/repo/src/rnic/device_profile.cc" "src/rnic/CMakeFiles/lumina_rnic.dir/device_profile.cc.o" "gcc" "src/rnic/CMakeFiles/lumina_rnic.dir/device_profile.cc.o.d"
+  "/root/repo/src/rnic/ets.cc" "src/rnic/CMakeFiles/lumina_rnic.dir/ets.cc.o" "gcc" "src/rnic/CMakeFiles/lumina_rnic.dir/ets.cc.o.d"
+  "/root/repo/src/rnic/qp.cc" "src/rnic/CMakeFiles/lumina_rnic.dir/qp.cc.o" "gcc" "src/rnic/CMakeFiles/lumina_rnic.dir/qp.cc.o.d"
+  "/root/repo/src/rnic/rnic.cc" "src/rnic/CMakeFiles/lumina_rnic.dir/rnic.cc.o" "gcc" "src/rnic/CMakeFiles/lumina_rnic.dir/rnic.cc.o.d"
+  "/root/repo/src/rnic/verbs.cc" "src/rnic/CMakeFiles/lumina_rnic.dir/verbs.cc.o" "gcc" "src/rnic/CMakeFiles/lumina_rnic.dir/verbs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/lumina_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lumina_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/lumina_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lumina_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lumina_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumina_rnic.dir/dcqcn.cc.o"
+  "CMakeFiles/lumina_rnic.dir/dcqcn.cc.o.d"
+  "CMakeFiles/lumina_rnic.dir/device_profile.cc.o"
+  "CMakeFiles/lumina_rnic.dir/device_profile.cc.o.d"
+  "CMakeFiles/lumina_rnic.dir/ets.cc.o"
+  "CMakeFiles/lumina_rnic.dir/ets.cc.o.d"
+  "CMakeFiles/lumina_rnic.dir/qp.cc.o"
+  "CMakeFiles/lumina_rnic.dir/qp.cc.o.d"
+  "CMakeFiles/lumina_rnic.dir/rnic.cc.o"
+  "CMakeFiles/lumina_rnic.dir/rnic.cc.o.d"
+  "CMakeFiles/lumina_rnic.dir/verbs.cc.o"
+  "CMakeFiles/lumina_rnic.dir/verbs.cc.o.d"
+  "liblumina_rnic.a"
+  "liblumina_rnic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumina_rnic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

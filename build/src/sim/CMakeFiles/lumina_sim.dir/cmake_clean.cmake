@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumina_sim.dir/simulator.cc.o"
+  "CMakeFiles/lumina_sim.dir/simulator.cc.o.d"
+  "liblumina_sim.a"
+  "liblumina_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumina_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

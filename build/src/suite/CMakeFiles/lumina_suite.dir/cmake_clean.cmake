@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumina_suite.dir/bug_detectors.cc.o"
+  "CMakeFiles/lumina_suite.dir/bug_detectors.cc.o.d"
+  "liblumina_suite.a"
+  "liblumina_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumina_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumina_util.dir/logging.cc.o"
+  "CMakeFiles/lumina_util.dir/logging.cc.o.d"
+  "CMakeFiles/lumina_util.dir/time.cc.o"
+  "CMakeFiles/lumina_util.dir/time.cc.o.d"
+  "liblumina_util.a"
+  "liblumina_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumina_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblumina_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_test.dir/unit/access_test.cc.o"
+  "CMakeFiles/access_test.dir/unit/access_test.cc.o.d"
+  "access_test"
+  "access_test.pdb"
+  "access_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

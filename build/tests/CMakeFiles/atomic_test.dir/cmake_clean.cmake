@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomic_test.dir/unit/atomic_test.cc.o"
+  "CMakeFiles/atomic_test.dir/unit/atomic_test.cc.o.d"
+  "atomic_test"
+  "atomic_test.pdb"
+  "atomic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

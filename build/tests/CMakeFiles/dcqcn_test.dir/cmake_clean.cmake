@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcqcn_test.dir/unit/dcqcn_test.cc.o"
+  "CMakeFiles/dcqcn_test.dir/unit/dcqcn_test.cc.o.d"
+  "dcqcn_test"
+  "dcqcn_test.pdb"
+  "dcqcn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcqcn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

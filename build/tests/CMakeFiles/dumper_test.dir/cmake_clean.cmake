@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dumper_test.dir/unit/dumper_test.cc.o"
+  "CMakeFiles/dumper_test.dir/unit/dumper_test.cc.o.d"
+  "dumper_test"
+  "dumper_test.pdb"
+  "dumper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dumper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

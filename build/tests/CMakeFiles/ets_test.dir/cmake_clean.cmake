@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ets_test.dir/unit/ets_test.cc.o"
+  "CMakeFiles/ets_test.dir/unit/ets_test.cc.o.d"
+  "ets_test"
+  "ets_test.pdb"
+  "ets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

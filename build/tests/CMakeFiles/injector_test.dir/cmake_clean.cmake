@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/injector_test.dir/unit/injector_test.cc.o"
+  "CMakeFiles/injector_test.dir/unit/injector_test.cc.o.d"
+  "injector_test"
+  "injector_test.pdb"
+  "injector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/injector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_test.dir/unit/packet_test.cc.o"
+  "CMakeFiles/packet_test.dir/unit/packet_test.cc.o.d"
+  "packet_test"
+  "packet_test.pdb"
+  "packet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnic_test.dir/unit/rnic_test.cc.o"
+  "CMakeFiles/rnic_test.dir/unit/rnic_test.cc.o.d"
+  "rnic_test"
+  "rnic_test.pdb"
+  "rnic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

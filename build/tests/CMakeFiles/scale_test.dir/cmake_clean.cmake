@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_test.dir/integration/scale_test.cc.o"
+  "CMakeFiles/scale_test.dir/integration/scale_test.cc.o.d"
+  "scale_test"
+  "scale_test.pdb"
+  "scale_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_test.dir/unit/suite_test.cc.o"
+  "CMakeFiles/suite_test.dir/unit/suite_test.cc.o.d"
+  "suite_test"
+  "suite_test.pdb"
+  "suite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yaml_test.dir/unit/yaml_test.cc.o"
+  "CMakeFiles/yaml_test.dir/unit/yaml_test.cc.o.d"
+  "yaml_test"
+  "yaml_test.pdb"
+  "yaml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yaml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

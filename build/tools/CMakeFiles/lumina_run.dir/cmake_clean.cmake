@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumina_run.dir/lumina_run.cc.o"
+  "CMakeFiles/lumina_run.dir/lumina_run.cc.o.d"
+  "lumina_run"
+  "lumina_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumina_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
