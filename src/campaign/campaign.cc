@@ -1,0 +1,183 @@
+#include "campaign/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "fuzz/targets.h"
+#include "orchestrator/results_io.h"
+
+namespace lumina {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since)
+      .count();
+}
+
+/// Turns a run name into a filesystem-safe slug ("sweep/msg=4096/rep0" ->
+/// "sweep-msg-4096-rep0").
+std::string slugify(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_';
+    out.push_back(keep ? c : '-');
+  }
+  return out;
+}
+
+std::string format_summary(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+std::string format_summary(const char* format, ...) {
+  char buf[240];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+CampaignRunOutcome execute_run(const CampaignRunSpec& spec,
+                               std::uint64_t seed) {
+  CampaignRunOutcome out;
+  out.name = spec.name;
+  out.kind = spec.kind;
+  out.seed = seed;
+  const auto started = Clock::now();
+
+  switch (spec.kind) {
+    case CampaignRunKind::kExperiment: {
+      Orchestrator::Options options;
+      options.seed = seed;
+      Orchestrator orch(spec.config, options);
+      const TestResult& result = orch.run();
+      out.metrics.sim_duration = result.duration;
+      out.metrics.sim_events = orch.sim().events_processed();
+      out.ok = result.integrity.ok() && result.finished;
+      std::size_t completed = 0;
+      for (const auto& flow : result.flows) completed += flow.completed();
+      out.summary = format_summary(
+          "integrity=%s finished=%s trace=%zu flows=%zu msgs=%zu",
+          result.integrity.ok() ? "ok" : "FAILED",
+          result.finished ? "yes" : "no", result.trace.size(),
+          result.flows.size(), completed);
+      out.result = result;
+      break;
+    }
+    case CampaignRunKind::kSuite: {
+      const DetectionResult detection = detect_issue(spec.issue, spec.nic);
+      out.ok = true;  // the probe itself ran; "affected" is a finding
+      out.summary = format_summary(
+          "%s %s: %s", detection.affected ? "AFFECTED" : "clean",
+          issue_slug(spec.issue).c_str(), detection.evidence.c_str());
+      out.detection = detection;
+      break;
+    }
+    case CampaignRunKind::kFuzz: {
+      const auto target = make_fuzz_target(spec.fuzz_target, spec.nic);
+      if (!target) {
+        out.ok = false;
+        out.summary = "unknown fuzz target: " + spec.fuzz_target;
+        break;
+      }
+      GeneticFuzzer::Options options = spec.fuzz_options;
+      options.seed = seed;
+      FuzzOutcome fuzz = GeneticFuzzer(*target, options).run();
+      double best = 0;
+      for (const auto& it : fuzz.history) best = std::max(best, it.score);
+      out.summary = format_summary(
+          "iterations=%d anomaly=%s best-score=%.3f", fuzz.iterations,
+          fuzz.anomaly.has_value() ? "yes" : "no", best);
+      out.fuzz = std::move(fuzz);
+      break;
+    }
+  }
+
+  out.metrics.wall_ms = elapsed_ms(started);
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(CampaignRunKind kind) {
+  switch (kind) {
+    case CampaignRunKind::kExperiment: return "experiment";
+    case CampaignRunKind::kSuite: return "suite";
+    case CampaignRunKind::kFuzz: return "fuzz";
+  }
+  return "?";
+}
+
+CampaignReport run_campaign(const Campaign& campaign,
+                            const CampaignOptions& options) {
+  const auto started = Clock::now();
+  CampaignReport report;
+  report.name = campaign.name;
+  report.seed = options.seed;
+  report.runs = parallel_map<CampaignRunOutcome>(
+      campaign.runs.size(), options.jobs, [&](std::size_t i) {
+        return execute_run(campaign.runs[i],
+                           derive_run_seed(options.seed, i));
+      });
+  report.wall_ms = elapsed_ms(started);
+  return report;
+}
+
+std::string campaign_summary_csv(const CampaignReport& report) {
+  // Every column is deterministic: simulated time and event counts are
+  // functions of (config, seed); wall clock is deliberately absent.
+  std::string csv = "index,name,kind,seed,ok,sim_duration_ns,sim_events,"
+                    "summary\n";
+  for (std::size_t i = 0; i < report.runs.size(); ++i) {
+    const CampaignRunOutcome& run = report.runs[i];
+    csv += format_summary(
+        "%zu,%s,%s,0x%llx,%s,%lld,%llu,%s\n", i, run.name.c_str(),
+        to_string(run.kind).c_str(),
+        static_cast<unsigned long long>(run.seed), run.ok ? "ok" : "FAILED",
+        static_cast<long long>(run.metrics.sim_duration),
+        static_cast<unsigned long long>(run.metrics.sim_events),
+        run.summary.c_str());
+  }
+  return csv;
+}
+
+bool write_campaign_artifacts(const CampaignReport& report,
+                              const std::string& dir,
+                              std::string* failed_path) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    if (failed_path != nullptr) *failed_path = dir;
+    return false;
+  }
+
+  const std::string summary_path = dir + "/summary.csv";
+  {
+    std::ofstream out(summary_path, std::ios::binary);
+    out << campaign_summary_csv(report);
+    if (!out) {
+      if (failed_path != nullptr) *failed_path = summary_path;
+      return false;
+    }
+  }
+
+  for (std::size_t i = 0; i < report.runs.size(); ++i) {
+    const CampaignRunOutcome& run = report.runs[i];
+    if (!run.result.has_value()) continue;
+    char prefix[32];
+    std::snprintf(prefix, sizeof(prefix), "run_%03zu_", i);
+    const std::string run_dir = dir + "/" + prefix + slugify(run.name);
+    if (!write_results(*run.result, run_dir, failed_path)) return false;
+  }
+  return true;
+}
+
+}  // namespace lumina

@@ -1,0 +1,97 @@
+// Campaign runner: fans a list of independent Lumina runs — Table 2 suite
+// probes, sharded fuzz hunts, experiment parameter sweeps — across worker
+// threads and aggregates the outcomes deterministically.
+//
+// Determinism contract (proved by tests/integration/campaign_determinism_test):
+// the aggregated artifacts (per-run results_io directories, summary.csv)
+// are byte-identical for any `--jobs` value, because
+//   * run i always executes with seed derive_run_seed(campaign_seed, i),
+//   * outcomes are stored and emitted in spec order (campaign/parallel.h),
+//   * wall-clock metrics never enter the artifact files (stdout only).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/parallel.h"
+#include "config/test_config.h"
+#include "fuzz/fuzzer.h"
+#include "orchestrator/orchestrator.h"
+#include "suite/bug_detectors.h"
+
+namespace lumina {
+
+enum class CampaignRunKind { kExperiment, kSuite, kFuzz };
+
+std::string to_string(CampaignRunKind kind);
+
+/// One independent unit of work inside a campaign.
+struct CampaignRunSpec {
+  CampaignRunKind kind = CampaignRunKind::kExperiment;
+  std::string name;  ///< Stable label, e.g. "sweep/msg-10240/rep0".
+
+  // kExperiment: one full orchestrator run of this configuration.
+  TestConfig config;
+
+  // kSuite: one Table 2 probe.
+  KnownIssue issue = KnownIssue::kNonWorkConservingEts;
+  NicType nic = NicType::kCx5;
+
+  // kFuzz: one shard of a genetic hunt ("noisy-neighbor"|"lossy-network").
+  std::string fuzz_target;
+  GeneticFuzzer::Options fuzz_options;
+};
+
+/// A named list of runs; run i executes with derive_run_seed(seed, i).
+struct Campaign {
+  std::string name;
+  std::uint64_t seed = 0xC0FFEEULL;  ///< Overridable from the CLI.
+  std::vector<CampaignRunSpec> runs;
+};
+
+/// Outcome of one run, in spec order inside CampaignReport.
+struct CampaignRunOutcome {
+  std::string name;
+  CampaignRunKind kind = CampaignRunKind::kExperiment;
+  std::uint64_t seed = 0;
+  bool ok = true;          ///< Integrity ok / no probe error.
+  std::string summary;     ///< Deterministic one-line outcome.
+  RunMetrics metrics;      ///< Wall clock is NOT part of any artifact.
+
+  /// Full Table 1 artifacts; experiment runs always have one.
+  std::optional<TestResult> result;
+  std::optional<DetectionResult> detection;  ///< Suite runs.
+  std::optional<FuzzOutcome> fuzz;           ///< Fuzz shards.
+};
+
+struct CampaignReport {
+  std::string name;
+  std::uint64_t seed = 0;
+  std::vector<CampaignRunOutcome> runs;  ///< Spec order.
+  double wall_ms = 0;  ///< Whole-campaign wall clock (not an artifact).
+
+  std::size_t ok_count() const {
+    std::size_t n = 0;
+    for (const auto& r : runs) n += r.ok ? 1 : 0;
+    return n;
+  }
+};
+
+/// Executes every run across `options.jobs` threads (each run builds its
+/// own Simulator) and returns outcomes in spec order.
+CampaignReport run_campaign(const Campaign& campaign,
+                            const CampaignOptions& options);
+
+/// The deterministic cross-run summary (one CSV row per run, spec order).
+std::string campaign_summary_csv(const CampaignReport& report);
+
+/// Persists the campaign: `<dir>/summary.csv` plus one results_io
+/// directory `<dir>/run_NNN_<slug>/` per run that produced a TestResult.
+/// Returns false on the first I/O failure, naming the artifact in
+/// `failed_path` when non-null.
+bool write_campaign_artifacts(const CampaignReport& report,
+                              const std::string& dir,
+                              std::string* failed_path = nullptr);
+
+}  // namespace lumina

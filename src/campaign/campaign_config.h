@@ -1,0 +1,44 @@
+// Campaign YAML loader — the schema documented in docs/campaigns.md.
+//
+//   campaign:
+//     name: nightly
+//     seed: 42                    # overridable with --seed
+//     runs:
+//       - kind: suite             # Table 2 probes
+//         nics: [cx4, cx5]        # default: all four device models
+//         issues: [cnp-rate-limiting]   # default: all six issues
+//       - kind: fuzz              # sharded genetic hunt (§4)
+//         target: lossy-network
+//         nic: cx6
+//         shards: 8
+//         max-iterations: 10
+//         pool-size: 4
+//       - kind: experiment        # orchestrator run(s) of one config
+//         name: gbn-drop
+//         config: { requester: ..., responder: ..., traffic: ... }
+//         # or: config-file: relative/path.yaml
+//         repeat: 2               # fan out with distinct derived seeds
+//         sweep:                  # cartesian product of traffic overrides
+//           message-size: [4096, 10240]
+//           num-connections: [1, 2]
+//
+// Every entry expands into flat, independent CampaignRunSpecs; run i of
+// the flattened list executes with derive_run_seed(campaign.seed, i).
+#pragma once
+
+#include <string>
+
+#include "campaign/campaign.h"
+#include "config/yaml_lite.h"
+
+namespace lumina {
+
+/// Expands a parsed campaign document. `base_dir` resolves relative
+/// `config-file` references. Throws YamlError on schema violations.
+Campaign load_campaign(const YamlNode& root, const std::string& base_dir = ".");
+
+/// Reads and expands a campaign file. Throws YamlError on I/O or schema
+/// errors.
+Campaign load_campaign_file(const std::string& path);
+
+}  // namespace lumina

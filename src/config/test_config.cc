@@ -147,4 +147,30 @@ TestConfig load_test_config(const YamlNode& root) {
   return cfg;
 }
 
+void apply_traffic_override(TestConfig& cfg, const std::string& key,
+                            const YamlNode& value) {
+  TrafficConfig& t = cfg.traffic;
+  if (key == "num-connections") {
+    t.num_connections = static_cast<int>(value.as_int());
+  } else if (key == "num-msgs-per-qp") {
+    t.num_msgs_per_qp = static_cast<int>(value.as_int());
+  } else if (key == "message-size") {
+    t.message_size = static_cast<std::uint64_t>(value.as_int());
+  } else if (key == "mtu") {
+    t.mtu = static_cast<std::uint32_t>(value.as_int());
+  } else if (key == "tx-depth") {
+    t.tx_depth = static_cast<int>(value.as_int());
+  } else if (key == "min-retransmit-timeout") {
+    t.min_retransmit_timeout = static_cast<int>(value.as_int());
+  } else if (key == "max-retransmit-retry") {
+    t.max_retransmit_retry = static_cast<int>(value.as_int());
+  } else if (key == "rdma-verb") {
+    const auto verb = parse_verb(value.as_string());
+    if (!verb) throw YamlError("unknown rdma verb: " + value.as_string());
+    t.verb = *verb;
+  } else {
+    throw YamlError("unknown sweep key: " + key);
+  }
+}
+
 }  // namespace lumina

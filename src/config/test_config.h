@@ -111,4 +111,11 @@ TrafficConfig load_traffic_config(const YamlNode& node);
 /// Loads a full document with "requester", "responder", "traffic" keys.
 TestConfig load_test_config(const YamlNode& root);
 
+/// Applies one sweep override to the traffic block, e.g.
+/// `apply_traffic_override(cfg, "message-size", node)`. Campaign sweeps
+/// (campaign/campaign_config.h) use this to expand a base experiment into
+/// a parameter matrix. Throws YamlError on an unknown key or bad value.
+void apply_traffic_override(TestConfig& cfg, const std::string& key,
+                            const YamlNode& value);
+
 }  // namespace lumina

@@ -265,32 +265,42 @@ class BlockParser {
   }
 
   /// Handles "- key: value" followed by optional further keys at deeper
-  /// indentation (indent of the "-" plus 2).
+  /// indentation (indent of the "-" plus 2). Keys with no inline value
+  /// open a nested block, exactly as in a regular map — campaign files
+  /// nest whole experiment configs inside list items this way.
   YamlNode parse_inline_map_item(const Line& line, const std::string& rest,
                                  int dash_indent) {
     YamlNode node = YamlNode::map();
-    const int split = key_split(rest);
-    const std::string key = trim(rest.substr(0, static_cast<std::size_t>(split)));
-    const std::string value =
-        trim(rest.substr(static_cast<std::size_t>(split) + 1));
-    if (value.empty()) {
-      fail(line, "nested blocks under inline list-item keys are unsupported");
-    }
-    node.map_set(key, FlowParser(value, line.number).parse());
     const int item_indent = dash_indent + 2;
+    set_map_entry(node, line, rest, item_indent);
     while (!done() && cur().indent == item_indent && !is_list_item(cur())) {
       const Line extra = cur();
-      const int s = key_split(extra.content);
-      if (s < 0) fail(extra, "expected 'key: value'");
       ++pos_;
-      const std::string k =
-          trim(extra.content.substr(0, static_cast<std::size_t>(s)));
-      const std::string v =
-          trim(extra.content.substr(static_cast<std::size_t>(s) + 1));
-      if (v.empty()) fail(extra, "nested blocks in list items unsupported");
-      node.map_set(k, FlowParser(v, extra.number).parse());
+      set_map_entry(node, extra, extra.content, item_indent);
     }
     return node;
+  }
+
+  /// Parses one "key: value" / "key:" entry of a list-item map and stores
+  /// it in `node`. A bare "key:" consumes the nested block (deeper lines,
+  /// or a list at the key's own indentation) that follows it.
+  void set_map_entry(YamlNode& node, const Line& line,
+                     const std::string& text, int key_indent) {
+    const int split = key_split(text);
+    if (split < 0) fail(line, "expected 'key: value'");
+    const std::string key =
+        trim(text.substr(0, static_cast<std::size_t>(split)));
+    const std::string value =
+        trim(text.substr(static_cast<std::size_t>(split) + 1));
+    if (!value.empty()) {
+      node.map_set(key, FlowParser(value, line.number).parse());
+    } else if (!done() && cur().indent > key_indent) {
+      node.map_set(key, parse_block(cur().indent));
+    } else if (!done() && cur().indent == key_indent && is_list_item(cur())) {
+      node.map_set(key, parse_list(key_indent));
+    } else {
+      node.map_set(key, YamlNode());
+    }
   }
 
   YamlNode parse_map(int indent) {

@@ -3,7 +3,8 @@
 // Supports exactly the constructs the paper's Listing 1/2 configs use:
 //   - block maps via indentation          key: value / key:\n  nested
 //   - block lists ("- item"), including list items at the parent key's
-//     indentation (standard YAML)
+//     indentation (standard YAML) and nested blocks inside "- key:" items
+//     (campaign files nest whole experiment configs this way)
 //   - flow lists  [a, b, c]
 //   - flow maps   {qpn: 1, psn: 4, type: ecn, iter: 1}
 //   - scalars: integers, floats, booleans (true/false/True/False), strings

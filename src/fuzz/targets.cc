@@ -167,4 +167,11 @@ FuzzTarget make_lossy_network_target(NicType nic) {
   return target;
 }
 
+std::optional<FuzzTarget> make_fuzz_target(const std::string& name,
+                                           NicType nic) {
+  if (name == "noisy-neighbor") return make_noisy_neighbor_target(nic);
+  if (name == "lossy-network") return make_lossy_network_target(nic);
+  return std::nullopt;
+}
+
 }  // namespace lumina

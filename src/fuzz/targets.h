@@ -1,6 +1,9 @@
 // Canned fuzz targets for the hunts described in the paper.
 #pragma once
 
+#include <optional>
+#include <string>
+
 #include "config/test_config.h"
 #include "fuzz/fuzzer.h"
 
@@ -17,5 +20,10 @@ FuzzTarget make_noisy_neighbor_target(NicType nic);
 /// random single-packet drops, scored by counter inconsistencies and by
 /// recovery latency (large NACK generation/reaction times).
 FuzzTarget make_lossy_network_target(NicType nic);
+
+/// Looks a canned target up by its campaign-YAML name
+/// ("noisy-neighbor" | "lossy-network"). Empty on unknown names.
+std::optional<FuzzTarget> make_fuzz_target(const std::string& name,
+                                           NicType nic);
 
 }  // namespace lumina

@@ -1,7 +1,10 @@
 #include "orchestrator/results_io.h"
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "packet/pcap_writer.h"
 
@@ -81,33 +84,174 @@ bool write_connections(const TestResult& result, const std::string& path) {
   return true;
 }
 
+/// Records `path` into `failed_path` (when requested) and returns false —
+/// the single exit ramp for every write/read failure below.
+bool fail(const std::string& path, std::string* failed_path) {
+  if (failed_path != nullptr) *failed_path = path;
+  return false;
+}
+
+// -- read-back ------------------------------------------------------------
+
+bool read_counter_file(const std::string& path,
+                       std::map<std::string, std::uint64_t>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string name;
+  unsigned long long value = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    if (!(fields >> name >> value)) return false;
+    (*out)[name] = value;
+  }
+  return true;
+}
+
+bool read_integrity(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  return static_cast<bool>(std::getline(in, *out));
+}
+
+bool read_flows_csv(const std::string& path, std::vector<ReadFlowRow>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line)) return false;  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ReadFlowRow row;
+    char status[64] = {0};
+    unsigned long long conn = 0;
+    long long posted = 0, completed = 0;
+    if (std::sscanf(line.c_str(), "%llu,%d,%lld,%lld,%lf,%63s", &conn,
+                    &row.msg_index, &posted, &completed,
+                    &row.completion_time_us, status) != 6) {
+      return false;
+    }
+    row.connection = conn;
+    row.posted_at = posted;
+    row.completed_at = completed;
+    row.status = status;
+    out->push_back(std::move(row));
+  }
+  return true;
+}
+
+bool read_lines(const std::string& path, std::vector<std::string>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) out->push_back(line);
+  return true;
+}
+
+std::uint32_t get_u32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+bool read_pcap(const std::string& path, std::vector<ReadTracePacket>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::uint8_t header[24];
+  if (!in.read(reinterpret_cast<char*>(header), sizeof(header))) return false;
+  if (get_u32le(&header[0]) != 0xa1b23c4d) return false;  // ns pcap magic
+  for (;;) {
+    std::uint8_t rec[16];
+    if (!in.read(reinterpret_cast<char*>(rec), sizeof(rec))) {
+      return in.eof() && in.gcount() == 0;  // clean end between records
+    }
+    ReadTracePacket pkt;
+    pkt.timestamp = static_cast<Tick>(get_u32le(&rec[0])) * kSecond +
+                    static_cast<Tick>(get_u32le(&rec[4]));
+    const std::uint32_t incl_len = get_u32le(&rec[8]);
+    pkt.orig_len = get_u32le(&rec[12]);
+    pkt.bytes.resize(incl_len);
+    if (incl_len > 0 &&
+        !in.read(reinterpret_cast<char*>(pkt.bytes.data()), incl_len)) {
+      return false;  // truncated record
+    }
+    out->push_back(std::move(pkt));
+  }
+}
+
 }  // namespace
 
-bool write_results(const TestResult& result, const std::string& dir) {
+bool write_results(const TestResult& result, const std::string& dir,
+                   std::string* failed_path) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
-  if (ec) return false;
+  if (ec) return fail(dir, failed_path);
 
+  const std::string trace_path = dir + "/trace.pcap";
   PcapWriter pcap;
-  if (!pcap.open(dir + "/trace.pcap")) return false;
+  if (!pcap.open(trace_path)) return fail(trace_path, failed_path);
   for (const auto& p : result.trace) {
-    if (!pcap.write(p.pkt, p.time(), p.orig_len)) return false;
+    if (!pcap.write(p.pkt, p.time(), p.orig_len)) {
+      return fail(trace_path, failed_path);
+    }
   }
   pcap.close();
 
-  std::FILE* f = std::fopen((dir + "/integrity.txt").c_str(), "w");
-  if (f == nullptr) return false;
+  const std::string integrity_path = dir + "/integrity.txt";
+  std::FILE* f = std::fopen(integrity_path.c_str(), "w");
+  if (f == nullptr) return fail(integrity_path, failed_path);
   std::fprintf(f, "%s\n", result.integrity.to_string().c_str());
   std::fclose(f);
 
-  return write_counters(result.requester_counters,
-                        dir + "/requester_counters.txt") &&
-         write_counters(result.responder_counters,
-                        dir + "/responder_counters.txt") &&
-         write_switch_counters(result.switch_counters,
-                               dir + "/switch_counters.txt") &&
-         write_flows_csv(result, dir + "/flows.csv") &&
-         write_connections(result, dir + "/connections.txt");
+  if (!write_counters(result.requester_counters,
+                      dir + "/requester_counters.txt")) {
+    return fail(dir + "/requester_counters.txt", failed_path);
+  }
+  if (!write_counters(result.responder_counters,
+                      dir + "/responder_counters.txt")) {
+    return fail(dir + "/responder_counters.txt", failed_path);
+  }
+  if (!write_switch_counters(result.switch_counters,
+                             dir + "/switch_counters.txt")) {
+    return fail(dir + "/switch_counters.txt", failed_path);
+  }
+  if (!write_flows_csv(result, dir + "/flows.csv")) {
+    return fail(dir + "/flows.csv", failed_path);
+  }
+  if (!write_connections(result, dir + "/connections.txt")) {
+    return fail(dir + "/connections.txt", failed_path);
+  }
+  return true;
+}
+
+bool read_results(const std::string& dir, ReadResults* out,
+                  std::string* failed_path) {
+  if (!read_pcap(dir + "/trace.pcap", &out->trace)) {
+    return fail(dir + "/trace.pcap", failed_path);
+  }
+  if (!read_integrity(dir + "/integrity.txt", &out->integrity)) {
+    return fail(dir + "/integrity.txt", failed_path);
+  }
+  if (!read_counter_file(dir + "/requester_counters.txt",
+                         &out->requester_counters)) {
+    return fail(dir + "/requester_counters.txt", failed_path);
+  }
+  if (!read_counter_file(dir + "/responder_counters.txt",
+                         &out->responder_counters)) {
+    return fail(dir + "/responder_counters.txt", failed_path);
+  }
+  if (!read_counter_file(dir + "/switch_counters.txt",
+                         &out->switch_counters)) {
+    return fail(dir + "/switch_counters.txt", failed_path);
+  }
+  if (!read_flows_csv(dir + "/flows.csv", &out->flows)) {
+    return fail(dir + "/flows.csv", failed_path);
+  }
+  if (!read_lines(dir + "/connections.txt", &out->connections)) {
+    return fail(dir + "/connections.txt", failed_path);
+  }
+  return true;
 }
 
 }  // namespace lumina

@@ -6,9 +6,9 @@
 
 namespace lumina {
 
-Simulator::Simulator() { set_log_clock(&now_); }
+Simulator::Simulator() { prev_log_clock_ = set_log_clock(&now_); }
 
-Simulator::~Simulator() { set_log_clock(nullptr); }
+Simulator::~Simulator() { set_log_clock(prev_log_clock_); }
 
 std::uint64_t Simulator::schedule_at(Tick when, Callback cb) {
   Event ev;

@@ -3,6 +3,10 @@
 // The entire testbed (hosts, switch, dumpers, links) runs on one Simulator.
 // Events are (time, sequence) ordered: two events scheduled for the same
 // tick fire in scheduling order, which keeps runs bit-for-bit reproducible.
+//
+// One Simulator serves one run on one thread. Instances share no mutable
+// state, so a campaign (campaign/parallel.h) may run many of them on
+// concurrent worker threads; the log clock each registers is thread-local.
 #pragma once
 
 #include <cstdint>
@@ -70,6 +74,7 @@ class Simulator {
 
   Tick now_ = 0;
   bool stopped_ = false;
+  const std::int64_t* prev_log_clock_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t processed_ = 0;

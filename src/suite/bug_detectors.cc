@@ -218,6 +218,25 @@ std::string to_string(KnownIssue issue) {
   return "?";
 }
 
+std::string issue_slug(KnownIssue issue) {
+  switch (issue) {
+    case KnownIssue::kNonWorkConservingEts: return "non-work-conserving-ets";
+    case KnownIssue::kNoisyNeighbor: return "noisy-neighbor";
+    case KnownIssue::kInteropMigReq: return "interop-migreq";
+    case KnownIssue::kCounterInconsistency: return "counter-inconsistency";
+    case KnownIssue::kCnpRateLimiting: return "cnp-rate-limiting";
+    case KnownIssue::kAdaptiveRetransDeviation: return "adaptive-retrans";
+  }
+  return "?";
+}
+
+std::optional<KnownIssue> parse_known_issue(const std::string& slug) {
+  for (const KnownIssue issue : all_known_issues()) {
+    if (issue_slug(issue) == slug) return issue;
+  }
+  return std::nullopt;
+}
+
 const std::vector<KnownIssue>& all_known_issues() {
   static const std::vector<KnownIssue> issues = {
       KnownIssue::kNonWorkConservingEts,
@@ -243,12 +262,22 @@ DetectionResult detect_issue(KnownIssue issue, NicType nic) {
   return DetectionResult{issue, nic, false, "unknown issue"};
 }
 
-std::vector<DetectionResult> run_bug_suite(NicType nic) {
-  std::vector<DetectionResult> results;
-  for (const KnownIssue issue : all_known_issues()) {
-    results.push_back(detect_issue(issue, nic));
-  }
-  return results;
+std::vector<DetectionResult> run_bug_suite(NicType nic,
+                                           const CampaignOptions& options) {
+  const auto& issues = all_known_issues();
+  return parallel_map<DetectionResult>(
+      issues.size(), options.jobs,
+      [&](std::size_t i) { return detect_issue(issues[i], nic); });
+}
+
+std::vector<DetectionResult> run_bug_matrix(const std::vector<NicType>& nics,
+                                            const CampaignOptions& options) {
+  const auto& issues = all_known_issues();
+  return parallel_map<DetectionResult>(
+      nics.size() * issues.size(), options.jobs, [&](std::size_t i) {
+        return detect_issue(issues[i % issues.size()],
+                            nics[i / issues.size()]);
+      });
 }
 
 }  // namespace lumina

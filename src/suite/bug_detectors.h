@@ -6,9 +6,11 @@
 // an arbitrary device model.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "campaign/parallel.h"
 #include "config/test_config.h"
 
 namespace lumina {
@@ -25,6 +27,11 @@ enum class KnownIssue {
 
 std::string to_string(KnownIssue issue);
 
+/// Stable kebab-case identifier used by campaign YAML and artifact paths
+/// (e.g. "cnp-rate-limiting").
+std::string issue_slug(KnownIssue issue);
+std::optional<KnownIssue> parse_known_issue(const std::string& slug);
+
 struct DetectionResult {
   KnownIssue issue;
   NicType nic;
@@ -36,7 +43,17 @@ struct DetectionResult {
 DetectionResult detect_issue(KnownIssue issue, NicType nic);
 
 /// Screens a NIC model against every known issue (Table 2, one column).
-std::vector<DetectionResult> run_bug_suite(NicType nic);
+/// Each detector owns a private Simulator, so the probes fan out across
+/// `options.jobs` worker threads; results come back in Table 2 order
+/// regardless of thread count.
+std::vector<DetectionResult> run_bug_suite(
+    NicType nic, const CampaignOptions& options = CampaignOptions{});
+
+/// The full Table 2 matrix: every (NIC, issue) pair as one independent
+/// campaign run. Results are ordered NIC-major, issue-minor.
+std::vector<DetectionResult> run_bug_matrix(
+    const std::vector<NicType>& nics,
+    const CampaignOptions& options = CampaignOptions{});
 
 /// All issues, in Table 2 order.
 const std::vector<KnownIssue>& all_known_issues();

@@ -1,12 +1,13 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace lumina {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
-const std::int64_t* g_clock = nullptr;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+thread_local const std::int64_t* g_clock = nullptr;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -21,9 +22,16 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
-void set_log_clock(const std::int64_t* now_ns) { g_clock = now_ns; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+const std::int64_t* set_log_clock(const std::int64_t* now_ns) {
+  const std::int64_t* previous = g_clock;
+  g_clock = now_ns;
+  return previous;
+}
 
 namespace detail {
 

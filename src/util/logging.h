@@ -1,8 +1,11 @@
 // Minimal leveled logging to stderr.
 //
-// The simulator is single-threaded, so no locking is needed. Log lines are
-// prefixed with the current simulated time when a Simulator is attached
-// (see sim/simulator.h), which makes traces of micro-behaviors readable.
+// Each Simulator is single-threaded, but a campaign runs one Simulator per
+// worker thread (see campaign/parallel.h), so the simulated-clock hook is
+// thread-local and the level threshold is atomic. Log lines are prefixed
+// with the current simulated time when a Simulator is attached on this
+// thread (see sim/simulator.h), which makes traces of micro-behaviors
+// readable.
 #pragma once
 
 #include <sstream>
@@ -17,8 +20,10 @@ void set_log_level(LogLevel level);
 LogLevel log_level();
 
 /// Hook used by the Simulator to prefix log lines with simulated time.
-/// Returns -1 when no simulation clock is active.
-void set_log_clock(const std::int64_t* now_ns);
+/// Thread-local: each worker thread's Simulator registers its own clock.
+/// Returns the previously registered clock (so nested simulators on one
+/// thread can restore it), or nullptr when none was active.
+const std::int64_t* set_log_clock(const std::int64_t* now_ns);
 
 namespace detail {
 void emit(LogLevel level, const std::string& msg);

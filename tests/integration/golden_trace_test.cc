@@ -1,0 +1,157 @@
+// Golden-trace regression tests: two canonical experiments — a Go-Back-N
+// retransmission triggered by a data-packet drop, and CNP generation
+// triggered by ECN marking — are replayed and their full artifact set
+// (trace.pcap, counters, flows, integrity) compared byte-for-byte against
+// goldens checked in under tests/golden/. Any behavioral drift in the
+// simulated NICs, the injector, or the pcap writer shows up as a diff here.
+//
+// To regenerate after an intentional behavior change:
+//   LUMINA_REGEN_GOLDEN=1 ./build/tests/golden_trace_test
+// then review the diff of tests/golden/ before committing it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "config/test_config.h"
+#include "orchestrator/orchestrator.h"
+#include "orchestrator/results_io.h"
+
+namespace lumina {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Baked in by CMake: the source-tree directory holding the goldens.
+const char* golden_root() { return LUMINA_GOLDEN_DIR; }
+
+bool regen_requested() {
+  const char* env = std::getenv("LUMINA_REGEN_GOLDEN");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+TestConfig gbn_drop_config() {
+  TestConfig cfg;
+  cfg.requester.nic_type = NicType::kCx6Dx;
+  cfg.responder.nic_type = NicType::kCx6Dx;
+  cfg.traffic.num_connections = 2;
+  cfg.traffic.num_msgs_per_qp = 4;
+  cfg.traffic.message_size = 10240;
+  cfg.traffic.mtu = 1024;
+  // Drop the 3rd data packet of QP connection 1: the responder NACKs and
+  // the requester performs a Go-Back-N retransmission.
+  cfg.traffic.data_pkt_events.push_back(
+      DataPacketEvent{1, 3, EventType::kDrop, 1});
+  return cfg;
+}
+
+TestConfig cnp_inject_config() {
+  TestConfig cfg;
+  cfg.requester.nic_type = NicType::kCx6Dx;
+  cfg.responder.nic_type = NicType::kCx6Dx;
+  cfg.traffic.num_connections = 1;
+  cfg.traffic.num_msgs_per_qp = 4;
+  cfg.traffic.message_size = 10240;
+  cfg.traffic.mtu = 1024;
+  // ECN-mark three data packets: the responder's notification point must
+  // emit CNPs back to the requester (subject to CNP pacing).
+  cfg.traffic.data_pkt_events.push_back(
+      DataPacketEvent{1, 2, EventType::kEcn, 1});
+  cfg.traffic.data_pkt_events.push_back(
+      DataPacketEvent{1, 5, EventType::kEcn, 1});
+  cfg.traffic.data_pkt_events.push_back(
+      DataPacketEvent{1, 8, EventType::kEcn, 1});
+  return cfg;
+}
+
+/// Runs the experiment and compares every artifact against the golden
+/// directory, or rewrites the goldens when LUMINA_REGEN_GOLDEN is set.
+void check_against_golden(const std::string& scenario,
+                          const TestConfig& cfg) {
+  const TestResult result = Orchestrator(cfg).run();
+  ASSERT_TRUE(result.finished) << scenario;
+  ASSERT_TRUE(result.integrity.ok()) << scenario << ": "
+                                     << result.integrity.to_string();
+
+  const fs::path golden_dir = fs::path(golden_root()) / scenario;
+  if (regen_requested()) {
+    fs::remove_all(golden_dir);
+    std::string failed;
+    ASSERT_TRUE(write_results(result, golden_dir.string(), &failed))
+        << failed;
+    GTEST_SKIP() << "regenerated goldens in " << golden_dir;
+  }
+
+  ASSERT_TRUE(fs::is_directory(golden_dir))
+      << "missing goldens for " << scenario
+      << "; run with LUMINA_REGEN_GOLDEN=1 to create them";
+
+  const fs::path actual_dir =
+      fs::temp_directory_path() /
+      ("lumina_golden_" + scenario + "_" + std::to_string(::getpid()));
+  fs::remove_all(actual_dir);
+  std::string failed;
+  ASSERT_TRUE(write_results(result, actual_dir.string(), &failed)) << failed;
+
+  std::size_t compared = 0;
+  for (const auto& entry : fs::directory_iterator(golden_dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    const fs::path actual = actual_dir / name;
+    ASSERT_TRUE(fs::is_regular_file(actual))
+        << scenario << ": artifact " << name << " not produced";
+    EXPECT_EQ(read_file(actual), read_file(entry.path()))
+        << scenario << ": " << name
+        << " drifted from golden; if intentional, regenerate with "
+           "LUMINA_REGEN_GOLDEN=1 and review the diff";
+    ++compared;
+  }
+  EXPECT_GE(compared, 7u) << scenario << ": golden set incomplete";
+  fs::remove_all(actual_dir);
+}
+
+TEST(GoldenTrace, GoBackNDropMatchesGolden) {
+  check_against_golden("gbn_drop", gbn_drop_config());
+}
+
+TEST(GoldenTrace, CnpInjectionMatchesGolden) {
+  check_against_golden("cnp_inject", cnp_inject_config());
+}
+
+// Semantic guards alongside the byte-level goldens, so a regen can't
+// silently bless a trace that lost the behavior under test.
+TEST(GoldenTrace, GoBackNGoldenContainsRetransmission) {
+  const TestResult result = Orchestrator(gbn_drop_config()).run();
+  EXPECT_GT(result.switch_counters.dropped_by_event, 0u);
+  // Go-Back-N resends the dropped packet and its successors: the wire
+  // carries more data packets than a loss-free run would need.
+  const TestConfig clean = [] {
+    TestConfig cfg = gbn_drop_config();
+    cfg.traffic.data_pkt_events.clear();
+    return cfg;
+  }();
+  const TestResult baseline = Orchestrator(clean).run();
+  EXPECT_GT(result.trace.size(), baseline.trace.size());
+}
+
+TEST(GoldenTrace, CnpGoldenContainsCnps) {
+  const TestResult result = Orchestrator(cnp_inject_config()).run();
+  std::size_t cnps = 0;
+  for (const auto& packet : result.trace) {
+    if (packet.view.is_cnp()) ++cnps;
+  }
+  EXPECT_GT(cnps, 0u) << "ECN marks produced no CNPs";
+}
+
+}  // namespace
+}  // namespace lumina

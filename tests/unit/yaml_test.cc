@@ -236,5 +236,36 @@ TEST(Yaml, FileNotFoundThrows) {
   EXPECT_THROW(parse_yaml_file("/no/such/file.yaml"), YamlError);
 }
 
+TEST(Yaml, NestedBlocksInsideListItems) {
+  // Campaign files nest whole experiment configs inside "- kind:" items.
+  const YamlNode root = parse_yaml(R"(runs:
+  - kind: experiment
+    sweep:
+      message-size: [4096, 10240]
+    config:
+      traffic:
+        num-connections: 2
+        data-pkt-events:
+        - {qpn: 1, psn: 3, type: drop, iter: 1}
+  - kind: suite
+    nics: [cx4, e810]
+)");
+  const YamlNode& runs = root["runs"];
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0]["kind"].as_string(), "experiment");
+  EXPECT_EQ(runs[0]["sweep"]["message-size"][1].as_int(), 10240);
+  const YamlNode& traffic = runs[0]["config"]["traffic"];
+  EXPECT_EQ(traffic["num-connections"].as_int(), 2);
+  ASSERT_EQ(traffic["data-pkt-events"].size(), 1u);
+  EXPECT_EQ(traffic["data-pkt-events"][0]["psn"].as_int(), 3);
+  EXPECT_EQ(runs[1]["kind"].as_string(), "suite");
+  EXPECT_EQ(runs[1]["nics"][1].as_string(), "e810");
+}
+
+TEST(Yaml, ListItemKeyWithoutValueIsNull) {
+  const YamlNode root = parse_yaml("runs:\n  - kind: x\n    extra:\n");
+  EXPECT_TRUE(root["runs"][0]["extra"].is_null());
+}
+
 }  // namespace
 }  // namespace lumina

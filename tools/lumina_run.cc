@@ -2,13 +2,18 @@
 // driven: a YAML test configuration in, a results directory out.
 //
 //   lumina_run <config.yaml> [results-dir]
+//   lumina_run --screen <cx4|cx5|cx6|e810> [--jobs N]
+//   lumina_run --campaign <campaign.yaml> [--jobs N] [--seed S] [--out dir]
 //
-// Runs the configured experiment on the simulated testbed, prints a
-// human-readable report (integrity, per-connection metrics, retransmission
-// episodes, Go-Back-N compliance, counter consistency), and persists the
-// Table 1 artifacts (trace.pcap, counters, flows.csv) when a results
-// directory is given.
+// The first form runs one configured experiment on the simulated testbed,
+// prints a human-readable report (integrity, per-connection metrics,
+// retransmission episodes, Go-Back-N compliance, counter consistency), and
+// persists the Table 1 artifacts (trace.pcap, counters, flows.csv) when a
+// results directory is given. --screen fans the Table 2 bug suite across
+// worker threads; --campaign executes a whole run matrix (see
+// docs/campaigns.md) with deterministic, jobs-independent artifacts.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "analyzers/cnp_analyzer.h"
@@ -16,6 +21,8 @@
 #include "analyzers/gbn_fsm.h"
 #include "analyzers/retrans_perf.h"
 #include "analyzers/trace_stats.h"
+#include "campaign/campaign.h"
+#include "campaign/campaign_config.h"
 #include "orchestrator/orchestrator.h"
 #include "orchestrator/results_io.h"
 #include "suite/bug_detectors.h"
@@ -27,26 +34,67 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <config.yaml> [results-dir]\n"
-               "       %s --screen <cx4|cx5|cx6|e810>\n"
+               "       %s --screen <cx4|cx5|cx6|e810> [--jobs N]\n"
+               "       %s --campaign <campaign.yaml> [--jobs N] [--seed S] "
+               "[--out dir]\n"
                "\n"
                "Runs a Lumina test described by a YAML configuration "
                "(Listing 1 + Listing 2 format)\n"
                "on the simulated testbed and prints the analysis report.\n"
                "--screen runs the full bug suite (Table 2 detectors) "
-               "against one NIC model.\n",
-               argv0, argv0);
+               "against one NIC model.\n"
+               "--campaign runs a suite/fuzz/experiment matrix across "
+               "--jobs worker threads;\n"
+               "aggregated artifacts are byte-identical for any --jobs "
+               "value (docs/campaigns.md).\n",
+               argv0, argv0, argv0);
 }
 
-int run_screen(const char* nic_name) {
+/// Parses the shared `--jobs N --seed S --out dir` tail of the multi-run
+/// modes. Returns false (after printing the error) on malformed flags.
+bool parse_campaign_flags(int argc, char** argv, int first,
+                          CampaignOptions* options, std::string* out_dir) {
+  for (int i = first; i < argc; ++i) {
+    const auto need_value = [&](const char* flag) {
+      if (i + 1 < argc) return true;
+      std::fprintf(stderr, "error: %s needs a value\n", flag);
+      return false;
+    };
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (!need_value("--jobs")) return false;
+      options->jobs = std::atoi(argv[++i]);
+      if (options->jobs < 1) {
+        std::fprintf(stderr, "error: --jobs must be >= 1\n");
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      if (!need_value("--seed")) return false;
+      options->seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      if (!need_value("--out")) return false;
+      *out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_screen(const char* nic_name, int argc, char** argv) {
   const auto nic = parse_nic_type(nic_name);
   if (!nic) {
     std::fprintf(stderr, "error: unknown NIC type '%s'\n", nic_name);
     return 1;
   }
-  std::printf("Screening %s against all known issues (Table 2):\n",
-              DeviceProfile::get(*nic).name.c_str());
+  CampaignOptions options;
+  std::string out_dir;
+  if (!parse_campaign_flags(argc, argv, 3, &options, &out_dir)) return 1;
+  std::printf("Screening %s against all known issues (Table 2, %d job%s):\n",
+              DeviceProfile::get(*nic).name.c_str(), options.jobs,
+              options.jobs == 1 ? "" : "s");
   int affected = 0;
-  for (const auto& result : run_bug_suite(*nic)) {
+  for (const auto& result : run_bug_suite(*nic, options)) {
     std::printf("  [%s] %-34s %s\n",
                 result.affected ? "AFFECTED" : "clean   ",
                 to_string(result.issue).c_str(), result.evidence.c_str());
@@ -55,6 +103,50 @@ int run_screen(const char* nic_name) {
   std::printf("%d of %zu issues detected.\n", affected,
               all_known_issues().size());
   return 0;
+}
+
+int run_campaign_mode(int argc, char** argv) {
+  if (argc < 3) {
+    usage(argv[0]);
+    return 1;
+  }
+  CampaignOptions options;
+  std::string out_dir;
+  Campaign campaign;
+  try {
+    campaign = load_campaign_file(argv[2]);
+  } catch (const YamlError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  options.seed = campaign.seed;  // the file's seed; --seed overrides
+  if (!parse_campaign_flags(argc, argv, 3, &options, &out_dir)) return 1;
+
+  std::printf("== Campaign '%s': %zu runs, %d job%s, seed 0x%llx\n",
+              campaign.name.c_str(), campaign.runs.size(), options.jobs,
+              options.jobs == 1 ? "" : "s",
+              static_cast<unsigned long long>(options.seed));
+
+  const CampaignReport report = run_campaign(campaign, options);
+
+  for (std::size_t i = 0; i < report.runs.size(); ++i) {
+    const CampaignRunOutcome& run = report.runs[i];
+    std::printf("  [%3zu] %-44s %8.1f ms  %s\n", i, run.name.c_str(),
+                run.metrics.wall_ms, run.summary.c_str());
+  }
+  std::printf("%zu/%zu runs ok, wall %.1f ms total\n", report.ok_count(),
+              report.runs.size(), report.wall_ms);
+
+  if (!out_dir.empty()) {
+    std::string failed_path;
+    if (!write_campaign_artifacts(report, out_dir, &failed_path)) {
+      std::fprintf(stderr, "error: failed to write %s\n",
+                   failed_path.c_str());
+      return 1;
+    }
+    std::printf("artifacts written to %s/\n", out_dir.c_str());
+  }
+  return report.ok_count() == report.runs.size() ? 0 : 2;
 }
 
 std::vector<Ipv4Address> side_ips(const std::vector<ConnectionMetadata>& conns,
@@ -79,7 +171,18 @@ int main(int argc, char** argv) {
       usage(argv[0]);
       return 1;
     }
-    return run_screen(argv[2]);
+    return run_screen(argv[2], argc, argv);
+  }
+  if (std::strcmp(argv[1], "--campaign") == 0) {
+    return run_campaign_mode(argc, argv);
+  }
+  if (argv[1][0] == '-') {
+    // A flag in mode position (e.g. "--seed 7 --campaign f.yaml"): the
+    // mode selector must come first, so point at the usage instead of
+    // trying to open "--seed" as a config file.
+    std::fprintf(stderr, "error: unknown mode '%s'\n\n", argv[1]);
+    usage(argv[0]);
+    return 1;
   }
 
   TestConfig cfg;
@@ -181,10 +284,11 @@ int main(int argc, char** argv) {
   }
 
   if (argc > 2) {
-    if (write_results(result, argv[2])) {
+    std::string failed_path;
+    if (write_results(result, argv[2], &failed_path)) {
       std::printf("\nresults written to %s/\n", argv[2]);
     } else {
-      std::fprintf(stderr, "error: failed to write results to %s\n", argv[2]);
+      std::fprintf(stderr, "error: failed to write %s\n", failed_path.c_str());
       return 1;
     }
   }
