@@ -9,11 +9,13 @@
 //                 thread count cannot beat core count.
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <thread>
 
 #include "campaign/campaign.h"
 #include "campaign/campaign_config.h"
 #include "common/bench_util.h"
+#include "telemetry/report.h"
 
 using namespace lumina;
 using namespace lumina::bench;
@@ -53,6 +55,7 @@ constexpr const char* kCampaignYaml = R"(campaign:
 struct Sample {
   double wall_ms = 0;
   std::uint64_t digest = 0;
+  CampaignReport report;
 };
 
 /// FNV-1a over every deterministic artifact byte the campaign produces:
@@ -89,18 +92,32 @@ Sample run_at(const Campaign& campaign, int jobs) {
   options.jobs = jobs;
   options.seed = campaign.seed;
   const auto start = std::chrono::steady_clock::now();
-  const CampaignReport report = run_campaign(campaign, options);
-  const auto stop = std::chrono::steady_clock::now();
   Sample sample;
+  sample.report = run_campaign(campaign, options);
+  const auto stop = std::chrono::steady_clock::now();
   sample.wall_ms =
       std::chrono::duration<double, std::milli>(stop - start).count();
-  sample.digest = digest_report(report);
+  sample.digest = digest_report(sample.report);
   return sample;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --out <path>: emit the campaign's telemetry report.json, the artifact
+  // the CI bench gate diffs against bench/baselines/ci_baseline.json. The
+  // deterministic section is a pure function of (campaign yaml, seed), so
+  // baselines generated on any machine are comparable.
+  std::string report_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      report_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out report.json]\n", argv[0]);
+      return 2;
+    }
+  }
+
   heading("Campaign runner scaling: 36-run campaign, --jobs 1/2/4/8");
 
   const Campaign campaign = load_campaign(parse_yaml(kCampaignYaml));
@@ -135,6 +152,16 @@ int main() {
   }
   check.expect(identical,
                "artifacts byte-identical across jobs=1/2/4/8 (equal digests)");
+
+  if (!report_out.empty()) {
+    std::string failed;
+    if (!telemetry::write_report(campaign_report_json(samples[0].report),
+                                 report_out, &failed)) {
+      std::fprintf(stderr, "error: failed to write %s\n", failed.c_str());
+      return 2;
+    }
+    std::printf("\nreport written to %s\n", report_out.c_str());
+  }
 
   const double speedup = samples[0].wall_ms / samples.back().wall_ms;
   if (std::thread::hardware_concurrency() >= 8) {

@@ -122,6 +122,7 @@ CampaignReport run_campaign(const Campaign& campaign,
   CampaignReport report;
   report.name = campaign.name;
   report.seed = options.seed;
+  report.jobs = options.jobs;
   report.runs = parallel_map<CampaignRunOutcome>(
       campaign.runs.size(), options.jobs, [&](std::size_t i) {
         return execute_run(campaign.runs[i],
@@ -147,6 +148,27 @@ std::string campaign_summary_csv(const CampaignReport& report) {
         run.summary.c_str());
   }
   return csv;
+}
+
+telemetry::RunReport campaign_report_json(const CampaignReport& report) {
+  telemetry::RunReport out;
+  out.name = report.name;
+  double run_wall_ms = 0;
+  for (const CampaignRunOutcome& run : report.runs) {
+    if (run.result.has_value()) out.deterministic.merge(run.result->telemetry);
+    out.deterministic.counters["campaign.runs_total"] += 1;
+    if (run.ok) out.deterministic.counters["campaign.runs_ok"] += 1;
+    run_wall_ms += run.metrics.wall_ms;
+  }
+  out.wall["wall_ms"] = report.wall_ms;
+  out.wall["jobs"] = report.jobs;
+  // Fraction of worker capacity spent inside runs: 1.0 means every worker
+  // was busy for the whole campaign; low values flag scheduling overhead
+  // or load imbalance (one straggler run pinning the wall clock).
+  if (report.wall_ms > 0 && report.jobs > 0) {
+    out.wall["worker_utilization"] = run_wall_ms / (report.jobs * report.wall_ms);
+  }
+  return out;
 }
 
 bool write_campaign_artifacts(const CampaignReport& report,
@@ -177,7 +199,15 @@ bool write_campaign_artifacts(const CampaignReport& report,
     const std::string run_dir = dir + "/" + prefix + slugify(run.name);
     if (!write_results(*run.result, run_dir, failed_path)) return false;
   }
-  return true;
+
+  // The artifact tree is contractually byte-identical for any --jobs
+  // value; the wall section (wall_ms, jobs, utilization) legitimately
+  // varies, so the in-tree report carries only the deterministic section.
+  // `lumina_run --campaign --report <path>` emits the full report.
+  telemetry::RunReport tree_report = campaign_report_json(report);
+  tree_report.wall.clear();
+  return telemetry::write_report(tree_report, dir + "/report.json",
+                                 failed_path);
 }
 
 }  // namespace lumina

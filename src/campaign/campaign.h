@@ -19,6 +19,7 @@
 #include "fuzz/fuzzer.h"
 #include "orchestrator/orchestrator.h"
 #include "suite/bug_detectors.h"
+#include "telemetry/report.h"
 
 namespace lumina {
 
@@ -68,6 +69,7 @@ struct CampaignRunOutcome {
 struct CampaignReport {
   std::string name;
   std::uint64_t seed = 0;
+  int jobs = 1;        ///< Worker threads used (wall data only).
   std::vector<CampaignRunOutcome> runs;  ///< Spec order.
   double wall_ms = 0;  ///< Whole-campaign wall clock (not an artifact).
 
@@ -85,6 +87,12 @@ CampaignReport run_campaign(const Campaign& campaign,
 
 /// The deterministic cross-run summary (one CSV row per run, spec order).
 std::string campaign_summary_csv(const CampaignReport& report);
+
+/// The campaign-wide telemetry report: deterministic section merges every
+/// run's snapshot in spec order (integer sums — jobs-independent) plus
+/// campaign.runs_total / campaign.runs_ok; the wall section records
+/// wall_ms, jobs, and worker utilization. Serialized as <dir>/report.json.
+telemetry::RunReport campaign_report_json(const CampaignReport& report);
 
 /// Persists the campaign: `<dir>/summary.csv` plus one results_io
 /// directory `<dir>/run_NNN_<slug>/` per run that produced a TestResult.

@@ -145,6 +145,24 @@ void TrafficGenerator::post_next(int connection) {
   req_qps_[c]->post_send(wr);
 }
 
+void TrafficGenerator::attach_telemetry(telemetry::Telemetry* t) {
+  if (t == nullptr || t->metrics == nullptr) {
+    trace_ = nullptr;
+    m_msgs_completed_ = nullptr;
+    m_msgs_failed_ = nullptr;
+    m_msg_completion_ = nullptr;
+    return;
+  }
+  trace_ = t->trace;
+  m_msgs_completed_ = &t->metrics->counter("host.msgs_completed");
+  m_msgs_failed_ = &t->metrics->counter("host.msgs_failed");
+  // Message completion times span ~10 us (clean run, small message) to
+  // whole seconds when retransmission timeouts pile up.
+  m_msg_completion_ = &t->metrics->histogram(
+      "host.msg_completion_ns",
+      telemetry::BucketBounds::exponential(10000, 2.0, 20));
+}
+
 void TrafficGenerator::on_completion(int connection, const WorkCompletion& wc) {
   const auto c = static_cast<std::size_t>(connection);
   FlowMetrics& fm = metrics_[c];
@@ -156,6 +174,15 @@ void TrafficGenerator::on_completion(int connection, const WorkCompletion& wc) {
         rec.completed_at < 0) {
       rec.completed_at = wc.completed_at;
       rec.status = wc.status;
+      if (wc.status == WcStatus::kSuccess) {
+        telemetry::inc(m_msgs_completed_);
+        telemetry::observe(m_msg_completion_, rec.completion_time());
+        telemetry::trace_complete(trace_, "host", "msg", rec.posted_at,
+                                  rec.completion_time(), telemetry::kTrackHost,
+                                  connection);
+      } else {
+        telemetry::inc(m_msgs_failed_);
+      }
       break;
     }
   }

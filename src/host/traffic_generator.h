@@ -17,6 +17,7 @@
 #include "host/metrics.h"
 #include "rnic/rnic.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 #include "util/random.h"
 
 namespace lumina {
@@ -57,6 +58,9 @@ class TrafficGenerator {
   /// empty), in microseconds.
   double avg_mct_us(const std::vector<int>& conns = {}) const;
 
+  /// Registers the run's telemetry context (docs/telemetry.md: host.*).
+  void attach_telemetry(telemetry::Telemetry* telemetry);
+
   QueuePair* requester_qp(int connection) {
     return req_qps_[static_cast<std::size_t>(connection)];
   }
@@ -88,6 +92,12 @@ class TrafficGenerator {
   int flows_remaining_ = 0;
   int barrier_round_ = 0;
   bool started_ = false;
+
+  // Hot-path telemetry handles (null when no telemetry is attached).
+  telemetry::TraceSink* trace_ = nullptr;
+  telemetry::Counter* m_msgs_completed_ = nullptr;
+  telemetry::Counter* m_msgs_failed_ = nullptr;
+  telemetry::Histogram* m_msg_completion_ = nullptr;
 };
 
 }  // namespace lumina

@@ -42,6 +42,24 @@ void EventInjectorSwitch::install_relative_rule(const RelativeEventRule& rule) {
   relative_rules_.push_back(rule);
 }
 
+void EventInjectorSwitch::attach_telemetry(telemetry::Telemetry* t) {
+  if (t == nullptr || t->metrics == nullptr) {
+    trace_ = nullptr;
+    m_table_match_ = nullptr;
+    m_table_miss_ = nullptr;
+    m_added_latency_ = nullptr;
+    return;
+  }
+  trace_ = t->trace;
+  m_table_match_ = &t->metrics->counter("injector.table_match");
+  m_table_miss_ = &t->metrics->counter("injector.table_miss");
+  // Added latency of the event-injection stages over a plain L2 program
+  // (event stage cost + any injected delay) — the Fig. 7 decomposition.
+  m_added_latency_ = &t->metrics->histogram(
+      "injector.added_latency_ns",
+      telemetry::BucketBounds::exponential(16, 2.0, 16));
+}
+
 void EventInjectorSwitch::handle_packet(int in_port, Packet pkt) {
   (void)in_port;
   const Tick ingress_ts = sim_->now();
@@ -89,6 +107,12 @@ void EventInjectorSwitch::handle_packet(int in_port, Packet pkt) {
         event = action->type;
         event_delay = action->delay;
         ++counters_.events_applied;
+        telemetry::inc(m_table_match_);
+        telemetry::trace_instant(trace_, "injector", "event_applied",
+                                 ingress_ts, telemetry::kTrackInjector,
+                                 view->bth.psn);
+      } else {
+        telemetry::inc(m_table_miss_);
       }
     }
   }
@@ -121,8 +145,15 @@ void EventInjectorSwitch::handle_packet(int in_port, Packet pkt) {
         });
   }
 
+  if (options_.enable_event_injection) {
+    telemetry::observe(m_added_latency_,
+                       options_.event_stage_latency + event_delay);
+  }
+
   if (event == EventType::kDrop && options_.enforce_drops) {
     ++counters_.dropped_by_event;
+    telemetry::trace_instant(trace_, "injector", "drop_enforced", ingress_ts,
+                             telemetry::kTrackInjector, view->bth.psn);
     return;
   }
 

@@ -19,6 +19,7 @@
 #include "injector/mirror.h"
 #include "net/node.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 
 namespace lumina {
 
@@ -96,6 +97,10 @@ class EventInjectorSwitch : public Node {
   const Options& options() const { return options_; }
   void set_options(const Options& options) { options_ = options; }
 
+  /// Registers the run's telemetry context and resolves metric handles
+  /// (docs/telemetry.md: injector.*). Pass nullptr to detach.
+  void attach_telemetry(telemetry::Telemetry* telemetry);
+
   const SwitchRoceCounters& roce_counters() const { return counters_; }
   const EventTable& event_table() const { return table_; }
   const IterTracker& iter_tracker() const { return iter_tracker_; }
@@ -122,6 +127,12 @@ class EventInjectorSwitch : public Node {
   IterTracker iter_tracker_;
   MirrorEngine mirror_;
   SwitchRoceCounters counters_;
+
+  // Hot-path telemetry handles (null when no telemetry is attached).
+  telemetry::TraceSink* trace_ = nullptr;
+  telemetry::Counter* m_table_match_ = nullptr;
+  telemetry::Counter* m_table_miss_ = nullptr;
+  telemetry::Histogram* m_added_latency_ = nullptr;
   std::unordered_map<FlowKey, ReorderSlot, FlowKeyHash> reorder_slots_;
 
   // Stateful-discovery ablation state.

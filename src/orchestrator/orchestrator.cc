@@ -37,6 +37,19 @@ Orchestrator::~Orchestrator() = default;
 void Orchestrator::build_testbed() {
   sim_ = std::make_unique<Simulator>();
 
+  if (options_.enable_telemetry) {
+    metrics_ = std::make_unique<telemetry::MetricsRegistry>();
+    trace_sink_ = std::make_unique<telemetry::TraceSink>(
+        options_.trace_capacity);
+    trace_sink_->set_track_name(telemetry::kTrackSim, "sim");
+    trace_sink_->set_track_name(telemetry::kTrackInjector, "injector");
+    trace_sink_->set_track_name(telemetry::kTrackRequester, "requester-nic");
+    trace_sink_->set_track_name(telemetry::kTrackResponder, "responder-nic");
+    trace_sink_->set_track_name(telemetry::kTrackHost, "host");
+    telemetry_.metrics = metrics_.get();
+    telemetry_.trace = trace_sink_.get();
+  }
+
   const int num_ports = 2 + options_.num_dumpers;
   switch_ = std::make_unique<EventInjectorSwitch>(sim_.get(), num_ports,
                                                   options_.switch_options);
@@ -80,6 +93,13 @@ void Orchestrator::build_testbed() {
   generator_ = std::make_unique<TrafficGenerator>(
       sim_.get(), req_nic_.get(), resp_nic_.get(), config_.requester,
       config_.responder, config_.traffic, config_.ets, options_.seed);
+
+  if (options_.enable_telemetry) {
+    switch_->attach_telemetry(&telemetry_);
+    req_nic_->attach_telemetry(&telemetry_);
+    resp_nic_->attach_telemetry(&telemetry_);
+    generator_->attach_telemetry(&telemetry_);
+  }
 }
 
 EventRule Orchestrator::translate_intent(const DataPacketEvent& intent) const {
@@ -203,6 +223,50 @@ void Orchestrator::collect_results() {
   for (int i = 0; i < generator_->num_connections(); ++i) {
     result_.flows.push_back(generator_->metrics(i));
   }
+
+  if (options_.enable_telemetry) {
+    scrape_telemetry();
+    result_.telemetry = metrics_->snapshot();
+  }
+}
+
+/// End-of-run scrape: component counters that are cheap to keep as plain
+/// integers during the run land in the registry only here, alongside the
+/// histograms the hot paths populated live.
+void Orchestrator::scrape_telemetry() {
+  telemetry::MetricsRegistry& reg = *metrics_;
+
+  reg.counter("sim.events_processed").inc(sim_->events_processed());
+  reg.counter("sim.events_cancelled").inc(sim_->cancel_requests());
+  reg.gauge("sim.queue_depth_max")
+      .set(static_cast<std::int64_t>(sim_->max_queue_depth()));
+  reg.gauge("sim.time_ns").set(sim_->now());
+  reg.counter("sim.trace_recorded").inc(trace_sink_->recorded());
+  reg.counter("sim.trace_dropped").inc(trace_sink_->dropped());
+
+  const SwitchRoceCounters& sw = switch_->roce_counters();
+  reg.counter("injector.roce_rx").inc(sw.roce_rx);
+  reg.counter("injector.roce_tx").inc(sw.roce_tx);
+  reg.counter("injector.mirrored").inc(sw.mirrored);
+  reg.counter("injector.events_applied").inc(sw.events_applied);
+  reg.counter("injector.dropped_by_event").inc(sw.dropped_by_event);
+  reg.counter("injector.ecn_marked_by_queue").inc(sw.ecn_marked_by_queue);
+  for (int p = 0; p < switch_->num_ports(); ++p) {
+    const PortCounters& pc = switch_->port(p).counters();
+    const std::string prefix = "injector.port" + std::to_string(p) + ".";
+    reg.gauge(prefix + "max_queued_bytes")
+        .set(static_cast<std::int64_t>(pc.max_queued_bytes));
+    reg.counter(prefix + "drops").inc(pc.drops);
+  }
+
+  for (const Rnic* nic : {req_nic_.get(), resp_nic_.get()}) {
+    const std::string prefix = "rnic." + nic->name() + ".";
+    for (const auto& [counter, value] : nic->counters().entries()) {
+      reg.counter(prefix + counter).inc(value);
+    }
+  }
+
+  reg.gauge("host.flows").set(generator_->num_connections());
 }
 
 }  // namespace lumina

@@ -20,6 +20,7 @@
 #include "orchestrator/trace.h"
 #include "rnic/rnic.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 
 namespace lumina {
 
@@ -35,6 +36,9 @@ struct TestResult {
   RdmaVerb verb = RdmaVerb::kWrite;
   bool finished = false;  ///< Traffic completed before the deadline.
   Tick duration = 0;
+  /// Merged telemetry scrape (docs/telemetry.md) — a pure function of
+  /// (config, seed); serialized as report.json's deterministic section.
+  telemetry::MetricsSnapshot telemetry;
 };
 
 class Orchestrator {
@@ -53,6 +57,13 @@ class Orchestrator {
     /// QP discovery instead of the stock stateless control-plane join
     /// (§3.3). Connection binding then depends on flow arrival order.
     bool stateful_qp_discovery = false;
+    /// Per-run metrics registry + event tracer, scraped into
+    /// TestResult::telemetry and exported by results_io as report.json.
+    /// Off only for overhead ablations (bench/telemetry_overhead).
+    bool enable_telemetry = true;
+    /// Event-trace ring capacity; the oldest events are overwritten (and
+    /// counted as sim.trace_dropped) once the ring is full.
+    std::size_t trace_capacity = telemetry::TraceSink::kDefaultCapacity;
   };
 
   explicit Orchestrator(TestConfig config);
@@ -72,6 +83,10 @@ class Orchestrator {
   TrafficGenerator& generator() { return *generator_; }
   std::vector<std::unique_ptr<TrafficDumper>>& dumpers() { return dumpers_; }
 
+  /// Null when Options::enable_telemetry is false.
+  telemetry::MetricsRegistry* metrics() { return metrics_.get(); }
+  telemetry::TraceSink* trace_sink() { return trace_sink_.get(); }
+
   /// Translates one relative user intent (Listing 2) into the absolute
   /// match-action rule installed on the injector (Fig. 2). Exposed for the
   /// intent-translation unit tests.
@@ -81,9 +96,13 @@ class Orchestrator {
   void build_testbed();
   void program_injector();
   void collect_results();
+  void scrape_telemetry();
 
   TestConfig config_;
   Options options_;
+  std::unique_ptr<telemetry::MetricsRegistry> metrics_;
+  std::unique_ptr<telemetry::TraceSink> trace_sink_;
+  telemetry::Telemetry telemetry_;
   std::unique_ptr<Simulator> sim_;
   std::unique_ptr<EventInjectorSwitch> switch_;
   std::unique_ptr<Rnic> req_nic_;

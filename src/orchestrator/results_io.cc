@@ -7,6 +7,8 @@
 #include <sstream>
 
 #include "packet/pcap_writer.h"
+#include "telemetry/json_lite.h"
+#include "telemetry/report.h"
 
 namespace lumina {
 namespace {
@@ -222,6 +224,15 @@ bool write_results(const TestResult& result, const std::string& dir,
   if (!write_connections(result, dir + "/connections.txt")) {
     return fail(dir + "/connections.txt", failed_path);
   }
+
+  // report.json: per-run reports carry no wall data, so the whole file —
+  // not just the deterministic section — is byte-stable across jobs/hosts.
+  telemetry::RunReport report;
+  report.name = std::filesystem::path(dir).filename().string();
+  report.deterministic = result.telemetry;
+  if (!telemetry::write_report(report, dir + "/report.json", failed_path)) {
+    return false;
+  }
   return true;
 }
 
@@ -250,6 +261,17 @@ bool read_results(const std::string& dir, ReadResults* out,
   }
   if (!read_lines(dir + "/connections.txt", &out->connections)) {
     return fail(dir + "/connections.txt", failed_path);
+  }
+  // report.json is optional on read: directories written before the
+  // telemetry layer existed stay loadable, but a present-and-malformed
+  // report is an error like any other artifact.
+  const std::string report_path = dir + "/report.json";
+  if (std::filesystem::exists(report_path)) {
+    try {
+      out->report = telemetry::read_report_file(report_path);
+    } catch (const telemetry::JsonError&) {
+      return fail(report_path, failed_path);
+    }
   }
   return true;
 }

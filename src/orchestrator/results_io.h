@@ -8,6 +8,7 @@
 //   <dir>/switch_counters.txt     event-injector port/mirror counters
 //   <dir>/flows.csv               per-message application metrics
 //   <dir>/connections.txt         runtime QP metadata (QPN/IPSN/GID)
+//   <dir>/report.json             telemetry scrape (docs/telemetry.md)
 //
 // Everything written here is a pure function of the TestResult, which is a
 // pure function of (config, seed) — so artifact directories can be diffed
@@ -16,10 +17,12 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "orchestrator/orchestrator.h"
+#include "telemetry/report.h"
 
 namespace lumina {
 
@@ -60,6 +63,8 @@ struct ReadResults {
   std::map<std::string, std::uint64_t> switch_counters;
   std::vector<ReadFlowRow> flows;
   std::vector<std::string> connections;  ///< connections.txt lines.
+  /// report.json, when present (absent only in pre-telemetry directories).
+  std::optional<telemetry::RunReport> report;
 };
 
 /// Reads every artifact of `dir` back. Returns false on the first file

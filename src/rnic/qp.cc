@@ -180,6 +180,9 @@ std::optional<Packet> QueuePair::build_next_packet(Tick now) {
     spec.payload_len = desc.payload_len;
     if (desc.sent_count > 0) {
       ++rnic_->counters().retransmitted_packets;
+      telemetry::inc(rnic_->tele().retransmits);
+      telemetry::trace_instant(rnic_->tele().trace, "rnic", "retransmit", now,
+                               rnic_->tele().track, desc.psn);
     }
     ++desc.sent_count;
     arm_rto();
@@ -188,6 +191,10 @@ std::optional<Packet> QueuePair::build_next_packet(Tick now) {
   if (resp_next_ < resp_descs_.size() && now >= resp_hold_until_) {
     if (resp_next_ < resp_highwater_) {
       ++rnic_->counters().retransmitted_packets;
+      telemetry::inc(rnic_->tele().retransmits);
+      telemetry::trace_instant(rnic_->tele().trace, "rnic", "retransmit", now,
+                               rnic_->tele().track,
+                               resp_descs_[resp_next_].psn);
     } else {
       resp_highwater_ = resp_next_ + 1;
     }
@@ -377,11 +384,18 @@ void QueuePair::on_read_response_packet(const RoceView& view) {
       read_nack_armed_ = false;
       rnic_->notify_out_of_order(*this);
       rnic_->read_slow_path_begin();
-      rnic_->sim()->schedule_after(rnic_->profile().nack_gen_delay_read,
-                                   [this] {
-                                     rnic_->read_slow_path_end();
-                                     if (!error_) issue_read_rerequest(0);
-                                   });
+      const Tick detected_at = rnic_->sim()->now();
+      rnic_->sim()->schedule_after(
+          rnic_->profile().nack_gen_delay_read, [this, detected_at] {
+            const RnicTelemetryHooks& tele = rnic_->tele();
+            const Tick now = rnic_->sim()->now();
+            telemetry::inc(tele.nacks_sent);
+            telemetry::observe(tele.nack_gen_latency, now - detected_at);
+            telemetry::trace_instant(tele.trace, "rnic", "read_rerequest",
+                                     now, tele.track, qpn_);
+            rnic_->read_slow_path_end();
+            if (!error_) issue_read_rerequest(0);
+          });
     }
     return;
   }
@@ -691,8 +705,16 @@ void QueuePair::schedule_nack() {
   // (e.g. a reordered packet lands) during the generation delay.
   const std::uint32_t expected = epsn_;
   const std::uint32_t msn = msn_;
+  const Tick detected_at = rnic_->sim()->now();
   rnic_->sim()->schedule_after(
-      rnic_->profile().nack_gen_delay_write, [this, expected, msn] {
+      rnic_->profile().nack_gen_delay_write,
+      [this, expected, msn, detected_at] {
+        const RnicTelemetryHooks& tele = rnic_->tele();
+        const Tick now = rnic_->sim()->now();
+        telemetry::inc(tele.nacks_sent);
+        telemetry::observe(tele.nack_gen_latency, now - detected_at);
+        telemetry::trace_instant(tele.trace, "rnic", "nack_sent", now,
+                                 tele.track, expected);
         RocePacketSpec spec = rnic_->packet_spec_for(*this);
         spec.opcode = IbOpcode::kAcknowledge;
         spec.psn = expected;
@@ -743,6 +765,7 @@ void QueuePair::arm_rto() {
       });
   if (rto_armed_ || !outstanding || error_) return;
   rto_armed_ = true;
+  rto_armed_at_ = rnic_->sim()->now();
   rto_event_ = rnic_->sim()->schedule_after(current_rto(), [this] {
     rto_armed_ = false;
     on_rto();
@@ -767,6 +790,14 @@ void QueuePair::on_rto() {
   ++rnic_->counters().local_ack_timeout_err;
   ++retry_count_;
   ++rto_fires_;
+  {
+    const RnicTelemetryHooks& tele = rnic_->tele();
+    const Tick now = rnic_->sim()->now();
+    telemetry::inc(tele.timer_fires);
+    telemetry::observe(tele.rto_fired_after, now - rto_armed_at_);
+    telemetry::trace_instant(tele.trace, "rnic", "rto_fired", now, tele.track,
+                             qpn_);
+  }
 
   const bool adaptive = config_.adaptive_retrans &&
                         rnic_->profile().adaptive_retrans_available;

@@ -175,6 +175,7 @@ class QueuePair {
   std::uint64_t rto_event_ = 0;
   bool rto_armed_ = false;
   int rto_fires_ = 0;            ///< Consecutive timeouts (adaptive seq).
+  Tick rto_armed_at_ = 0;        ///< Telemetry: arm time of the live RTO.
 
   // Read-specific requester state.
   std::uint32_t read_last_rx_psn_ = 0;

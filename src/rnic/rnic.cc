@@ -112,6 +112,35 @@ RocePacketSpec Rnic::packet_spec_for(const QueuePair& qp) const {
   return spec;
 }
 
+void Rnic::attach_telemetry(telemetry::Telemetry* t) {
+  if (t == nullptr || t->metrics == nullptr) {
+    tele_ = RnicTelemetryHooks{};
+    return;
+  }
+  const std::string prefix = "rnic." + name_ + ".";
+  telemetry::MetricsRegistry& reg = *t->metrics;
+  tele_.trace = t->trace;
+  tele_.nacks_sent = &reg.counter(prefix + "nacks_sent");
+  tele_.cnps_sent = &reg.counter(prefix + "cnps_sent");
+  tele_.timer_fires = &reg.counter(prefix + "timer_fires");
+  tele_.retransmits = &reg.counter(prefix + "retransmits");
+  // NACK generation sits in the hundreds of ns to single-digit us on
+  // healthy NICs and ms on buggy ones (Fig. 8) — cover both regimes.
+  tele_.nack_gen_latency =
+      &reg.histogram(prefix + "nack_gen_latency_ns",
+                     telemetry::BucketBounds::exponential(250, 2.0, 18));
+  // Inter-CNP gaps probe the NIC's min-CNP-interval enforcement (§6.3).
+  tele_.cnp_interval =
+      &reg.histogram(prefix + "cnp_interval_ns",
+                     telemetry::BucketBounds::exponential(1000, 2.0, 18));
+  // Adaptive retransmission fires far below the configured RTO (§6.3).
+  tele_.rto_fired_after =
+      &reg.histogram(prefix + "rto_fired_after_ns",
+                     telemetry::BucketBounds::exponential(4000, 2.0, 20));
+  tele_.track = name_ == "responder" ? telemetry::kTrackResponder
+                                     : telemetry::kTrackRequester;
+}
+
 void Rnic::enqueue_control(Packet pkt) {
   control_queue_.push_back(std::move(pkt));
   pump();
@@ -226,6 +255,14 @@ void Rnic::maybe_send_cnp(QueuePair& qp) {
   if (!profile_.bug_cnp_sent_counter_stuck) {
     ++counters_.np_cnp_sent;  // §6.2.4: stuck at 0 on E810
   }
+  const Tick now = sim_->now();
+  telemetry::inc(tele_.cnps_sent);
+  if (last_cnp_sent_at_ >= 0) {
+    telemetry::observe(tele_.cnp_interval, now - last_cnp_sent_at_);
+  }
+  last_cnp_sent_at_ = now;
+  telemetry::trace_instant(tele_.trace, "rnic", "cnp_sent", now, tele_.track,
+                           qp.qpn());
   RocePacketSpec spec = packet_spec_for(qp);
   spec.opcode = IbOpcode::kCnp;
   spec.psn = 0;

@@ -17,8 +17,24 @@
 #include "rnic/ets.h"
 #include "rnic/qp.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 
 namespace lumina {
+
+/// Hot-path telemetry handles resolved at attach time (null when no
+/// telemetry is attached). Metric names carry the NIC's role:
+/// rnic.<requester|responder>.<metric> (docs/telemetry.md).
+struct RnicTelemetryHooks {
+  telemetry::TraceSink* trace = nullptr;
+  telemetry::Counter* nacks_sent = nullptr;
+  telemetry::Counter* cnps_sent = nullptr;
+  telemetry::Counter* timer_fires = nullptr;
+  telemetry::Counter* retransmits = nullptr;
+  telemetry::Histogram* nack_gen_latency = nullptr;  ///< detect -> NAK out.
+  telemetry::Histogram* cnp_interval = nullptr;      ///< gap between CNPs.
+  telemetry::Histogram* rto_fired_after = nullptr;   ///< arm -> expiry.
+  std::uint32_t track = telemetry::kTrackRequester;
+};
 
 class Rnic : public Node {
  public:
@@ -67,6 +83,11 @@ class Rnic : public Node {
   /// Builds the L2/L3/UDP part of a packet spec for a QP's wire peers.
   RocePacketSpec packet_spec_for(const QueuePair& qp) const;
 
+  /// Registers the run's telemetry context and resolves metric handles.
+  /// Pass nullptr to detach.
+  void attach_telemetry(telemetry::Telemetry* telemetry);
+  const RnicTelemetryHooks& tele() const { return tele_; }
+
   // -- Node -------------------------------------------------------------------
   void handle_packet(int in_port, Packet pkt) override;
   std::string name() const override { return name_; }
@@ -99,6 +120,9 @@ class Rnic : public Node {
 
   // NP state.
   CnpRateLimiter cnp_limiter_;
+
+  RnicTelemetryHooks tele_;
+  Tick last_cnp_sent_at_ = -1;
 
   // §6.2.2 noisy neighbor: RX pipeline stall.
   int active_read_episodes_ = 0;

@@ -18,6 +18,7 @@ std::uint64_t Simulator::schedule_at(Tick when, Callback cb) {
   ev.cb = std::move(cb);
   const std::uint64_t id = ev.id;
   queue_.push(std::move(ev));
+  if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
   return id;
 }
 
@@ -26,7 +27,10 @@ std::uint64_t Simulator::schedule_after(Tick delay, Callback cb) {
 }
 
 void Simulator::cancel(std::uint64_t event_id) {
-  if (event_id != 0) cancelled_.insert(event_id);
+  if (event_id != 0) {
+    cancelled_.insert(event_id);
+    ++cancel_requests_;
+  }
 }
 
 bool Simulator::step() {

@@ -56,6 +56,11 @@ class Simulator {
   std::uint64_t events_processed() const { return processed_; }
   std::size_t pending_events() const;
 
+  // Telemetry taps (scraped into the run's metrics registry): high-water
+  // mark of the event queue and the number of cancel() requests issued.
+  std::size_t max_queue_depth() const { return max_queue_depth_; }
+  std::uint64_t cancel_requests() const { return cancel_requests_; }
+
  private:
   struct Event {
     Tick when = 0;
@@ -78,6 +83,8 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t processed_ = 0;
+  std::uint64_t cancel_requests_ = 0;
+  std::size_t max_queue_depth_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::unordered_set<std::uint64_t> cancelled_;
 };

@@ -1,0 +1,176 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+
+namespace lumina::telemetry {
+namespace {
+
+/// Process-wide dense thread slot: the first kShards distinct threads get
+/// distinct shards; later threads wrap around (still correct, atomics).
+std::size_t thread_slot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace
+
+BucketBounds BucketBounds::exponential(std::int64_t first, double factor,
+                                       int count) {
+  BucketBounds b;
+  b.upper.reserve(static_cast<std::size_t>(count));
+  double bound = static_cast<double>(first);
+  std::int64_t prev = 0;
+  for (int i = 0; i < count; ++i) {
+    // Round, then force strict monotonicity so bucket_for stays well
+    // defined even for factors close to 1.
+    auto v = static_cast<std::int64_t>(bound + 0.5);
+    if (v <= prev) v = prev + 1;
+    b.upper.push_back(v);
+    prev = v;
+    bound *= factor;
+  }
+  return b;
+}
+
+BucketBounds BucketBounds::linear(std::int64_t first, std::int64_t width,
+                                  int count) {
+  BucketBounds b;
+  b.upper.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    b.upper.push_back(first + width * i);
+  }
+  return b;
+}
+
+std::size_t BucketBounds::bucket_for(std::int64_t v) const {
+  const auto it = std::lower_bound(upper.begin(), upper.end(), v);
+  return static_cast<std::size_t>(it - upper.begin());
+}
+
+Histogram::Shard::Shard(std::size_t buckets)
+    : counts(new std::atomic<std::uint64_t>[buckets]) {
+  for (std::size_t i = 0; i < buckets; ++i) {
+    counts[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+Histogram::Histogram(BucketBounds bounds) : bounds_(std::move(bounds)) {
+  shards_.reserve(kShards);
+  for (std::size_t i = 0; i < kShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(bounds_.num_buckets()));
+  }
+}
+
+Histogram::Shard& Histogram::shard_for_current_thread() {
+  return *shards_[thread_slot() % kShards];
+}
+
+void Histogram::observe(std::int64_t v) {
+  Shard& shard = shard_for_current_thread();
+  shard.counts[bounds_.bucket_for(v)].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(v, std::memory_order_relaxed);
+  std::int64_t cur = shard.min.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !shard.min.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = shard.max.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !shard.max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_.upper;
+  snap.counts.assign(bounds_.num_buckets(), 0);
+  std::int64_t min = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max = std::numeric_limits<std::int64_t>::min();
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+      snap.counts[i] += shard->counts[i].load(std::memory_order_relaxed);
+    }
+    snap.count += shard->count.load(std::memory_order_relaxed);
+    snap.sum += shard->sum.load(std::memory_order_relaxed);
+    min = std::min(min, shard->min.load(std::memory_order_relaxed));
+    max = std::max(max, shard->max.load(std::memory_order_relaxed));
+  }
+  if (snap.count > 0) {
+    snap.min = min;
+    snap.max = max;
+  }
+  return snap;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) {
+    const auto it = gauges.find(name);
+    if (it == gauges.end()) {
+      gauges[name] = value;
+    } else {
+      it->second = std::max(it->second, value);
+    }
+  }
+  for (const auto& [name, theirs] : other.histograms) {
+    const auto it = histograms.find(name);
+    if (it == histograms.end()) {
+      histograms[name] = theirs;
+      continue;
+    }
+    HistogramSnapshot& ours = it->second;
+    if (ours.bounds == theirs.bounds) {
+      for (std::size_t i = 0; i < ours.counts.size(); ++i) {
+        ours.counts[i] += theirs.counts[i];
+      }
+    }
+    const bool ours_empty = ours.count == 0;
+    ours.count += theirs.count;
+    ours.sum += theirs.sum;
+    if (theirs.count > 0) {
+      ours.min = ours_empty ? theirs.min : std::min(ours.min, theirs.min);
+      ours.max = ours_empty ? theirs.max : std::max(ours.max, theirs.max);
+    }
+  }
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const BucketBounds& bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->snapshot();
+  }
+  return snap;
+}
+
+}  // namespace lumina::telemetry

@@ -1,0 +1,245 @@
+#include "telemetry/report.h"
+
+#include <cstdio>
+
+#include "telemetry/json_lite.h"
+
+namespace lumina::telemetry {
+namespace {
+
+constexpr const char* kSchema = "lumina.report.v1";
+
+void append_escaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char esc[8];
+      std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+      *out += esc;
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+std::string u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string i64(std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+template <typename Map, typename Format>
+void append_scalar_object(std::string* out, const Map& map, Format format,
+                          const char* indent) {
+  if (map.empty()) {
+    *out += "{}";
+    return;
+  }
+  *out += "{\n";
+  bool first = true;
+  for (const auto& [name, value] : map) {
+    if (!first) *out += ",\n";
+    first = false;
+    *out += indent;
+    append_escaped(out, name);
+    *out += ": ";
+    *out += format(value);
+  }
+  *out += "\n";
+  *out += std::string(indent).substr(2);
+  *out += "}";
+}
+
+template <typename Int, typename Format>
+void append_int_array(std::string* out, const std::vector<Int>& values,
+                      Format format) {
+  *out += "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) *out += ", ";
+    *out += format(values[i]);
+  }
+  *out += "]";
+}
+
+}  // namespace
+
+std::string serialize_deterministic(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n    \"counters\": ";
+  append_scalar_object(&out, snapshot.counters,
+                       [](std::uint64_t v) { return u64(v); }, "      ");
+  out += ",\n    \"gauges\": ";
+  append_scalar_object(&out, snapshot.gauges,
+                       [](std::int64_t v) { return i64(v); }, "      ");
+  out += ",\n    \"histograms\": ";
+  if (snapshot.histograms.empty()) {
+    out += "{}";
+  } else {
+    out += "{\n";
+    bool first = true;
+    for (const auto& [name, hist] : snapshot.histograms) {
+      if (!first) out += ",\n";
+      first = false;
+      out += "      ";
+      append_escaped(&out, name);
+      out += ": {\n        \"bounds\": ";
+      append_int_array(&out, hist.bounds,
+                       [](std::int64_t v) { return i64(v); });
+      out += ",\n        \"counts\": ";
+      append_int_array(&out, hist.counts,
+                       [](std::uint64_t v) { return u64(v); });
+      out += ",\n        \"count\": " + u64(hist.count);
+      out += ",\n        \"sum\": " + i64(hist.sum);
+      out += ",\n        \"min\": " + i64(hist.min);
+      out += ",\n        \"max\": " + i64(hist.max);
+      out += "\n      }";
+    }
+    out += "\n    }";
+  }
+  out += "\n  }";
+  return out;
+}
+
+std::string serialize_report(const RunReport& report) {
+  std::string out = "{\n  \"schema\": ";
+  append_escaped(&out, kSchema);
+  out += ",\n  \"name\": ";
+  append_escaped(&out, report.name);
+  out += ",\n  \"deterministic\": ";
+  out += serialize_deterministic(report.deterministic);
+  out += ",\n  \"wall\": ";
+  if (report.wall.empty()) {
+    out += "{}";
+  } else {
+    out += "{\n";
+    bool first = true;
+    for (const auto& [name, value] : report.wall) {
+      if (!first) out += ",\n";
+      first = false;
+      out += "    ";
+      append_escaped(&out, name);
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), ": %.3f", value);
+      out += buf;
+    }
+    out += "\n  }";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string extract_deterministic_section(const std::string& report_text) {
+  const std::string key = "\"deterministic\":";
+  const std::size_t key_pos = report_text.find(key);
+  if (key_pos == std::string::npos) return "";
+  std::size_t pos = report_text.find('{', key_pos + key.size());
+  if (pos == std::string::npos) return "";
+  // Brace-match; our serializer never puts braces inside metric names, but
+  // track strings anyway so hand-edited reports behave.
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = pos; i < report_text.size(); ++i) {
+    const char c = report_text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+      if (depth == 0) return report_text.substr(pos, i - pos + 1);
+    }
+  }
+  return "";
+}
+
+bool write_report(const RunReport& report, const std::string& path,
+                  std::string* failed_path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (failed_path != nullptr) *failed_path = path;
+    return false;
+  }
+  const std::string text = serialize_report(report);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  if (std::fclose(f) != 0 || !ok) {
+    if (failed_path != nullptr) *failed_path = path;
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+HistogramSnapshot parse_histogram(const JsonValue& v) {
+  HistogramSnapshot hist;
+  for (const auto& bound : v.at("bounds").as_array()) {
+    hist.bounds.push_back(bound.as_int());
+  }
+  for (const auto& count : v.at("counts").as_array()) {
+    hist.counts.push_back(static_cast<std::uint64_t>(count.as_int()));
+  }
+  hist.count = static_cast<std::uint64_t>(v.at("count").as_int());
+  hist.sum = v.at("sum").as_int();
+  hist.min = v.at("min").as_int();
+  hist.max = v.at("max").as_int();
+  return hist;
+}
+
+}  // namespace
+
+RunReport read_report_text(const std::string& text) {
+  const JsonValue doc = parse_json(text);
+  const std::string& schema = doc.at("schema").as_string();
+  if (schema != kSchema) {
+    throw JsonError("unsupported report schema '" + schema + "'");
+  }
+  RunReport report;
+  report.name = doc.at("name").as_string();
+  const JsonValue& det = doc.at("deterministic");
+  for (const auto& [name, value] : det.at("counters").as_object()) {
+    report.deterministic.counters[name] =
+        static_cast<std::uint64_t>(value.as_int());
+  }
+  for (const auto& [name, value] : det.at("gauges").as_object()) {
+    report.deterministic.gauges[name] = value.as_int();
+  }
+  for (const auto& [name, value] : det.at("histograms").as_object()) {
+    report.deterministic.histograms[name] = parse_histogram(value);
+  }
+  if (const JsonValue* wall = doc.find("wall"); wall != nullptr) {
+    for (const auto& [name, value] : wall->as_object()) {
+      report.wall[name] = value.as_double();
+    }
+  }
+  return report;
+}
+
+RunReport read_report_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw JsonError("cannot open " + path);
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return read_report_text(text);
+}
+
+}  // namespace lumina::telemetry

@@ -1,0 +1,43 @@
+// Per-run telemetry context handed to instrumented components.
+//
+// The orchestrator owns one Telemetry (registry + trace sink) per run and
+// attaches it to the simulator's components after construction. Components
+// resolve their metric handles once at attach time and keep raw pointers;
+// every helper here is null-safe, so an unattached component (unit tests,
+// ablation benches) pays a single branch per hot-path touch.
+#pragma once
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace lumina::telemetry {
+
+struct Telemetry {
+  MetricsRegistry* metrics = nullptr;
+  TraceSink* trace = nullptr;
+};
+
+inline void inc(Counter* c, std::uint64_t n = 1) {
+  if (c != nullptr) c->inc(n);
+}
+
+inline void observe(Histogram* h, std::int64_t v) {
+  if (h != nullptr) h->observe(v);
+}
+
+inline void record_max(Gauge* g, std::int64_t v) {
+  if (g != nullptr) g->record_max(v);
+}
+
+inline void trace_instant(TraceSink* sink, const char* cat, const char* name,
+                          Tick ts, std::uint32_t tid, std::int64_t arg = 0) {
+  if (sink != nullptr) sink->instant(cat, name, ts, tid, arg);
+}
+
+inline void trace_complete(TraceSink* sink, const char* cat, const char* name,
+                           Tick ts, Tick dur, std::uint32_t tid,
+                           std::int64_t arg = 0) {
+  if (sink != nullptr) sink->complete(cat, name, ts, dur, tid, arg);
+}
+
+}  // namespace lumina::telemetry

@@ -13,6 +13,7 @@
 
 #include "campaign/campaign.h"
 #include "campaign/campaign_config.h"
+#include "telemetry/report.h"
 
 namespace lumina {
 namespace {
@@ -64,6 +65,12 @@ std::map<std::string, std::string> snapshot_tree(const std::string& root) {
     std::ifstream in(entry.path(), std::ios::binary);
     std::string bytes((std::istreambuf_iterator<char>(in)),
                       std::istreambuf_iterator<char>());
+    // report.json wall sections legitimately vary with wall clock and
+    // --jobs; the determinism contract covers the deterministic section.
+    if (entry.path().filename() == "report.json") {
+      bytes = telemetry::extract_deterministic_section(bytes);
+      EXPECT_FALSE(bytes.empty()) << entry.path();
+    }
     files[fs::relative(entry.path(), root).string()] = std::move(bytes);
   }
   return files;

@@ -19,6 +19,7 @@
 #include "config/test_config.h"
 #include "orchestrator/orchestrator.h"
 #include "orchestrator/results_io.h"
+#include "telemetry/report.h"
 
 namespace lumina {
 namespace {
@@ -110,13 +111,23 @@ void check_against_golden(const std::string& scenario,
     const fs::path actual = actual_dir / name;
     ASSERT_TRUE(fs::is_regular_file(actual))
         << scenario << ": artifact " << name << " not produced";
-    EXPECT_EQ(read_file(actual), read_file(entry.path()))
+    std::string actual_bytes = read_file(actual);
+    std::string golden_bytes = read_file(entry.path());
+    if (name == "report.json") {
+      // The report's "name" field carries the (temp) directory it was
+      // written to; the byte-identity contract covers the deterministic
+      // section (docs/telemetry.md).
+      actual_bytes = telemetry::extract_deterministic_section(actual_bytes);
+      golden_bytes = telemetry::extract_deterministic_section(golden_bytes);
+      ASSERT_FALSE(golden_bytes.empty()) << scenario;
+    }
+    EXPECT_EQ(actual_bytes, golden_bytes)
         << scenario << ": " << name
         << " drifted from golden; if intentional, regenerate with "
            "LUMINA_REGEN_GOLDEN=1 and review the diff";
     ++compared;
   }
-  EXPECT_GE(compared, 7u) << scenario << ": golden set incomplete";
+  EXPECT_GE(compared, 8u) << scenario << ": golden set incomplete";
   fs::remove_all(actual_dir);
 }
 

@@ -1,0 +1,289 @@
+// Unit tests for the telemetry layer (docs/telemetry.md): histogram bucket
+// math, shard merging under concurrent writers, snapshot ordering and
+// campaign merging, the bounded trace ring, the JSON reader, and the
+// report.json serializer round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "telemetry/json_lite.h"
+#include "telemetry/metrics.h"
+#include "telemetry/report.h"
+#include "telemetry/trace.h"
+
+namespace lumina::telemetry {
+namespace {
+
+// -- bucket math ----------------------------------------------------------
+
+TEST(BucketBounds, ExponentialDoublesEachBound) {
+  const BucketBounds bounds = BucketBounds::exponential(16, 2.0, 5);
+  EXPECT_EQ(bounds.upper, (std::vector<std::int64_t>{16, 32, 64, 128, 256}));
+  EXPECT_EQ(bounds.num_buckets(), 6u);  // 5 bounds + overflow
+}
+
+TEST(BucketBounds, LinearStepsByWidth) {
+  const BucketBounds bounds = BucketBounds::linear(10, 5, 4);
+  EXPECT_EQ(bounds.upper, (std::vector<std::int64_t>{10, 15, 20, 25}));
+}
+
+TEST(BucketBounds, BucketForUsesInclusiveUpperBounds) {
+  const BucketBounds bounds = BucketBounds::exponential(16, 2.0, 3);
+  // Bounds {16, 32, 64}: four buckets.
+  EXPECT_EQ(bounds.bucket_for(-5), 0u);
+  EXPECT_EQ(bounds.bucket_for(0), 0u);
+  EXPECT_EQ(bounds.bucket_for(16), 0u);   // inclusive
+  EXPECT_EQ(bounds.bucket_for(17), 1u);
+  EXPECT_EQ(bounds.bucket_for(32), 1u);
+  EXPECT_EQ(bounds.bucket_for(64), 2u);
+  EXPECT_EQ(bounds.bucket_for(65), 3u);   // overflow bucket
+  EXPECT_EQ(bounds.bucket_for(1 << 30), 3u);
+}
+
+// -- counters and gauges --------------------------------------------------
+
+TEST(Metrics, CounterAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, GaugeRecordMaxKeepsHighWater) {
+  Gauge g;
+  g.record_max(10);
+  g.record_max(5);
+  EXPECT_EQ(g.value(), 10);
+  g.record_max(11);
+  EXPECT_EQ(g.value(), 11);
+  g.set(-3);
+  EXPECT_EQ(g.value(), -3);
+}
+
+// -- histograms -----------------------------------------------------------
+
+TEST(Histogram, SnapshotMergesObservationsAndStats) {
+  Histogram h(BucketBounds::exponential(10, 2.0, 3));  // {10, 20, 40}
+  h.observe(5);
+  h.observe(15);
+  h.observe(15);
+  h.observe(1000);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.counts, (std::vector<std::uint64_t>{1, 2, 0, 1}));
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 5 + 15 + 15 + 1000);
+  EXPECT_EQ(snap.min, 5);
+  EXPECT_EQ(snap.max, 1000);
+}
+
+TEST(Histogram, EmptySnapshotIsAllZero) {
+  Histogram h(BucketBounds::linear(1, 1, 2));
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0);
+  EXPECT_EQ(snap.min, 0);
+  EXPECT_EQ(snap.max, 0);
+}
+
+TEST(Histogram, ConcurrentObserversLoseNothing) {
+  // Eight threads hammer one histogram; shard collisions (more threads than
+  // slots would be needed) must stay exact because shards are atomic.
+  Histogram h(BucketBounds::exponential(64, 2.0, 10));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(t * 100 + i % 100);
+    });
+  }
+  for (auto& w : workers) w.join();
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads * kPerThread));
+  std::uint64_t bucket_total = 0;
+  for (const auto c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snap.count);
+  EXPECT_EQ(snap.min, 0);
+  EXPECT_EQ(snap.max, 7 * 100 + 99);
+}
+
+// -- registry and snapshots -----------------------------------------------
+
+TEST(MetricsRegistry, HandlesAreStableAndSnapshotIsSorted) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("b.second");
+  EXPECT_EQ(&c, &reg.counter("b.second"));  // same handle on re-resolve
+  reg.counter("a.first").inc(7);
+  c.inc(2);
+  reg.gauge("z.gauge").set(-5);
+  reg.histogram("m.hist", BucketBounds::linear(1, 1, 2)).observe(1);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters.begin()->first, "a.first");  // sorted map
+  EXPECT_EQ(snap.counters.at("a.first"), 7u);
+  EXPECT_EQ(snap.counters.at("b.second"), 2u);
+  EXPECT_EQ(snap.gauges.at("z.gauge"), -5);
+  EXPECT_EQ(snap.histograms.at("m.hist").count, 1u);
+}
+
+TEST(MetricsSnapshot, MergeSumsCountersAndMaxesGauges) {
+  MetricsSnapshot a;
+  a.counters["shared"] = 3;
+  a.counters["only_a"] = 1;
+  a.gauges["peak"] = 10;
+  MetricsSnapshot b;
+  b.counters["shared"] = 4;
+  b.gauges["peak"] = 7;
+
+  a.merge(b);
+  EXPECT_EQ(a.counters["shared"], 7u);
+  EXPECT_EQ(a.counters["only_a"], 1u);
+  EXPECT_EQ(a.gauges["peak"], 10);  // max of 10 and 7
+}
+
+TEST(MetricsSnapshot, MergeAddsHistogramBucketsWhenBoundsMatch) {
+  Histogram h1(BucketBounds::linear(10, 10, 2));
+  h1.observe(5);
+  h1.observe(25);
+  Histogram h2(BucketBounds::linear(10, 10, 2));
+  h2.observe(15);
+
+  MetricsSnapshot a;
+  a.histograms["h"] = h1.snapshot();
+  MetricsSnapshot b;
+  b.histograms["h"] = h2.snapshot();
+  a.merge(b);
+
+  const HistogramSnapshot& merged = a.histograms["h"];
+  EXPECT_EQ(merged.count, 3u);
+  EXPECT_EQ(merged.counts, (std::vector<std::uint64_t>{1, 1, 1}));
+  EXPECT_EQ(merged.sum, 5 + 25 + 15);
+  EXPECT_EQ(merged.min, 5);
+  EXPECT_EQ(merged.max, 25);
+}
+
+// -- trace ring -----------------------------------------------------------
+
+TEST(TraceSink, RingOverwritesOldestAndCountsDrops) {
+  TraceSink sink(4);
+  for (int i = 0; i < 10; ++i) {
+    sink.instant("cat", "ev", i * 100, kTrackSim, i);
+  }
+  EXPECT_EQ(sink.recorded(), 10u);
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  const auto events = sink.events_in_order();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().arg, 6);  // oldest retained
+  EXPECT_EQ(events.back().arg, 9);
+}
+
+TEST(TraceSink, ChromeJsonIsParsableAndCarriesTrackNames) {
+  TraceSink sink(16);
+  sink.set_track_name(kTrackSim, "sim");
+  sink.instant("sim", "tick", 1500, kTrackSim, 3);
+  sink.complete("host", "msg", 1000, 2500, kTrackHost, 1);
+
+  const JsonValue doc = parse_json(sink.chrome_json());
+  const auto& events = doc.at("traceEvents").as_array();
+  // 1 thread_name metadata event + 2 recorded events.
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].at("ph").as_string(), "M");
+  EXPECT_EQ(events[0].at("args").at("name").as_string(), "sim");
+  EXPECT_EQ(events[1].at("name").as_string(), "tick");
+  // 1500 ns renders as 1.500 us with integer math.
+  EXPECT_EQ(events[1].at("ts").as_double(), 1.5);
+  EXPECT_EQ(events[2].at("ph").as_string(), "X");
+  EXPECT_EQ(events[2].at("dur").as_double(), 2.5);
+}
+
+// -- json reader ----------------------------------------------------------
+
+TEST(JsonLite, ParsesScalarsArraysObjects) {
+  const JsonValue doc = parse_json(
+      R"({"i": -42, "d": 2.5, "s": "a\"b", "b": true, "n": null,
+          "arr": [1, 2, 3]})");
+  EXPECT_EQ(doc.at("i").as_int(), -42);
+  EXPECT_EQ(doc.at("d").as_double(), 2.5);
+  EXPECT_EQ(doc.at("s").as_string(), "a\"b");
+  EXPECT_TRUE(doc.at("b").as_bool());
+  EXPECT_EQ(doc.at("n").kind(), JsonValue::Kind::kNull);
+  ASSERT_EQ(doc.at("arr").as_array().size(), 3u);
+  EXPECT_EQ(doc.at("arr").as_array()[2].as_int(), 3);
+  EXPECT_EQ(doc.find("absent"), nullptr);
+}
+
+TEST(JsonLite, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json("{"), JsonError);
+  EXPECT_THROW(parse_json("{\"a\": }"), JsonError);
+  EXPECT_THROW(parse_json("[1, 2,]"), JsonError);
+  EXPECT_THROW(parse_json("{} trailing"), JsonError);
+}
+
+// -- report round-trip ----------------------------------------------------
+
+RunReport sample_report() {
+  RunReport report;
+  report.name = "sample";
+  report.deterministic.counters["sim.events_processed"] = 123;
+  report.deterministic.gauges["sim.queue_depth_max"] = -7;
+  Histogram h(BucketBounds::exponential(10, 2.0, 3));
+  h.observe(15);
+  h.observe(100);
+  report.deterministic.histograms["lat_ns"] = h.snapshot();
+  report.wall["wall_ms"] = 12.5;
+  return report;
+}
+
+TEST(Report, SerializeReadRoundTrip) {
+  const RunReport report = sample_report();
+  const RunReport parsed = read_report_text(serialize_report(report));
+  EXPECT_EQ(parsed.name, "sample");
+  EXPECT_EQ(parsed.deterministic.counters, report.deterministic.counters);
+  EXPECT_EQ(parsed.deterministic.gauges, report.deterministic.gauges);
+  const HistogramSnapshot& h = parsed.deterministic.histograms.at("lat_ns");
+  const HistogramSnapshot& expect =
+      report.deterministic.histograms.at("lat_ns");
+  EXPECT_EQ(h.bounds, expect.bounds);
+  EXPECT_EQ(h.counts, expect.counts);
+  EXPECT_EQ(h.count, expect.count);
+  EXPECT_EQ(h.sum, expect.sum);
+  EXPECT_EQ(h.min, expect.min);
+  EXPECT_EQ(h.max, expect.max);
+  EXPECT_DOUBLE_EQ(parsed.wall.at("wall_ms"), 12.5);
+}
+
+TEST(Report, ExtractDeterministicSectionMatchesSerializer) {
+  const RunReport report = sample_report();
+  const std::string text = serialize_report(report);
+  const std::string section = extract_deterministic_section(text);
+  EXPECT_EQ(section, serialize_deterministic(report.deterministic));
+  EXPECT_NE(text.find(section), std::string::npos);
+  EXPECT_EQ(extract_deterministic_section("{}"), "");
+}
+
+TEST(Report, DeterministicSectionIgnoresWallChanges) {
+  RunReport a = sample_report();
+  RunReport b = sample_report();
+  b.wall["wall_ms"] = 9999.0;
+  b.name = "other";
+  EXPECT_NE(serialize_report(a), serialize_report(b));
+  EXPECT_EQ(extract_deterministic_section(serialize_report(a)),
+            extract_deterministic_section(serialize_report(b)));
+}
+
+TEST(Report, RejectsUnknownSchema) {
+  EXPECT_THROW(
+      read_report_text(R"({"schema": "other.v9", "name": "x",
+                           "deterministic": {"counters": {}, "gauges": {},
+                                             "histograms": {}},
+                           "wall": {}})"),
+      JsonError);
+}
+
+}  // namespace
+}  // namespace lumina::telemetry

@@ -1,9 +1,10 @@
 // lumina_run — the command-line front end, mirroring how the real tool is
 // driven: a YAML test configuration in, a results directory out.
 //
-//   lumina_run <config.yaml> [results-dir]
-//   lumina_run --screen <cx4|cx5|cx6|e810> [--jobs N]
+//   lumina_run <config.yaml> [results-dir] [--report f] [--trace-out f]
+//   lumina_run --screen <cx4|cx5|cx6|e810> [--jobs N] [--report f]
 //   lumina_run --campaign <campaign.yaml> [--jobs N] [--seed S] [--out dir]
+//              [--report f]
 //
 // The first form runs one configured experiment on the simulated testbed,
 // prints a human-readable report (integrity, per-connection metrics,
@@ -15,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 
 #include "analyzers/cnp_analyzer.h"
 #include "analyzers/counter_analyzer.h"
@@ -26,6 +28,8 @@
 #include "orchestrator/orchestrator.h"
 #include "orchestrator/results_io.h"
 #include "suite/bug_detectors.h"
+#include "telemetry/report.h"
+#include "telemetry/trace.h"
 
 using namespace lumina;
 
@@ -33,10 +37,12 @@ namespace {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <config.yaml> [results-dir]\n"
-               "       %s --screen <cx4|cx5|cx6|e810> [--jobs N]\n"
+               "usage: %s <config.yaml> [results-dir] [--report file] "
+               "[--trace-out file]\n"
+               "       %s --screen <cx4|cx5|cx6|e810> [--jobs N] "
+               "[--report file]\n"
                "       %s --campaign <campaign.yaml> [--jobs N] [--seed S] "
-               "[--out dir]\n"
+               "[--out dir] [--report file]\n"
                "\n"
                "Runs a Lumina test described by a YAML configuration "
                "(Listing 1 + Listing 2 format)\n"
@@ -46,14 +52,32 @@ void usage(const char* argv0) {
                "--campaign runs a suite/fuzz/experiment matrix across "
                "--jobs worker threads;\n"
                "aggregated artifacts are byte-identical for any --jobs "
-               "value (docs/campaigns.md).\n",
+               "value (docs/campaigns.md).\n"
+               "--report writes the telemetry report.json and --trace-out "
+               "the Chrome trace\n"
+               "(chrome://tracing / Perfetto) to the given paths "
+               "(docs/telemetry.md).\n",
                argv0, argv0, argv0);
 }
 
-/// Parses the shared `--jobs N --seed S --out dir` tail of the multi-run
-/// modes. Returns false (after printing the error) on malformed flags.
+/// Writes `report` to `path`, logging the result. Returns false on I/O
+/// failure so callers can turn it into a non-zero exit code.
+bool emit_report(const telemetry::RunReport& report, const std::string& path) {
+  std::string failed_path;
+  if (!telemetry::write_report(report, path, &failed_path)) {
+    std::fprintf(stderr, "error: failed to write %s\n", failed_path.c_str());
+    return false;
+  }
+  std::printf("report written to %s\n", path.c_str());
+  return true;
+}
+
+/// Parses the shared `--jobs N --seed S --out dir --report file` tail of
+/// the multi-run modes. Returns false (after printing the error) on
+/// malformed flags.
 bool parse_campaign_flags(int argc, char** argv, int first,
-                          CampaignOptions* options, std::string* out_dir) {
+                          CampaignOptions* options, std::string* out_dir,
+                          std::string* report_path) {
   for (int i = first; i < argc; ++i) {
     const auto need_value = [&](const char* flag) {
       if (i + 1 < argc) return true;
@@ -73,6 +97,9 @@ bool parse_campaign_flags(int argc, char** argv, int first,
     } else if (std::strcmp(argv[i], "--out") == 0) {
       if (!need_value("--out")) return false;
       *out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--report") == 0) {
+      if (!need_value("--report")) return false;
+      *report_path = argv[++i];
     } else {
       std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
       return false;
@@ -89,12 +116,16 @@ int run_screen(const char* nic_name, int argc, char** argv) {
   }
   CampaignOptions options;
   std::string out_dir;
-  if (!parse_campaign_flags(argc, argv, 3, &options, &out_dir)) return 1;
+  std::string report_path;
+  if (!parse_campaign_flags(argc, argv, 3, &options, &out_dir, &report_path)) {
+    return 1;
+  }
   std::printf("Screening %s against all known issues (Table 2, %d job%s):\n",
               DeviceProfile::get(*nic).name.c_str(), options.jobs,
               options.jobs == 1 ? "" : "s");
   int affected = 0;
-  for (const auto& result : run_bug_suite(*nic, options)) {
+  const auto results = run_bug_suite(*nic, options);
+  for (const auto& result : results) {
     std::printf("  [%s] %-34s %s\n",
                 result.affected ? "AFFECTED" : "clean   ",
                 to_string(result.issue).c_str(), result.evidence.c_str());
@@ -102,6 +133,15 @@ int run_screen(const char* nic_name, int argc, char** argv) {
   }
   std::printf("%d of %zu issues detected.\n", affected,
               all_known_issues().size());
+
+  if (!report_path.empty()) {
+    telemetry::RunReport report;
+    report.name = "screen-" + std::string(nic_name);
+    report.deterministic.counters["suite.issues_total"] = results.size();
+    report.deterministic.counters["suite.issues_affected"] =
+        static_cast<std::uint64_t>(affected);
+    if (!emit_report(report, report_path)) return 1;
+  }
   return 0;
 }
 
@@ -112,6 +152,7 @@ int run_campaign_mode(int argc, char** argv) {
   }
   CampaignOptions options;
   std::string out_dir;
+  std::string report_path;
   Campaign campaign;
   try {
     campaign = load_campaign_file(argv[2]);
@@ -120,7 +161,9 @@ int run_campaign_mode(int argc, char** argv) {
     return 1;
   }
   options.seed = campaign.seed;  // the file's seed; --seed overrides
-  if (!parse_campaign_flags(argc, argv, 3, &options, &out_dir)) return 1;
+  if (!parse_campaign_flags(argc, argv, 3, &options, &out_dir, &report_path)) {
+    return 1;
+  }
 
   std::printf("== Campaign '%s': %zu runs, %d job%s, seed 0x%llx\n",
               campaign.name.c_str(), campaign.runs.size(), options.jobs,
@@ -145,6 +188,10 @@ int run_campaign_mode(int argc, char** argv) {
       return 1;
     }
     std::printf("artifacts written to %s/\n", out_dir.c_str());
+  }
+  if (!report_path.empty() &&
+      !emit_report(campaign_report_json(report), report_path)) {
+    return 1;
   }
   return report.ok_count() == report.runs.size() ? 0 : 2;
 }
@@ -183,6 +230,34 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: unknown mode '%s'\n\n", argv[1]);
     usage(argv[0]);
     return 1;
+  }
+
+  // Single-run mode: one optional positional results-dir plus the
+  // telemetry output flags.
+  std::string results_dir;
+  std::string report_path;
+  std::string trace_path;
+  for (int i = 2; i < argc; ++i) {
+    const auto need_value = [&](const char* flag) {
+      if (i + 1 < argc) return true;
+      std::fprintf(stderr, "error: %s needs a value\n", flag);
+      return false;
+    };
+    if (std::strcmp(argv[i], "--report") == 0) {
+      if (!need_value("--report")) return 1;
+      report_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      if (!need_value("--trace-out")) return 1;
+      trace_path = argv[++i];
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+      return 1;
+    } else if (results_dir.empty()) {
+      results_dir = argv[i];
+    } else {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", argv[i]);
+      return 1;
+    }
   }
 
   TestConfig cfg;
@@ -283,14 +358,28 @@ int main(int argc, char** argv) {
                 inc.note.c_str());
   }
 
-  if (argc > 2) {
+  if (!results_dir.empty()) {
     std::string failed_path;
-    if (write_results(result, argv[2], &failed_path)) {
-      std::printf("\nresults written to %s/\n", argv[2]);
+    if (write_results(result, results_dir, &failed_path)) {
+      std::printf("\nresults written to %s/\n", results_dir.c_str());
     } else {
       std::fprintf(stderr, "error: failed to write %s\n", failed_path.c_str());
       return 1;
     }
+  }
+  if (!report_path.empty()) {
+    telemetry::RunReport report;
+    report.name = std::filesystem::path(argv[1]).stem().string();
+    report.deterministic = result.telemetry;
+    if (!emit_report(report, report_path)) return 1;
+  }
+  if (!trace_path.empty()) {
+    if (!orch.trace_sink()->write_chrome_json(trace_path)) {
+      std::fprintf(stderr, "error: failed to write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (chrome://tracing, Perfetto)\n",
+                trace_path.c_str());
   }
   return result.integrity.ok() && gbn.compliant() ? 0 : 2;
 }
