@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "packet/packet_arena.h"
 #include "packet/pcap_writer.h"
 
 namespace lumina {
@@ -29,6 +30,9 @@ TrafficDumper::TrafficDumper(Simulator* sim, std::string name, Options options)
 
 void TrafficDumper::handle_packet(int in_port, Packet pkt) {
   (void)in_port;
+  // Recycles the wire buffer on the discard paths and after a trim-copy;
+  // the untrimmed-capture path moves the frame away first (guard no-ops).
+  ScopedPacketReclaim reclaim_guard(pkt);
   if (terminated_) return;
   ++counters_.received;
 
@@ -53,9 +57,14 @@ void TrafficDumper::handle_packet(int in_port, Packet pkt) {
   dumped.captured_at = now;
   dumped.meta = extract_mirror_meta(pkt);
   if (pkt.size() > options_.trim_bytes) {
-    pkt.bytes.resize(options_.trim_bytes);
+    // Copy the trimmed headers out so the full-size wire buffer recycles
+    // instead of being pinned in the capture store for the whole run.
+    dumped.pkt.bytes.assign(
+        pkt.bytes.begin(),
+        pkt.bytes.begin() + static_cast<std::ptrdiff_t>(options_.trim_bytes));
+  } else {
+    dumped.pkt = std::move(pkt);
   }
-  dumped.pkt = std::move(pkt);
   packets_.push_back(std::move(dumped));
   ++counters_.captured;
 }

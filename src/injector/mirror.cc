@@ -1,6 +1,7 @@
 #include "injector/mirror.h"
 
 #include "packet/bytes.h"
+#include "packet/packet_arena.h"
 
 namespace lumina {
 
@@ -26,8 +27,9 @@ void MirrorEngine::set_targets(std::vector<Target> targets) {
 MirrorEngine::Mirrored MirrorEngine::mirror(const Packet& original,
                                             EventType event,
                                             Tick ingress_ts) {
-  Mirrored out{original, pick_target()};
+  Mirrored out{Packet{PacketArena::acquire_current()}, pick_target()};
   Packet& clone = out.clone;
+  clone.bytes.assign(original.bytes.begin(), original.bytes.end());
   // Embed metadata into iCRC-masked fields; see file comment.
   set_ttl(clone, static_cast<std::uint8_t>(event));
   set_src_mac(clone, next_seq_++);

@@ -1,5 +1,6 @@
 #include "injector/switch.h"
 
+#include "packet/packet_arena.h"
 #include "util/logging.h"
 
 namespace lumina {
@@ -62,6 +63,9 @@ void EventInjectorSwitch::attach_telemetry(telemetry::Telemetry* t) {
 
 void EventInjectorSwitch::handle_packet(int in_port, Packet pkt) {
   (void)in_port;
+  // Forward/mirror/reorder paths move the frame onward (leaving the guard
+  // nothing to do); the enforced-drop path lets it die here — recycle it.
+  ScopedPacketReclaim reclaim_guard(pkt);
   const Tick ingress_ts = sim_->now();
   const auto view = parse_roce(pkt);
 

@@ -1,11 +1,17 @@
 #include "net/node.h"
 
+#include "packet/packet_arena.h"
+
 namespace lumina {
 
 void Port::send(Packet pkt) {
-  if (peer_ == nullptr) return;  // unwired port: blackhole
+  if (peer_ == nullptr) {  // unwired port: blackhole
+    PacketArena::reclaim(std::move(pkt));
+    return;
+  }
   if (queued_bytes_ + pkt.size() > queue_byte_cap_) {
     ++counters_.drops;
+    PacketArena::reclaim(std::move(pkt));
     return;
   }
   queued_bytes_ += pkt.size();

@@ -162,6 +162,7 @@ const TestResult& Orchestrator::run() {
   if (ran_) return result_;
   ran_ = true;
 
+  PacketArena::Scope arena_scope(&arena_);
   generator_->setup();
   program_injector();  // tables must be populated before traffic starts
   generator_->start();

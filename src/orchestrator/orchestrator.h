@@ -18,6 +18,7 @@
 #include "host/traffic_generator.h"
 #include "injector/switch.h"
 #include "orchestrator/trace.h"
+#include "packet/packet_arena.h"
 #include "rnic/rnic.h"
 #include "sim/simulator.h"
 #include "telemetry/telemetry.h"
@@ -100,6 +101,9 @@ class Orchestrator {
 
   TestConfig config_;
   Options options_;
+  /// Recycles wire-byte buffers across the run; installed as the
+  /// thread-current arena for the duration of run() (docs/simulator.md).
+  PacketArena arena_;
   std::unique_ptr<telemetry::MetricsRegistry> metrics_;
   std::unique_ptr<telemetry::TraceSink> trace_sink_;
   telemetry::Telemetry telemetry_;

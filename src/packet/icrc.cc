@@ -25,8 +25,9 @@ const std::array<std::uint32_t, 256>& crc_table() {
 
 std::uint32_t crc32_raw(std::uint32_t state,
                         std::span<const std::uint8_t> data) {
+  const auto& table = crc_table();  // hoist the static-init guard
   for (const std::uint8_t byte : data) {
-    state = crc_table()[(state ^ byte) & 0xff] ^ (state >> 8);
+    state = table[(state ^ byte) & 0xff] ^ (state >> 8);
   }
   return state;
 }
@@ -39,30 +40,33 @@ std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {
 
 std::uint32_t compute_icrc(std::span<const std::uint8_t> frame,
                            std::size_t l3_offset) {
-  // Build the masked pseudo packet. Sizes are small (headers + ≤MTU), so a
-  // scratch copy keeps the masking logic obvious.
+  // Build the masked pseudo packet: bulk copy, then patch the handful of
+  // masked bytes. This runs once per packet per hop (build + verify), so it
+  // reuses a thread-local scratch buffer instead of allocating each call.
   constexpr std::size_t kIpv4Size = 20;
   constexpr std::size_t kUdpSize = 8;
-  constexpr std::size_t kBthSize = 12;
 
-  std::vector<std::uint8_t> pseudo;
+  thread_local std::vector<std::uint8_t> pseudo;
+  pseudo.clear();
   pseudo.reserve(8 + frame.size() - l3_offset);
 
   // 64 bits of 1s (dummy LRH / fields outside the invariant scope).
   pseudo.insert(pseudo.end(), 8, 0xff);
+  pseudo.insert(pseudo.end(), frame.begin() + static_cast<std::ptrdiff_t>(l3_offset),
+                frame.end());
 
-  const std::size_t end = frame.size();
-  for (std::size_t i = l3_offset; i < end; ++i) {
-    std::uint8_t b = frame[i];
-    const std::size_t rel = i - l3_offset;
-    if (rel == 1) b = 0xff;                     // IPv4 TOS (DSCP+ECN)
-    else if (rel == 8) b = 0xff;                // IPv4 TTL
-    else if (rel == 10 || rel == 11) b = 0xff;  // IPv4 header checksum
-    else if (rel == kIpv4Size + 6 || rel == kIpv4Size + 7) b = 0xff;  // UDP csum
-    else if (rel == kIpv4Size + kUdpSize + 4) b = 0xff;  // BTH resv8a
-    pseudo.push_back(b);
-  }
-  (void)kBthSize;
+  std::uint8_t* const l3 = pseudo.data() + 8;
+  const std::size_t l3_len = pseudo.size() - 8;
+  const auto mask = [l3, l3_len](std::size_t rel) {
+    if (rel < l3_len) l3[rel] = 0xff;
+  };
+  mask(1);                          // IPv4 TOS (DSCP+ECN)
+  mask(8);                          // IPv4 TTL
+  mask(10);                         // IPv4 header checksum
+  mask(11);
+  mask(kIpv4Size + 6);              // UDP checksum
+  mask(kIpv4Size + 7);
+  mask(kIpv4Size + kUdpSize + 4);   // BTH resv8a
 
   return crc32(pseudo);
 }

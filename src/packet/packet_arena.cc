@@ -1,0 +1,53 @@
+#include "packet/packet_arena.h"
+
+#include <utility>
+
+namespace lumina {
+namespace {
+
+thread_local PacketArena* g_current_arena = nullptr;
+
+}  // namespace
+
+std::vector<std::uint8_t> PacketArena::acquire() {
+  if (pool_.empty()) {
+    ++fresh_;
+    return {};
+  }
+  std::vector<std::uint8_t> buf = std::move(pool_.back());
+  pool_.pop_back();
+  ++reused_;
+  return buf;
+}
+
+void PacketArena::recycle(std::vector<std::uint8_t>&& buf) {
+  if (buf.capacity() == 0 || buf.capacity() > kMaxRetainedCapacity ||
+      pool_.size() >= kMaxPooled) {
+    return;  // let it free normally
+  }
+  buf.clear();
+  pool_.push_back(std::move(buf));
+  ++recycled_;
+}
+
+PacketArena* PacketArena::current() { return g_current_arena; }
+
+PacketArena::Scope::Scope(PacketArena* arena) : prev_(g_current_arena) {
+  g_current_arena = arena;
+}
+
+PacketArena::Scope::~Scope() { g_current_arena = prev_; }
+
+std::vector<std::uint8_t> PacketArena::acquire_current() {
+  PacketArena* arena = g_current_arena;
+  return arena != nullptr ? arena->acquire() : std::vector<std::uint8_t>{};
+}
+
+void PacketArena::reclaim(Packet&& pkt) {
+  PacketArena* arena = g_current_arena;
+  if (arena != nullptr) {
+    arena->recycle(std::move(pkt.bytes));
+  }
+}
+
+}  // namespace lumina

@@ -1,0 +1,102 @@
+// Per-run packet buffer arena.
+//
+// Every packet on the simulated wire is a heap-backed byte vector, built in
+// build_roce_packet(), cloned by the mirror engine, and destroyed at a
+// terminal sink (RNIC RX, dumper capture, queue drop). At campaign scale
+// that is one allocator round trip per packet per hop — the second-largest
+// allocation source in the hot path after event callbacks. The arena is a
+// stash of retired buffers: builders draw recycled capacity from it and
+// terminal sinks return buffers to it, so steady-state serialization runs
+// allocation-free.
+//
+// Lifetime rules (docs/simulator.md):
+//   - Ownership never aliases. acquire() transfers the buffer out of the
+//     arena completely; a Packet built from arena capacity is an ordinary
+//     std::vector and may outlive the arena or be destroyed normally.
+//   - recycle()/reclaim() are optimization hints, not obligations. A sink
+//     that forgets to reclaim leaks nothing — the buffer just frees.
+//   - The current arena is a thread-local (like the log clock): one run on
+//     one thread installs its arena with PacketArena::Scope for the
+//     duration of the run. Campaign workers each install their own, so
+//     pools are never shared across threads.
+//
+// Recycled buffers are cleared before reuse; byte output is identical with
+// and without an arena (tests/unit/packet_arena_test.cc holds this).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "packet/roce_packet.h"
+
+namespace lumina {
+
+class PacketArena {
+ public:
+  /// Buffers with more capacity than this are dropped on recycle instead of
+  /// pooled (jumbo outliers would pin memory for no hit-rate gain).
+  static constexpr std::size_t kMaxRetainedCapacity = 64 * 1024;
+  /// Pool depth cap: beyond this, recycled buffers free normally.
+  static constexpr std::size_t kMaxPooled = 4096;
+
+  PacketArena() = default;
+  PacketArena(const PacketArena&) = delete;
+  PacketArena& operator=(const PacketArena&) = delete;
+
+  /// An empty buffer, with recycled capacity when the pool has one.
+  std::vector<std::uint8_t> acquire();
+
+  /// Returns a buffer to the pool (cleared; capacity kept).
+  void recycle(std::vector<std::uint8_t>&& buf);
+
+  std::size_t pooled() const { return pool_.size(); }
+  std::uint64_t reused() const { return reused_; }
+  std::uint64_t fresh() const { return fresh_; }
+  std::uint64_t recycled() const { return recycled_; }
+
+  /// The thread's current arena; nullptr outside any Scope.
+  static PacketArena* current();
+
+  /// Installs `arena` as the thread-current arena for this scope,
+  /// restoring the previous one on exit (scopes nest).
+  class Scope {
+   public:
+    explicit Scope(PacketArena* arena);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    PacketArena* prev_;
+  };
+
+  /// acquire() from the current arena, or a plain empty vector without one.
+  static std::vector<std::uint8_t> acquire_current();
+
+  /// Hands a dying packet's buffer to the current arena (no-op when the
+  /// buffer is empty — e.g. already moved out — or no arena is installed).
+  static void reclaim(Packet&& pkt);
+
+ private:
+  std::vector<std::vector<std::uint8_t>> pool_;
+  std::uint64_t reused_ = 0;
+  std::uint64_t fresh_ = 0;
+  std::uint64_t recycled_ = 0;
+};
+
+/// Scope guard for terminal sinks: recycles `pkt`'s buffer into the current
+/// arena when the function exits, on every return path. Safe when the
+/// packet was moved away mid-function (moved-from vectors have no capacity
+/// worth pooling and are skipped).
+class ScopedPacketReclaim {
+ public:
+  explicit ScopedPacketReclaim(Packet& pkt) : pkt_(pkt) {}
+  ~ScopedPacketReclaim() { PacketArena::reclaim(std::move(pkt_)); }
+  ScopedPacketReclaim(const ScopedPacketReclaim&) = delete;
+  ScopedPacketReclaim& operator=(const ScopedPacketReclaim&) = delete;
+
+ private:
+  Packet& pkt_;
+};
+
+}  // namespace lumina

@@ -2,6 +2,7 @@
 
 #include "packet/bytes.h"
 #include "packet/icrc.h"
+#include "packet/packet_arena.h"
 
 namespace lumina {
 namespace {
@@ -58,6 +59,7 @@ std::string to_string(EventType t) {
 
 Packet build_roce_packet(const RocePacketSpec& spec) {
   Packet pkt;
+  pkt.bytes = PacketArena::acquire_current();
   const std::size_t payload_len =
       spec.opcode == IbOpcode::kCnp ? kCnpPayloadLen : spec.payload_len;
   const std::size_t ib_len =
@@ -121,8 +123,12 @@ Packet build_roce_packet(const RocePacketSpec& spec) {
   }
   // Deterministic payload pattern (content is irrelevant to the analyzers,
   // but the bytes must exist so iCRC/corruption behave like hardware).
+  // Bulk-fill: this loop writes up to an MTU per packet.
+  const std::size_t payload_at = pkt.bytes.size();
+  pkt.bytes.resize(payload_at + payload_len);
+  std::uint8_t* payload = pkt.bytes.data() + payload_at;
   for (std::size_t i = 0; i < payload_len; ++i) {
-    w.u8(static_cast<std::uint8_t>(spec.psn + i));
+    payload[i] = static_cast<std::uint8_t>(spec.psn + i);
   }
 
   refresh_ip_checksum(pkt);

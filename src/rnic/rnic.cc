@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "packet/packet_arena.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -175,6 +176,9 @@ void Rnic::read_slow_path_end() {
 
 void Rnic::handle_packet(int in_port, Packet pkt) {
   (void)in_port;
+  // Every path below consumes the frame (the dispatch lambda captures a
+  // parsed copy, not the bytes): recycle the buffer on exit.
+  ScopedPacketReclaim reclaim_guard(pkt);
   const Tick now = sim_->now();
   ++counters_.rx_packets;
   counters_.rx_bytes += pkt.size();
@@ -227,7 +231,18 @@ void Rnic::handle_packet(int in_port, Packet pkt) {
     maybe_send_cnp(*qp);
   }
 
-  sim_->schedule_after(delay, [this, v = *view, qp] {
+  // Box the parsed view (too big for the inline callback buffer), drawing
+  // from the recycled pool; unfired callbacks free the box via unique_ptr.
+  std::unique_ptr<RoceView> boxed;
+  if (!view_pool_.empty()) {
+    boxed = std::move(view_pool_.back());
+    view_pool_.pop_back();
+    *boxed = *view;
+  } else {
+    boxed = std::make_unique<RoceView>(*view);
+  }
+  sim_->schedule_after(delay, [this, vb = std::move(boxed), qp]() mutable {
+    const RoceView& v = *vb;
     if (v.bth.opcode == IbOpcode::kCnp) {
       qp->on_cnp();
     } else if (v.bth.opcode == IbOpcode::kAcknowledge) {
@@ -239,6 +254,7 @@ void Rnic::handle_packet(int in_port, Packet pkt) {
     } else {
       qp->on_request_packet(v);
     }
+    view_pool_.push_back(std::move(vb));
   });
 }
 

@@ -118,6 +118,11 @@ class Rnic : public Node {
   std::vector<std::size_t> tc_cursor_;              // RR within a class
   Tick pump_scheduled_for_ = -1;
 
+  // Recycled RoceView boxes for the RX dispatch callback: the view is too
+  // large to capture inline, so it rides in a pooled heap box instead of a
+  // fresh allocation per received packet.
+  std::vector<std::unique_ptr<RoceView>> view_pool_;
+
   // NP state.
   CnpRateLimiter cnp_limiter_;
 

@@ -1,0 +1,87 @@
+// Liveness table for scheduler event ids — the O(1) cancel() mechanism.
+//
+// Event ids are allocated densely from 1, so liveness is one bit in a
+// chunked bitmap instead of an entry in a hash set. A set bit means the id
+// is dead: either its event already fired, or it was cancelled (the event
+// then still sits in the calendar queue and is skipped at pop time — the
+// same tombstoning the old `unordered_set` did, minus the hashing).
+//
+// Chunks whose 4096 ids are all dead are released, so memory tracks the
+// window of in-flight ids, not the total number of events ever scheduled.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace lumina {
+
+class EventIdTable {
+ public:
+  static constexpr std::uint64_t kIdsPerChunk = 4096;
+
+  /// Registers a freshly allocated id. Ids must arrive densely: 1, 2, 3...
+  /// — so a chunk slot below size() always exists (live or retired).
+  void on_allocated(std::uint64_t id) {
+    const std::uint64_t chunk = chunk_index(id);
+    if (chunk == chunks_.size()) {
+      chunks_.push_back(std::make_unique<Chunk>());
+    }
+  }
+
+  /// True when the id's event has fired or been cancelled. Ids from fully
+  /// retired chunks are dead by definition.
+  bool dead(std::uint64_t id) const {
+    const std::uint64_t chunk = chunk_index(id);
+    if (chunk >= chunks_.size()) return false;
+    const Chunk* c = chunks_[chunk].get();
+    if (c == nullptr) return true;  // retired: every id in it is dead
+    const std::uint64_t bit = bit_index(id);
+    return (c->bits[bit >> 6] >> (bit & 63)) & 1u;
+  }
+
+  /// Marks the id dead. Returns true when it was alive (i.e. this call is
+  /// the one that killed it), false when it was already dead.
+  bool kill(std::uint64_t id) {
+    const std::uint64_t chunk = chunk_index(id);
+    if (chunk >= chunks_.size()) return false;
+    Chunk* c = chunks_[chunk].get();
+    if (c == nullptr) return false;
+    const std::uint64_t bit = bit_index(id);
+    std::uint64_t& word = c->bits[bit >> 6];
+    const std::uint64_t mask = 1ull << (bit & 63);
+    if ((word & mask) != 0) return false;
+    word |= mask;
+    if (++c->dead_count == kIdsPerChunk) {
+      chunks_[chunk].reset();  // retire: the whole chunk is dead
+    }
+    return true;
+  }
+
+  /// Number of chunks currently held live (telemetry for tests/benches).
+  std::size_t live_chunks() const {
+    std::size_t n = 0;
+    for (const auto& c : chunks_) n += c != nullptr ? 1 : 0;
+    return n;
+  }
+
+ private:
+  struct Chunk {
+    std::array<std::uint64_t, kIdsPerChunk / 64> bits{};
+    std::uint64_t dead_count = 0;
+  };
+
+  // Ids start at 1; id 0 is the "never scheduled" sentinel.
+  static std::uint64_t chunk_index(std::uint64_t id) {
+    return (id - 1) / kIdsPerChunk;
+  }
+  static std::uint64_t bit_index(std::uint64_t id) {
+    return (id - 1) % kIdsPerChunk;
+  }
+
+  // A slot below size() holding nullptr is a retired chunk (all ids dead).
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+};
+
+}  // namespace lumina

@@ -1,0 +1,86 @@
+// ReferenceScheduler — the retired binary-heap event queue, kept as the
+// test oracle for the calendar-queue Simulator.
+//
+// This is the pre-overhaul implementation: a binary heap of
+// std::function events ordered by (time, seq) with an unordered_set of
+// cancel tombstones. It is deliberately simple and obviously correct; the
+// differential harness (tests/unit/sim_differential_test.cc) drives it and
+// the production Simulator through the same randomized workloads and
+// asserts identical observable behavior — pop order, now() progression,
+// processed/cancelled counts, returned event ids, and queue depths.
+//
+// Two departures from the retired code, both invisible to the contract:
+//   - no const_cast move-out of priority_queue::top(): events live in a
+//     plain vector managed with std::push_heap/std::pop_heap;
+//   - a pending-id set makes cancel() of an already-fired id the true
+//     no-op the documentation always promised (the old code leaked a
+//     tombstone and undercounted pending_events()).
+//
+// Unlike Simulator it does NOT register the thread-local log clock, so an
+// oracle can run alongside a live Simulator without stealing its clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.h"
+
+namespace lumina {
+
+class ReferenceScheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  ReferenceScheduler() = default;
+
+  ReferenceScheduler(const ReferenceScheduler&) = delete;
+  ReferenceScheduler& operator=(const ReferenceScheduler&) = delete;
+
+  Tick now() const { return now_; }
+
+  std::uint64_t schedule_at(Tick when, Callback cb);
+  std::uint64_t schedule_after(Tick delay, Callback cb);
+  void cancel(std::uint64_t event_id);
+
+  void run();
+  void run_until(Tick deadline);
+  void stop() { stopped_ = true; }
+
+  std::uint64_t events_processed() const { return processed_; }
+  std::size_t pending_events() const { return pending_ids_.size(); }
+  std::size_t max_queue_depth() const { return max_queue_depth_; }
+  std::uint64_t cancel_requests() const { return cancel_requests_; }
+
+ private:
+  struct Event {
+    Tick when = 0;
+    std::uint64_t seq = 0;  // tie-breaker: FIFO among same-tick events
+    std::uint64_t id = 0;
+    Callback cb;
+  };
+  struct EventOrder {
+    // Max-heap comparator inverted into a min-queue, as in the old code.
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool step();
+  Event pop_top();
+
+  Tick now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::uint64_t cancel_requests_ = 0;
+  std::size_t max_queue_depth_ = 0;
+  std::vector<Event> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_set<std::uint64_t> pending_ids_;
+};
+
+}  // namespace lumina

@@ -11,13 +11,14 @@ Simulator::Simulator() { prev_log_clock_ = set_log_clock(&now_); }
 Simulator::~Simulator() { set_log_clock(prev_log_clock_); }
 
 std::uint64_t Simulator::schedule_at(Tick when, Callback cb) {
-  Event ev;
+  SimEvent ev;
   ev.when = when < now_ ? now_ : when;
-  ev.seq = next_seq_++;
   ev.id = next_id_++;
   ev.cb = std::move(cb);
   const std::uint64_t id = ev.id;
+  ids_.on_allocated(id);
   queue_.push(std::move(ev));
+  ++alive_;
   if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
   return id;
 }
@@ -27,22 +28,22 @@ std::uint64_t Simulator::schedule_after(Tick delay, Callback cb) {
 }
 
 void Simulator::cancel(std::uint64_t event_id) {
-  if (event_id != 0) {
-    cancelled_.insert(event_id);
-    ++cancel_requests_;
+  if (event_id == 0) return;
+  ++cancel_requests_;
+  // Never-issued ids cannot be cancelled; already-dead ids (fired or
+  // previously cancelled) are the documented no-op.
+  if (event_id < next_id_ && ids_.kill(event_id)) {
+    --alive_;
   }
 }
 
 bool Simulator::step() {
   while (!queue_.empty()) {
-    // priority_queue::top() is const; move out via const_cast, which is safe
-    // because we pop immediately afterwards.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
+    SimEvent ev = queue_.pop_min();
+    if (!ids_.kill(ev.id)) {
+      continue;  // tombstoned by cancel(); skip without firing
     }
+    --alive_;
     now_ = ev.when;
     ++processed_;
     ev.cb();
@@ -61,20 +62,15 @@ void Simulator::run_until(Tick deadline) {
   stopped_ = false;
   while (!stopped_ && !queue_.empty()) {
     // Peek past tombstones without firing.
-    if (cancelled_.contains(queue_.top().id)) {
-      cancelled_.erase(queue_.top().id);
-      queue_.pop();
+    const SimEvent* head = queue_.peek_min();
+    if (ids_.dead(head->id)) {
+      queue_.pop_min();
       continue;
     }
-    if (queue_.top().when > deadline) break;
+    if (head->when > deadline) break;
     step();
   }
   if (now_ < deadline) now_ = deadline;
-}
-
-std::size_t Simulator::pending_events() const {
-  return queue_.size() >= cancelled_.size() ? queue_.size() - cancelled_.size()
-                                            : 0;
 }
 
 }  // namespace lumina

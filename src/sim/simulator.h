@@ -4,24 +4,34 @@
 // Events are (time, sequence) ordered: two events scheduled for the same
 // tick fire in scheduling order, which keeps runs bit-for-bit reproducible.
 //
+// Hot-path internals (docs/simulator.md):
+//   - pending events live in a calendar queue tuned to the clustered
+//     timestamps links and timers produce (sim/calendar_queue.h);
+//   - callbacks are small-buffer-optimized (sim/inline_callback.h) — the
+//     common captures fire without a single heap allocation;
+//   - cancel() flips a liveness bit in a chunked id table
+//     (sim/event_id_table.h) — O(1), no hash set.
+// The retired binary-heap implementation survives as ReferenceScheduler
+// (sim/reference_scheduler.h); the differential test drives both through
+// randomized workloads asserting identical observable behavior.
+//
 // One Simulator serves one run on one thread. Instances share no mutable
 // state, so a campaign (campaign/parallel.h) may run many of them on
 // concurrent worker threads; the log clock each registers is thread-local.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
 
+#include "sim/calendar_queue.h"
+#include "sim/event_id_table.h"
+#include "sim/inline_callback.h"
 #include "util/time.h"
 
 namespace lumina {
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   Simulator();
   ~Simulator();
@@ -40,7 +50,8 @@ class Simulator {
   std::uint64_t schedule_after(Tick delay, Callback cb);
 
   /// Cancels a pending event. Cancelling an already-fired or unknown id is
-  /// a no-op. O(1): the event is tombstoned and skipped at pop time.
+  /// a no-op. O(1): the event's liveness bit flips and the slot is skipped
+  /// at pop time.
   void cancel(std::uint64_t event_id);
 
   /// Runs until the event queue drains or `stop()` is called.
@@ -54,7 +65,10 @@ class Simulator {
   void stop() { stopped_ = true; }
 
   std::uint64_t events_processed() const { return processed_; }
-  std::size_t pending_events() const;
+
+  /// Events scheduled but neither fired nor cancelled. Exact: cancelling an
+  /// already-fired id does not distort the count.
+  std::size_t pending_events() const { return alive_; }
 
   // Telemetry taps (scraped into the run's metrics registry): high-water
   // mark of the event queue and the number of cancel() requests issued.
@@ -62,31 +76,18 @@ class Simulator {
   std::uint64_t cancel_requests() const { return cancel_requests_; }
 
  private:
-  struct Event {
-    Tick when = 0;
-    std::uint64_t seq = 0;  // tie-breaker: FIFO among same-tick events
-    std::uint64_t id = 0;
-    Callback cb;
-  };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
-
   bool step();  // fires one event; returns false when queue is empty
 
   Tick now_ = 0;
   bool stopped_ = false;
   const std::int64_t* prev_log_clock_ = nullptr;
-  std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t processed_ = 0;
   std::uint64_t cancel_requests_ = 0;
+  std::size_t alive_ = 0;
   std::size_t max_queue_depth_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  CalendarQueue queue_;
+  EventIdTable ids_;
 };
 
 }  // namespace lumina

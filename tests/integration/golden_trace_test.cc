@@ -20,6 +20,7 @@
 #include "orchestrator/orchestrator.h"
 #include "orchestrator/results_io.h"
 #include "telemetry/report.h"
+#include "telemetry/report_diff.h"
 
 namespace lumina {
 namespace {
@@ -120,6 +121,16 @@ void check_against_golden(const std::string& scenario,
       actual_bytes = telemetry::extract_deterministic_section(actual_bytes);
       golden_bytes = telemetry::extract_deterministic_section(golden_bytes);
       ASSERT_FALSE(golden_bytes.empty()) << scenario;
+      // Structured diff at tolerance 0 on top of the byte compare: when
+      // bytes ever drift, this names the exact metrics that moved.
+      const auto diff = telemetry::diff_reports(
+          telemetry::read_report_file(entry.path().string()),
+          telemetry::read_report_file(actual.string()),
+          telemetry::DiffOptions{});
+      EXPECT_TRUE(diff.passed())
+          << scenario << ": report.json metrics drifted\n"
+          << telemetry::format_diff(diff);
+      EXPECT_GT(diff.compared, 0u) << scenario;
     }
     EXPECT_EQ(actual_bytes, golden_bytes)
         << scenario << ": " << name

@@ -11,6 +11,7 @@
 #include "campaign/campaign_config.h"
 #include "orchestrator/orchestrator.h"
 #include "telemetry/report.h"
+#include "telemetry/report_diff.h"
 
 namespace lumina {
 namespace {
@@ -59,6 +60,26 @@ TEST(ReportDeterminism, CampaignReportIsByteIdenticalAcrossJobCounts) {
 
   EXPECT_EQ(jobs1, jobs4) << "jobs=1 vs jobs=4";
   EXPECT_EQ(jobs1, jobs8) << "jobs=1 vs jobs=8";
+}
+
+/// The same contract through the CI gate's own oracle: diff_reports at
+/// tolerance 0 must find zero differing metrics between job counts.
+TEST(ReportDeterminism, StructuredDiffAtToleranceZeroAcrossJobCounts) {
+  const Campaign campaign = load_campaign(parse_yaml(kCampaignYaml));
+  const auto report_at_jobs = [&](int jobs) {
+    CampaignOptions options;
+    options.jobs = jobs;
+    options.seed = campaign.seed;
+    return campaign_report_json(run_campaign(campaign, options));
+  };
+  const telemetry::RunReport jobs1 = report_at_jobs(1);
+  const telemetry::RunReport jobs8 = report_at_jobs(8);
+
+  const auto diff =
+      telemetry::diff_reports(jobs1, jobs8, telemetry::DiffOptions{});
+  EXPECT_TRUE(diff.passed()) << telemetry::format_diff(diff);
+  EXPECT_EQ(diff.diffs.size(), 0u);
+  EXPECT_GT(diff.compared, 50u);
 }
 
 TEST(ReportDeterminism, RepeatedRunsProduceIdenticalSnapshots) {

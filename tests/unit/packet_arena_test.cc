@@ -1,0 +1,172 @@
+// Property tests for the packet buffer arena (packet/packet_arena.h).
+//
+// The arena is a pure allocation optimization: packet bytes must be
+// identical with and without one installed, across randomized
+// alloc/serialize/free cycles that force heavy buffer reuse.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "packet/packet_arena.h"
+#include "packet/roce_packet.h"
+
+namespace lumina {
+namespace {
+
+RocePacketSpec random_spec(std::mt19937_64& rng) {
+  RocePacketSpec spec;
+  for (auto& o : spec.src_mac.octets) o = static_cast<std::uint8_t>(rng());
+  for (auto& o : spec.dst_mac.octets) o = static_cast<std::uint8_t>(rng());
+  spec.src_ip.value = static_cast<std::uint32_t>(rng());
+  spec.dst_ip.value = static_cast<std::uint32_t>(rng());
+  spec.ttl = static_cast<std::uint8_t>(rng() % 255 + 1);
+  spec.dscp = static_cast<std::uint8_t>(rng() % 64);
+  spec.src_udp_port = static_cast<std::uint16_t>(rng());
+  spec.dest_qpn = static_cast<std::uint32_t>(rng()) & kPsnMask;
+  spec.psn = static_cast<std::uint32_t>(rng()) & kPsnMask;
+  spec.ack_req = rng() % 2 == 0;
+  spec.mig_req = rng() % 2 == 0;
+  switch (rng() % 4) {
+    case 0:
+      spec.opcode = IbOpcode::kSendOnly;
+      break;
+    case 1:
+      spec.opcode = IbOpcode::kWriteOnly;
+      spec.reth = Reth{rng(), static_cast<std::uint32_t>(rng()),
+                       static_cast<std::uint32_t>(rng() % 4096)};
+      break;
+    case 2:
+      spec.opcode = IbOpcode::kAcknowledge;
+      spec.aeth = Aeth{static_cast<std::uint8_t>(rng()),
+                       static_cast<std::uint32_t>(rng()) & kPsnMask};
+      break;
+    default:
+      spec.opcode = IbOpcode::kCnp;
+      break;
+  }
+  spec.payload_len = static_cast<std::uint32_t>(rng() % 1500);
+  return spec;
+}
+
+/// Serialization must not depend on whether (or which) recycled capacity
+/// backs the packet: same spec → same bytes, arena or not.
+TEST(PacketArena, BuildIsByteIdenticalWithAndWithoutArena) {
+  std::mt19937_64 spec_rng(42);
+  std::vector<RocePacketSpec> specs;
+  for (int i = 0; i < 200; ++i) specs.push_back(random_spec(spec_rng));
+
+  std::vector<Packet> bare;
+  for (const auto& spec : specs) bare.push_back(build_roce_packet(spec));
+
+  PacketArena arena;
+  PacketArena::Scope scope(&arena);
+  std::mt19937_64 churn_rng(7);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    Packet pkt = build_roce_packet(specs[i]);
+    EXPECT_EQ(pkt.bytes, bare[i].bytes) << "spec " << i;
+    // Randomly recycle so later builds draw dirty buffers of odd sizes.
+    if (churn_rng() % 2 == 0) PacketArena::reclaim(std::move(pkt));
+  }
+  EXPECT_GT(arena.reused(), 0u);
+}
+
+/// Round-trip invariant under heavy recycling: parse(build(spec)) recovers
+/// the spec fields regardless of buffer provenance.
+TEST(PacketArena, RandomizedAllocFreeCyclesRoundTrip) {
+  PacketArena arena;
+  PacketArena::Scope scope(&arena);
+  std::mt19937_64 rng(1234);
+
+  std::vector<Packet> held;
+  for (int cycle = 0; cycle < 2000; ++cycle) {
+    const RocePacketSpec spec = random_spec(rng);
+    Packet pkt = build_roce_packet(spec);
+
+    const auto view = parse_roce(pkt);
+    ASSERT_TRUE(view.has_value()) << "cycle " << cycle;
+    EXPECT_EQ(view->bth.opcode, spec.opcode);
+    EXPECT_EQ(view->bth.psn, spec.psn);
+    EXPECT_EQ(view->bth.dest_qpn, spec.dest_qpn);
+    EXPECT_EQ(view->src_ip.value, spec.src_ip.value);
+    EXPECT_EQ(view->dst_ip.value, spec.dst_ip.value);
+    EXPECT_TRUE(verify_icrc(pkt)) << "cycle " << cycle;
+
+    // Random lifetime mix: free now, hold for later, or release a batch.
+    switch (rng() % 4) {
+      case 0:
+        PacketArena::reclaim(std::move(pkt));
+        break;
+      case 1:
+        held.push_back(std::move(pkt));
+        break;
+      default:
+        held.push_back(std::move(pkt));
+        if (held.size() > 16) {
+          while (!held.empty()) {
+            PacketArena::reclaim(std::move(held.back()));
+            held.pop_back();
+          }
+        }
+        break;
+    }
+  }
+  EXPECT_GT(arena.reused(), 100u);
+  EXPECT_EQ(arena.reused() + arena.fresh(), 2000u);
+}
+
+TEST(PacketArena, AcquireWithoutScopeIsPlainAllocation) {
+  ASSERT_EQ(PacketArena::current(), nullptr);
+  std::vector<std::uint8_t> buf = PacketArena::acquire_current();
+  EXPECT_TRUE(buf.empty());
+  Packet pkt;
+  pkt.bytes = {1, 2, 3};
+  PacketArena::reclaim(std::move(pkt));  // no arena: must not crash
+}
+
+TEST(PacketArena, ScopesNestAndRestore) {
+  PacketArena outer;
+  PacketArena inner;
+  ASSERT_EQ(PacketArena::current(), nullptr);
+  {
+    PacketArena::Scope a(&outer);
+    EXPECT_EQ(PacketArena::current(), &outer);
+    {
+      PacketArena::Scope b(&inner);
+      EXPECT_EQ(PacketArena::current(), &inner);
+    }
+    EXPECT_EQ(PacketArena::current(), &outer);
+  }
+  EXPECT_EQ(PacketArena::current(), nullptr);
+}
+
+TEST(PacketArena, RecycleCapsPoolAndDropsJumboBuffers) {
+  PacketArena arena;
+  // Jumbo buffer: dropped, not pooled.
+  std::vector<std::uint8_t> jumbo(PacketArena::kMaxRetainedCapacity + 1);
+  arena.recycle(std::move(jumbo));
+  EXPECT_EQ(arena.pooled(), 0u);
+  // Empty (e.g. moved-from) buffers are skipped too.
+  arena.recycle(std::vector<std::uint8_t>{});
+  EXPECT_EQ(arena.pooled(), 0u);
+
+  for (std::size_t i = 0; i < PacketArena::kMaxPooled + 10; ++i) {
+    arena.recycle(std::vector<std::uint8_t>(64));
+  }
+  EXPECT_EQ(arena.pooled(), PacketArena::kMaxPooled);
+}
+
+/// Recycled buffers come back cleared: a dirty prior life must never leak
+/// into a new packet's bytes.
+TEST(PacketArena, ReusedBuffersAreCleared) {
+  PacketArena arena;
+  std::vector<std::uint8_t> dirty(512, 0xAB);
+  arena.recycle(std::move(dirty));
+  std::vector<std::uint8_t> buf = arena.acquire();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_GE(buf.capacity(), 512u);
+}
+
+}  // namespace
+}  // namespace lumina

@@ -151,6 +151,29 @@ TEST(Simulator, PendingEventsAccountsForCancellations) {
   EXPECT_EQ(sim.pending_events(), 1u);
 }
 
+/// Cancelling an id whose event already fired must be a true no-op: it
+/// neither disturbs later events nor corrupts the pending count. (The old
+/// heap scheduler tombstoned such ids forever; the liveness table must not
+/// regress this into resurrecting or double-freeing the slot.)
+TEST(Simulator, CancelOfAlreadyFiredEventIsNoOp) {
+  Simulator sim;
+  int fired = 0;
+  const auto a = sim.schedule_at(10, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 0u);
+
+  sim.cancel(a);  // already fired: nothing to cancel
+  sim.cancel(a);  // idempotent
+  EXPECT_EQ(sim.pending_events(), 0u);
+
+  // Later events are unaffected by the stale cancel.
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
 /// Determinism: two identical schedules must produce identical execution
 /// orders — the foundation of Lumina's reproducible tests.
 TEST(Simulator, DeterministicAcrossRuns) {
