@@ -22,8 +22,8 @@ namespace {
 int dropped_connection(int num_connections, int target, bool stateful,
                        std::uint64_t seed) {
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx5;
-  cfg.responder.nic_type = NicType::kCx5;
+  cfg.requester().nic_type = NicType::kCx5;
+  cfg.responder().nic_type = NicType::kCx5;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.num_connections = num_connections;
   cfg.traffic.num_msgs_per_qp = 1;

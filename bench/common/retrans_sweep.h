@@ -21,8 +21,8 @@ struct SweepPoint {
 /// Runs one (nic, verb, k) cell of the Fig. 8/9 sweep.
 inline SweepPoint run_retrans_point(NicType nic, RdmaVerb verb, int k) {
   TestConfig cfg;
-  cfg.requester.nic_type = nic;
-  cfg.responder.nic_type = nic;
+  cfg.requester().nic_type = nic;
+  cfg.responder().nic_type = nic;
   cfg.traffic.verb = verb;
   cfg.traffic.num_connections = 1;
   cfg.traffic.num_msgs_per_qp = 1;

@@ -28,12 +28,12 @@ struct LoopResult {
 
 LoopResult run(bool dcqcn, std::size_t mark_threshold_kb) {
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx5;    // 100 GbE sender
-  cfg.responder.nic_type = NicType::kCx4Lx;  // 40 GbE receiver
-  cfg.requester.roce.dcqcn_rp_enable = dcqcn;
-  cfg.responder.roce.dcqcn_np_enable = dcqcn;
-  cfg.requester.roce.min_time_between_cnps = 4 * kMicrosecond;
-  cfg.responder.roce.min_time_between_cnps = 4 * kMicrosecond;
+  cfg.requester().nic_type = NicType::kCx5;    // 100 GbE sender
+  cfg.responder().nic_type = NicType::kCx4Lx;  // 40 GbE receiver
+  cfg.requester().roce.dcqcn_rp_enable = dcqcn;
+  cfg.responder().roce.dcqcn_np_enable = dcqcn;
+  cfg.requester().roce.min_time_between_cnps = 4 * kMicrosecond;
+  cfg.responder().roce.min_time_between_cnps = 4 * kMicrosecond;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.num_msgs_per_qp = 12;
   cfg.traffic.message_size = 1024 * 1024;
@@ -56,7 +56,7 @@ LoopResult run(bool dcqcn, std::size_t mark_threshold_kb) {
   out.drops = orch.injector().port(1).counters().drops;
   out.queue_marks = result.switch_counters.ecn_marked_by_queue;
   out.cnps = analyze_cnps(result.trace).cnps.size();
-  out.retransmissions = result.requester_counters.retransmitted_packets;
+  out.retransmissions = result.requester_counters().retransmitted_packets;
   return out;
 }
 

@@ -24,8 +24,8 @@ struct ReorderPoint {
 
 ReorderPoint run_reorder(int reorder_count) {
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx5;
-  cfg.responder.nic_type = NicType::kCx5;
+  cfg.requester().nic_type = NicType::kCx5;
+  cfg.responder().nic_type = NicType::kCx5;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.num_msgs_per_qp = 1;
   cfg.traffic.message_size = 64 * 1024;  // 64 packets
@@ -38,15 +38,15 @@ ReorderPoint run_reorder(int reorder_count) {
   ReorderPoint point;
   point.mct_us = result.flows[0].avg_mct_us();
   point.spurious_retransmissions =
-      result.requester_counters.retransmitted_packets;
-  point.naks = result.requester_counters.packet_seq_err;
+      result.requester_counters().retransmitted_packets;
+  point.naks = result.requester_counters().packet_seq_err;
   return point;
 }
 
 double run_delay_mct_us(Tick delay) {
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx5;
-  cfg.responder.nic_type = NicType::kCx5;
+  cfg.requester().nic_type = NicType::kCx5;
+  cfg.responder().nic_type = NicType::kCx5;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.num_msgs_per_qp = 1;
   cfg.traffic.message_size = 64 * 1024;

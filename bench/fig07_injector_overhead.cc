@@ -19,8 +19,8 @@ namespace {
 
 double run_mct_us(std::uint64_t msg_bytes, bool events, bool mirroring) {
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx5;
-  cfg.responder.nic_type = NicType::kCx5;
+  cfg.requester().nic_type = NicType::kCx5;
+  cfg.responder().nic_type = NicType::kCx5;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.num_connections = 1;
   cfg.traffic.num_msgs_per_qp = 200;

@@ -25,11 +25,11 @@ struct GoodputPair {
 
 GoodputPair run_setting(NicType nic, bool multi_queue, bool mark_qp0) {
   TestConfig cfg;
-  cfg.requester.nic_type = nic;
-  cfg.responder.nic_type = nic;
-  cfg.requester.roce.dcqcn_rp_enable = true;
-  cfg.responder.roce.dcqcn_np_enable = true;
-  cfg.requester.roce.min_time_between_cnps = 4 * kMicrosecond;
+  cfg.requester().nic_type = nic;
+  cfg.responder().nic_type = nic;
+  cfg.requester().roce.dcqcn_rp_enable = true;
+  cfg.responder().roce.dcqcn_np_enable = true;
+  cfg.requester().roce.min_time_between_cnps = 4 * kMicrosecond;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.num_connections = 2;
   cfg.traffic.num_msgs_per_qp = 20;

@@ -24,8 +24,8 @@ struct Point {
 Point run_point(int num_injected) {
   constexpr int kFlows = 36;
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx4Lx;
-  cfg.responder.nic_type = NicType::kCx4Lx;
+  cfg.requester().nic_type = NicType::kCx4Lx;
+  cfg.responder().nic_type = NicType::kCx4Lx;
   cfg.traffic.verb = RdmaVerb::kRead;
   cfg.traffic.num_connections = kFlows;
   cfg.traffic.num_msgs_per_qp = 10;
@@ -43,7 +43,7 @@ Point run_point(int num_injected) {
   const TestResult& result = orch.run();
 
   Point point;
-  point.rx_discards = result.requester_counters.rx_discards_phy;
+  point.rx_discards = result.requester_counters().rx_discards_phy;
   std::vector<int> injected;
   std::vector<int> innocent;
   for (int i = 0; i < kFlows; ++i) {

@@ -33,8 +33,8 @@ struct CaptureResult {
 
 CaptureResult run_capture(int num_dumpers, int cores, bool randomize_port) {
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx5;
-  cfg.responder.nic_type = NicType::kCx5;
+  cfg.requester().nic_type = NicType::kCx5;
+  cfg.responder().nic_type = NicType::kCx5;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.num_connections = 1;  // single line-rate flow: worst case
   cfg.traffic.num_msgs_per_qp = 40;

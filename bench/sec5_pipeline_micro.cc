@@ -145,8 +145,8 @@ BENCHMARK(BM_YamlParseListing2);
 void BM_GbnFsmCheck(benchmark::State& state) {
   // A realistic reconstructed trace: one loss + recovery in 10 messages.
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx5;
-  cfg.responder.nic_type = NicType::kCx5;
+  cfg.requester().nic_type = NicType::kCx5;
+  cfg.responder().nic_type = NicType::kCx5;
   cfg.traffic.num_msgs_per_qp = 10;
   cfg.traffic.message_size = 10240;
   cfg.traffic.data_pkt_events.push_back(
@@ -166,8 +166,8 @@ void BM_FullTestbedRun(benchmark::State& state) {
   // End-to-end cost of one small orchestrated experiment (wall clock).
   for (auto _ : state) {
     TestConfig cfg;
-    cfg.requester.nic_type = NicType::kCx5;
-    cfg.responder.nic_type = NicType::kCx5;
+    cfg.requester().nic_type = NicType::kCx5;
+    cfg.responder().nic_type = NicType::kCx5;
     cfg.traffic.message_size = 10240;
     Orchestrator orch(cfg);
     benchmark::DoNotOptimize(orch.run().trace.size());

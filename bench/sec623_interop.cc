@@ -27,8 +27,8 @@ struct InteropPoint {
 InteropPoint run_point(NicType requester, NicType responder, int qps,
                        bool rewrite_mig_req) {
   TestConfig cfg;
-  cfg.requester.nic_type = requester;
-  cfg.responder.nic_type = responder;
+  cfg.requester().nic_type = requester;
+  cfg.responder().nic_type = responder;
   cfg.traffic.verb = RdmaVerb::kSendRecv;
   cfg.traffic.num_connections = qps;
   cfg.traffic.num_msgs_per_qp = 5;
@@ -44,7 +44,7 @@ InteropPoint run_point(NicType requester, NicType responder, int qps,
   const TestResult& result = orch.run();
 
   InteropPoint point;
-  point.responder_discards = result.responder_counters.rx_discards_phy;
+  point.responder_discards = result.responder_counters().rx_discards_phy;
   double clean_sum = 0;
   int clean_n = 0;
   double degraded_sum = 0;

@@ -24,10 +24,10 @@ namespace {
 std::vector<double> timeout_sequence_ms(NicType nic, bool adaptive,
                                         int drop_rounds) {
   TestConfig cfg;
-  cfg.requester.nic_type = nic;
-  cfg.responder.nic_type = nic;
-  cfg.requester.roce.adaptive_retrans = adaptive;
-  cfg.responder.roce.adaptive_retrans = adaptive;
+  cfg.requester().nic_type = nic;
+  cfg.responder().nic_type = nic;
+  cfg.requester().roce.adaptive_retrans = adaptive;
+  cfg.responder().roce.adaptive_retrans = adaptive;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.num_msgs_per_qp = 1;
   // A single-packet message: dropping it leaves the responder silent, so

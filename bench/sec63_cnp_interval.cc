@@ -22,14 +22,14 @@ struct IntervalProbe {
 
 IntervalProbe run(NicType nic, Tick configured_interval) {
   TestConfig cfg;
-  cfg.requester.nic_type = nic;
-  cfg.responder.nic_type = nic;
+  cfg.requester().nic_type = nic;
+  cfg.responder().nic_type = nic;
   // Listing 1 setup: NP enabled, RP disabled so marking does not throttle
   // the sender and the CNP stream is driven purely by the NP limiter.
-  cfg.requester.roce.dcqcn_rp_enable = false;
-  cfg.responder.roce.dcqcn_rp_enable = false;
-  cfg.requester.roce.min_time_between_cnps = configured_interval;
-  cfg.responder.roce.min_time_between_cnps = configured_interval;
+  cfg.requester().roce.dcqcn_rp_enable = false;
+  cfg.responder().roce.dcqcn_rp_enable = false;
+  cfg.requester().roce.min_time_between_cnps = configured_interval;
+  cfg.responder().roce.min_time_between_cnps = configured_interval;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.num_msgs_per_qp = 1;
   cfg.traffic.message_size = 2 * 1024 * 1024;  // 2048 packets

@@ -24,16 +24,16 @@ struct ModeProbe {
 
 ModeProbe run(NicType nic) {
   TestConfig cfg;
-  cfg.requester.nic_type = nic;
-  cfg.responder.nic_type = nic;
-  cfg.requester.roce.dcqcn_rp_enable = false;
-  cfg.responder.roce.dcqcn_rp_enable = false;
-  cfg.requester.roce.min_time_between_cnps = 4 * kMicrosecond;
-  cfg.responder.roce.min_time_between_cnps = 4 * kMicrosecond;
+  cfg.requester().nic_type = nic;
+  cfg.responder().nic_type = nic;
+  cfg.requester().roce.dcqcn_rp_enable = false;
+  cfg.responder().roce.dcqcn_rp_enable = false;
+  cfg.requester().roce.min_time_between_cnps = 4 * kMicrosecond;
+  cfg.responder().roce.min_time_between_cnps = 4 * kMicrosecond;
   for (int i = 1; i <= 3; ++i) {
-    cfg.requester.ip_list.push_back(
+    cfg.requester().ip_list.push_back(
         Ipv4Address::from_octets(10, 0, 0, static_cast<std::uint8_t>(i)));
-    cfg.responder.ip_list.push_back(Ipv4Address::from_octets(
+    cfg.responder().ip_list.push_back(Ipv4Address::from_octets(
         10, 0, 0, static_cast<std::uint8_t>(10 + i)));
   }
   cfg.traffic.verb = RdmaVerb::kWrite;

@@ -23,12 +23,12 @@ namespace {
 
 void injected_marking_study(NicType nic) {
   TestConfig cfg;
-  cfg.requester.nic_type = nic;
-  cfg.responder.nic_type = nic;
-  cfg.requester.roce.dcqcn_rp_enable = false;  // observe the NP in isolation
-  cfg.responder.roce.dcqcn_rp_enable = false;
-  cfg.requester.roce.min_time_between_cnps = 4 * kMicrosecond;
-  cfg.responder.roce.min_time_between_cnps = 4 * kMicrosecond;
+  cfg.requester().nic_type = nic;
+  cfg.responder().nic_type = nic;
+  cfg.requester().roce.dcqcn_rp_enable = false;  // observe the NP in isolation
+  cfg.responder().roce.dcqcn_rp_enable = false;
+  cfg.requester().roce.min_time_between_cnps = 4 * kMicrosecond;
+  cfg.responder().roce.min_time_between_cnps = 4 * kMicrosecond;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.message_size = 512 * 1024;
   for (int k = 1; k <= 512; ++k) {
@@ -48,12 +48,12 @@ void injected_marking_study(NicType nic) {
 
 void closed_loop_study(bool dcqcn) {
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx5;    // 100 GbE
-  cfg.responder.nic_type = NicType::kCx4Lx;  // 40 GbE bottleneck
-  cfg.requester.roce.dcqcn_rp_enable = dcqcn;
-  cfg.responder.roce.dcqcn_np_enable = dcqcn;
-  cfg.requester.roce.min_time_between_cnps = 4 * kMicrosecond;
-  cfg.responder.roce.min_time_between_cnps = 4 * kMicrosecond;
+  cfg.requester().nic_type = NicType::kCx5;    // 100 GbE
+  cfg.responder().nic_type = NicType::kCx4Lx;  // 40 GbE bottleneck
+  cfg.requester().roce.dcqcn_rp_enable = dcqcn;
+  cfg.responder().roce.dcqcn_np_enable = dcqcn;
+  cfg.requester().roce.min_time_between_cnps = 4 * kMicrosecond;
+  cfg.responder().roce.min_time_between_cnps = 4 * kMicrosecond;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.num_msgs_per_qp = 8;
   cfg.traffic.message_size = 1024 * 1024;

@@ -19,8 +19,8 @@ namespace {
 
 TestConfig interop_config(NicType requester) {
   TestConfig cfg;
-  cfg.requester.nic_type = requester;
-  cfg.responder.nic_type = NicType::kCx5;
+  cfg.requester().nic_type = requester;
+  cfg.responder().nic_type = NicType::kCx5;
   cfg.traffic.verb = RdmaVerb::kSendRecv;
   cfg.traffic.num_connections = 16;
   cfg.traffic.num_msgs_per_qp = 5;
@@ -43,7 +43,7 @@ RunSummary run(const TestConfig& cfg, bool rewrite_mig_req) {
   const TestResult& result = orch.run();
 
   RunSummary summary;
-  summary.discards = result.responder_counters.rx_discards_phy;
+  summary.discards = result.responder_counters().rx_discards_phy;
   for (const auto& flow : result.flows) {
     for (const auto& msg : flow.messages) {
       if (msg.completed_at >= 0) {

@@ -18,8 +18,8 @@ using namespace lumina;
 int main() {
   // 1. Describe the test (the C++ equivalent of Listing 1 + Listing 2).
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx5;
-  cfg.responder.nic_type = NicType::kCx5;
+  cfg.requester().nic_type = NicType::kCx5;
+  cfg.responder().nic_type = NicType::kCx5;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.num_connections = 1;
   cfg.traffic.num_msgs_per_qp = 10;
@@ -66,10 +66,10 @@ int main() {
   std::printf("responder out_of_sequence=%llu, requester packet_seq_err=%llu, "
               "retransmitted=%llu\n",
               static_cast<unsigned long long>(
-                  result.responder_counters.out_of_sequence),
+                  result.responder_counters().out_of_sequence),
               static_cast<unsigned long long>(
-                  result.requester_counters.packet_seq_err),
+                  result.requester_counters().packet_seq_err),
               static_cast<unsigned long long>(
-                  result.requester_counters.retransmitted_packets));
+                  result.requester_counters().retransmitted_packets));
   return gbn.compliant() ? 0 : 1;
 }

@@ -19,8 +19,8 @@ namespace {
 
 void study_fast_retransmission(NicType nic, RdmaVerb verb) {
   TestConfig cfg;
-  cfg.requester.nic_type = nic;
-  cfg.responder.nic_type = nic;
+  cfg.requester().nic_type = nic;
+  cfg.responder().nic_type = nic;
   cfg.traffic.verb = verb;
   cfg.traffic.num_msgs_per_qp = 1;
   cfg.traffic.message_size = 100 * 1024;
@@ -51,8 +51,8 @@ void study_fast_retransmission(NicType nic, RdmaVerb verb) {
 
 void study_timeout(NicType nic, int timeout_exponent) {
   TestConfig cfg;
-  cfg.requester.nic_type = nic;
-  cfg.responder.nic_type = nic;
+  cfg.requester().nic_type = nic;
+  cfg.responder().nic_type = nic;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.num_msgs_per_qp = 1;
   cfg.traffic.message_size = 10 * 1024;
@@ -71,7 +71,7 @@ void study_timeout(NicType nic, int timeout_exponent) {
       format_duration(ib_timeout_to_rto(timeout_exponent)).c_str(),
       format_duration(*episodes[0].total_latency()).c_str(),
       static_cast<unsigned long long>(
-          result.requester_counters.local_ack_timeout_err));
+          result.requester_counters().local_ack_timeout_err));
 }
 
 }  // namespace

@@ -19,7 +19,10 @@ namespace lumina {
 
 struct CounterInconsistency {
   std::string counter;
-  std::string nic;  ///< "requester" / "responder"
+  /// Label of the flow role the inconsistency was detected on — the
+  /// default "requester"/"responder" aliases for the classic pair,
+  /// caller-supplied labels otherwise.
+  std::string nic;
   std::uint64_t expected_at_least = 0;
   std::uint64_t reported = 0;
   std::string note;
@@ -31,11 +34,31 @@ struct CounterReport {
 };
 
 /// `requester_ips` / `responder_ips` identify which trace endpoints belong
-/// to which NIC.
+/// to which flow role; the labels name that role in reported
+/// inconsistencies.
 CounterReport check_counters(const PacketTrace& trace, RdmaVerb verb,
                              const RnicCounters& requester,
                              const RnicCounters& responder,
                              const std::vector<Ipv4Address>& requester_ips,
-                             const std::vector<Ipv4Address>& responder_ips);
+                             const std::vector<Ipv4Address>& responder_ips,
+                             const std::string& requester_label = "requester",
+                             const std::string& responder_label = "responder");
+
+/// Per-host view for the multi-host form: the host's reported counters and
+/// the GIDs its flows use on the wire.
+struct HostCountersView {
+  RnicCounters counters;
+  std::vector<Ipv4Address> ips;
+};
+
+/// Re-keys per-host counters into the two flow roles via the connections'
+/// (src_host, dst_host) indices — hosts appearing as a source fold into
+/// the requester-side aggregate, destinations into the responder side —
+/// then runs the two-role consistency check. With the classic single 0->1
+/// pair this reduces exactly to check_counters().
+CounterReport check_counters_hosts(
+    const PacketTrace& trace, RdmaVerb verb,
+    const std::vector<HostCountersView>& hosts,
+    const std::vector<std::pair<int, int>>& connection_hosts);
 
 }  // namespace lumina

@@ -1,5 +1,9 @@
 #include "config/test_config.h"
 
+#include <algorithm>
+#include <cctype>
+#include <set>
+
 namespace lumina {
 namespace {
 
@@ -14,6 +18,61 @@ EventType parse_event_type_or_throw(const std::string& text) {
 }
 
 }  // namespace
+
+std::string default_host_name(std::size_t index) {
+  if (index == 0) return "requester";
+  if (index == 1) return "responder";
+  return "host" + std::to_string(index);
+}
+
+void TestConfig::normalize() {
+  if (hosts.size() < 2) hosts.resize(2);
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    if (hosts[i].name.empty()) hosts[i].name = default_host_name(i);
+  }
+  std::set<std::string> names;
+  for (const auto& host : hosts) {
+    if (!names.insert(host.name).second) {
+      throw YamlError("duplicate host name: " + host.name);
+    }
+  }
+
+  // Default GIDs so configs may omit ip-list (Listing 1 shows them, but
+  // benches usually construct configs programmatically): host i wants
+  // 10.0.0.<i+1>, advancing past any address the config already claims.
+  std::set<std::uint32_t> used;
+  for (const auto& host : hosts) {
+    for (const auto& ip : host.ip_list) used.insert(ip.value);
+  }
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    if (!hosts[i].ip_list.empty()) continue;
+    Ipv4Address ip{Ipv4Address::from_octets(10, 0, 0, 0).value +
+                   static_cast<std::uint32_t>(i) + 1};
+    while (used.count(ip.value) != 0) ++ip.value;
+    used.insert(ip.value);
+    hosts[i].ip_list.push_back(ip);
+  }
+
+  if (connections.empty()) {
+    connections.assign(
+        static_cast<std::size_t>(std::max(1, traffic.num_connections)),
+        ConnectionSpec{});
+  }
+  traffic.num_connections = static_cast<int>(connections.size());
+  for (const auto& conn : connections) {
+    const auto n = static_cast<int>(hosts.size());
+    if (conn.src_host < 0 || conn.src_host >= n || conn.dst_host < 0 ||
+        conn.dst_host >= n) {
+      throw YamlError("connection references host " +
+                      std::to_string(std::max(conn.src_host, conn.dst_host)) +
+                      " but only " + std::to_string(n) + " hosts exist");
+    }
+    if (conn.src_host == conn.dst_host) {
+      throw YamlError("connection src and dst are both host " +
+                      std::to_string(conn.src_host));
+    }
+  }
+}
 
 std::string to_string(RdmaVerb verb) {
   switch (verb) {
@@ -61,6 +120,7 @@ std::optional<NicType> parse_nic_type(const std::string& text) {
 
 HostConfig load_host_config(const YamlNode& node) {
   HostConfig cfg;
+  cfg.name = node["name"].as_string_or("");
   cfg.workspace = node["workspace"].as_string_or("");
   cfg.control_ip = node["control-ip"].as_string_or("");
 
@@ -139,11 +199,62 @@ TrafficConfig load_traffic_config(const YamlNode& node) {
   return cfg;
 }
 
+namespace {
+
+/// Resolves a `connections:` endpoint — an integer host index or a host
+/// name (explicit or defaulted).
+int resolve_host_index(const std::vector<HostConfig>& hosts,
+                       const YamlNode& node, const char* key) {
+  const std::string text = node.as_string();
+  if (text.empty()) throw YamlError(std::string("connection missing ") + key);
+  if (std::all_of(text.begin(), text.end(),
+                  [](unsigned char c) { return std::isdigit(c) != 0; })) {
+    return std::stoi(text);
+  }
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    const std::string& name =
+        hosts[i].name.empty() ? default_host_name(i) : hosts[i].name;
+    if (name == text) return static_cast<int>(i);
+  }
+  throw YamlError("connection references unknown host: " + text);
+}
+
+}  // namespace
+
 TestConfig load_test_config(const YamlNode& root) {
   TestConfig cfg;
-  if (root.has("requester")) cfg.requester = load_host_config(root["requester"]);
-  if (root.has("responder")) cfg.responder = load_host_config(root["responder"]);
+  const bool v2 = root.has("hosts") || root.has("connections");
+  if (v2 && (root.has("requester") || root.has("responder"))) {
+    throw YamlError(
+        "config mixes hosts:/connections: with requester:/responder: keys");
+  }
+  if (root.has("hosts")) {
+    const YamlNode& hosts = root["hosts"];
+    cfg.hosts.clear();
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      cfg.hosts.push_back(load_host_config(hosts[i]));
+    }
+  } else {
+    if (root.has("requester")) {
+      cfg.requester() = load_host_config(root["requester"]);
+    }
+    if (root.has("responder")) {
+      cfg.responder() = load_host_config(root["responder"]);
+    }
+  }
   if (root.has("traffic")) cfg.traffic = load_traffic_config(root["traffic"]);
+  if (root.has("connections")) {
+    const YamlNode& conns = root["connections"];
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      const YamlNode& item = conns[i];
+      ConnectionSpec spec;
+      spec.src_host = resolve_host_index(cfg.hosts, item["src"], "src");
+      spec.dst_host = resolve_host_index(cfg.hosts, item["dst"], "dst");
+      const auto count = item["count"].as_int_or(1);
+      if (count < 1) throw YamlError("connection count must be >= 1");
+      for (std::int64_t c = 0; c < count; ++c) cfg.connections.push_back(spec);
+    }
+  }
   return cfg;
 }
 
@@ -151,6 +262,12 @@ void apply_traffic_override(TestConfig& cfg, const std::string& key,
                             const YamlNode& value) {
   TrafficConfig& t = cfg.traffic;
   if (key == "num-connections") {
+    // An explicit connections: list fixes the flow set; sweeping the count
+    // over it would silently rewrite the topology.
+    if (!cfg.connections.empty()) {
+      throw YamlError(
+          "num-connections sweep conflicts with explicit connections list");
+    }
     t.num_connections = static_cast<int>(value.as_int());
   } else if (key == "num-msgs-per-qp") {
     t.num_msgs_per_qp = static_cast<int>(value.as_int());

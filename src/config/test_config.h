@@ -43,6 +43,10 @@ struct RoceParameters {
 
 /// One traffic-generation host (Listing 1).
 struct HostConfig {
+  /// Host identity; doubles as the RNIC name (metric prefix, QPN seed).
+  /// Empty = defaulted by TestConfig::normalize(): hosts 0/1 keep the
+  /// historical "requester"/"responder" names, later hosts get "host<i>".
+  std::string name;
   std::string workspace;
   std::string control_ip;
   NicType nic_type = NicType::kCx5;
@@ -50,6 +54,15 @@ struct HostConfig {
   int switch_port = 0;
   std::vector<Ipv4Address> ip_list;
   RoceParameters roce;
+};
+
+/// One logical flow: QPs on hosts[src_host] drive requests at
+/// hosts[dst_host]. The default pair is the paper's two-host Listing-1
+/// shape; k->1 incast is k specs sharing a dst_host, all-to-all is every
+/// ordered pair (docs/topology.md).
+struct ConnectionSpec {
+  int src_host = 0;
+  int dst_host = 1;
 };
 
 /// A user intent targeting one data packet (Listing 2, `data-pkt-events`).
@@ -96,19 +109,50 @@ struct EtsConfig {
 };
 
 struct TestConfig {
-  HostConfig requester;
-  HostConfig responder;
+  /// Hosts around the event-injector switch, in switch-port order (host i
+  /// attaches to port i). Defaults to the paper's two-host shape.
+  std::vector<HostConfig> hosts{HostConfig{}, HostConfig{}};
+  /// Flow endpoints by host index. Empty = normalize() expands it to
+  /// traffic.num_connections copies of the classic 0->1 pair.
+  std::vector<ConnectionSpec> connections;
   TrafficConfig traffic;
   EtsConfig ets;
+
+  /// Role accessors for the classic two-host shape: host 0 is the
+  /// requester, host 1 the responder. Growing the vector on demand keeps
+  /// `cfg.requester().nic_type = ...` safe on any config.
+  HostConfig& requester() { return host_at(0); }
+  HostConfig& responder() { return host_at(1); }
+  const HostConfig& requester() const { return hosts.at(0); }
+  const HostConfig& responder() const { return hosts.at(1); }
+  HostConfig& host_at(std::size_t index) {
+    if (hosts.size() <= index) hosts.resize(index + 1);
+    return hosts[index];
+  }
+
+  /// Makes the config self-consistent before a run: guarantees >= 2 hosts,
+  /// fills default host names, derives collision-free default GIDs
+  /// (10.0.0.<host_index+1>, skipping addresses the config already
+  /// claims), reconciles `connections` with traffic.num_connections, and
+  /// validates connection host indices. Idempotent; throws YamlError on an
+  /// invalid connection spec or duplicate host name.
+  void normalize();
 };
 
-/// Loads a host block (Listing 1, under key "requester"/"responder").
+/// Default name of host `index`: "requester", "responder", "host<i>".
+std::string default_host_name(std::size_t index);
+
+/// Loads a host block (Listing 1, under key "requester"/"responder" or a
+/// `hosts:` list entry).
 HostConfig load_host_config(const YamlNode& node);
 
 /// Loads a traffic block (Listing 2, under key "traffic").
 TrafficConfig load_traffic_config(const YamlNode& node);
 
-/// Loads a full document with "requester", "responder", "traffic" keys.
+/// Loads a full document. Two schemas are accepted (docs/topology.md):
+/// the Listing-1 form with "requester"/"responder" keys, and schema v2
+/// with a "hosts:" list plus an optional "connections:" list (entries
+/// reference hosts by index or name). Mixing both is an error.
 TestConfig load_test_config(const YamlNode& root);
 
 /// Applies one sweep override to the traffic block, e.g.

@@ -10,10 +10,10 @@ namespace {
 
 TestConfig base_config(NicType nic) {
   TestConfig cfg;
-  cfg.requester.nic_type = nic;
-  cfg.responder.nic_type = nic;
-  cfg.requester.ip_list.push_back(Ipv4Address::from_octets(10, 0, 0, 1));
-  cfg.responder.ip_list.push_back(Ipv4Address::from_octets(10, 0, 0, 2));
+  cfg.requester().nic_type = nic;
+  cfg.responder().nic_type = nic;
+  cfg.requester().ip_list.push_back(Ipv4Address::from_octets(10, 0, 0, 1));
+  cfg.responder().ip_list.push_back(Ipv4Address::from_octets(10, 0, 0, 2));
   return cfg;
 }
 
@@ -87,7 +87,7 @@ FuzzTarget make_noisy_neighbor_target(NicType nic) {
     // rx discards contribute (the counter that exposed the bug).
     const double mct = innocent_mct_us(cfg, result);
     const double discards =
-        static_cast<double>(result.requester_counters.rx_discards_phy);
+        static_cast<double>(result.requester_counters().rx_discards_phy);
     return mct + 0.1 * discards;
   };
 
@@ -143,8 +143,8 @@ FuzzTarget make_lossy_network_target(NicType nic) {
       }
     }
     const auto counters = check_counters(
-        result.trace, cfg.traffic.verb, result.requester_counters,
-        result.responder_counters, {result.connections.empty()
+        result.trace, cfg.traffic.verb, result.requester_counters(),
+        result.responder_counters(), {result.connections.empty()
                                         ? Ipv4Address{}
                                         : result.connections[0].requester.ip},
         {result.connections.empty() ? Ipv4Address{}
@@ -155,8 +155,8 @@ FuzzTarget make_lossy_network_target(NicType nic) {
 
   target.is_anomaly = [](const TestConfig& cfg, const TestResult& result) {
     const auto counters = check_counters(
-        result.trace, cfg.traffic.verb, result.requester_counters,
-        result.responder_counters, {result.connections.empty()
+        result.trace, cfg.traffic.verb, result.requester_counters(),
+        result.responder_counters(), {result.connections.empty()
                                         ? Ipv4Address{}
                                         : result.connections[0].requester.ip},
         {result.connections.empty() ? Ipv4Address{}

@@ -6,34 +6,54 @@
 
 namespace lumina {
 
+TrafficGenerator::TrafficGenerator(Simulator* sim, std::vector<Rnic*> nics,
+                                   std::vector<HostConfig> host_cfgs,
+                                   std::vector<ConnectionSpec> connections,
+                                   TrafficConfig traffic, EtsConfig ets,
+                                   std::uint64_t seed)
+    : sim_(sim),
+      nics_(std::move(nics)),
+      host_cfgs_(std::move(host_cfgs)),
+      conn_specs_(std::move(connections)),
+      traffic_(std::move(traffic)),
+      ets_(std::move(ets)),
+      rng_(seed) {
+  if (conn_specs_.empty()) {
+    conn_specs_.assign(
+        static_cast<std::size_t>(std::max(1, traffic_.num_connections)),
+        ConnectionSpec{});
+  }
+}
+
 TrafficGenerator::TrafficGenerator(Simulator* sim, Rnic* requester_nic,
                                    Rnic* responder_nic,
                                    const HostConfig& requester_cfg,
                                    const HostConfig& responder_cfg,
                                    TrafficConfig traffic, EtsConfig ets,
                                    std::uint64_t seed)
-    : sim_(sim),
-      req_nic_(requester_nic),
-      resp_nic_(responder_nic),
-      req_cfg_(requester_cfg),
-      resp_cfg_(responder_cfg),
-      traffic_(std::move(traffic)),
-      ets_(std::move(ets)),
-      rng_(seed) {}
+    : TrafficGenerator(sim, {requester_nic, responder_nic},
+                       {requester_cfg, responder_cfg}, {}, std::move(traffic),
+                       std::move(ets), seed) {}
 
 void TrafficGenerator::setup() {
-  const int n = traffic_.num_connections;
+  const int n = num_connections();
   metrics_.resize(static_cast<std::size_t>(n));
   posted_.assign(static_cast<std::size_t>(n), 0);
   completed_.assign(static_cast<std::size_t>(n), 0);
   flows_remaining_ = n;
 
   if (!ets_.tc_weights.empty()) {
-    req_nic_->configure_ets(ets_.tc_weights);
-    resp_nic_->configure_ets(ets_.tc_weights);
+    for (Rnic* nic : nics_) nic->configure_ets(ets_.tc_weights);
   }
 
   for (int i = 0; i < n; ++i) {
+    const ConnectionSpec& spec = conn_specs_[static_cast<std::size_t>(i)];
+    Rnic* req_nic = nics_[static_cast<std::size_t>(spec.src_host)];
+    Rnic* resp_nic = nics_[static_cast<std::size_t>(spec.dst_host)];
+    const HostConfig& req_cfg =
+        host_cfgs_[static_cast<std::size_t>(spec.src_host)];
+    const HostConfig& resp_cfg =
+        host_cfgs_[static_cast<std::size_t>(spec.dst_host)];
     QpConfig qc;
     qc.mtu = traffic_.mtu;
     qc.timeout = traffic_.min_retransmit_timeout;
@@ -44,12 +64,12 @@ void TrafficGenerator::setup() {
     qc.traffic_class = tc;
 
     QpConfig req_qc = qc;
-    req_qc.adaptive_retrans = req_cfg_.roce.adaptive_retrans;
+    req_qc.adaptive_retrans = req_cfg.roce.adaptive_retrans;
     QpConfig resp_qc = qc;
-    resp_qc.adaptive_retrans = resp_cfg_.roce.adaptive_retrans;
+    resp_qc.adaptive_retrans = resp_cfg.roce.adaptive_retrans;
 
-    QueuePair* req_qp = req_nic_->create_qp(req_qc);
-    QueuePair* resp_qp = resp_nic_->create_qp(resp_qc);
+    QueuePair* req_qp = req_nic->create_qp(req_qc);
+    QueuePair* resp_qp = resp_nic->create_qp(resp_qc);
 
     // GID (IPv4) selection: with multi-gid each connection emulates traffic
     // from a distinct host address (§5, traffic generator capability).
@@ -64,13 +84,17 @@ void TrafficGenerator::setup() {
     };
 
     ConnectionMetadata meta;
-    meta.requester.ip = pick_ip(req_cfg_.ip_list, 1);
+    meta.src_host = spec.src_host;
+    meta.dst_host = spec.dst_host;
+    meta.requester.ip = pick_ip(
+        req_cfg.ip_list, static_cast<std::uint8_t>(spec.src_host + 1));
     meta.requester.qpn = req_qp->qpn();
     meta.requester.ipsn =
         static_cast<std::uint32_t>(rng_.next_below(1u << 22)) + 1;
     meta.requester.buffer_addr = 0x100000ULL * (static_cast<std::uint64_t>(i) + 1);
     meta.requester.rkey = 0x1000u + static_cast<std::uint32_t>(i);
-    meta.responder.ip = pick_ip(resp_cfg_.ip_list, 2);
+    meta.responder.ip = pick_ip(
+        resp_cfg.ip_list, static_cast<std::uint8_t>(spec.dst_host + 1));
     meta.responder.qpn = resp_qp->qpn();
     meta.responder.ipsn =
         static_cast<std::uint32_t>(rng_.next_below(1u << 22)) + 1;
@@ -103,7 +127,7 @@ void TrafficGenerator::start() {
   started_ = true;
   barrier_round_ = 0;
   const int burst = std::max(1, traffic_.tx_depth);
-  for (int i = 0; i < traffic_.num_connections; ++i) {
+  for (int i = 0; i < num_connections(); ++i) {
     for (int k = 0; k < burst; ++k) post_next(i);
   }
 }
@@ -214,13 +238,13 @@ void TrafficGenerator::maybe_advance_barrier() {
   const int burst = std::max(1, traffic_.tx_depth);
   const int target = std::min((barrier_round_ + 1) * burst,
                               traffic_.num_msgs_per_qp);
-  for (int i = 0; i < traffic_.num_connections; ++i) {
+  for (int i = 0; i < num_connections(); ++i) {
     const auto c = static_cast<std::size_t>(i);
     if (metrics_[c].aborted) continue;
     if (completed_[c] < std::min(target, traffic_.num_msgs_per_qp)) return;
   }
   ++barrier_round_;
-  for (int i = 0; i < traffic_.num_connections; ++i) {
+  for (int i = 0; i < num_connections(); ++i) {
     for (int k = 0; k < burst; ++k) post_next(i);
   }
 }
@@ -235,7 +259,7 @@ double TrafficGenerator::avg_mct_us(const std::vector<int>& conns) const {
     ++count;
   };
   if (conns.empty()) {
-    for (int i = 0; i < traffic_.num_connections; ++i) add(i);
+    for (int i = 0; i < num_connections(); ++i) add(i);
   } else {
     for (const int i : conns) add(i);
   }

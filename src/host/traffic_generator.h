@@ -1,5 +1,5 @@
-// Traffic generator (§3.2): a requester/responder pair driving the RNICs
-// under test over one or more RC queue pairs.
+// Traffic generator (§3.2): hosts driving the RNICs under test over one or
+// more RC queue pairs.
 //
 // The generator mirrors the paper's C tool: it creates QPs and memory
 // regions, exchanges runtime metadata (QPN, IPSN, GID, rkey) out of band,
@@ -7,6 +7,11 @@
 // (§3.3), posts Send/Write/Read work requests with configurable message
 // count, size, tx-depth and optional cross-QP barrier synchronization, and
 // reports message completion times and goodput.
+//
+// Connections are (src_host, dst_host) pairs over an arbitrary host set
+// (docs/topology.md): the classic requester/responder pair is the default
+// spec, k->1 incast is k specs sharing a dst_host. Within one connection
+// the src side plays the requester role and the dst side the responder.
 #pragma once
 
 #include <cstdint>
@@ -23,14 +28,27 @@
 namespace lumina {
 
 /// Metadata for one QP connection, as exchanged over the out-of-band
-/// control channel and shared with the event injector.
+/// control channel and shared with the event injector. `requester` lives
+/// on hosts[src_host], `responder` on hosts[dst_host].
 struct ConnectionMetadata {
   QpEndpointInfo requester;
   QpEndpointInfo responder;
+  int src_host = 0;
+  int dst_host = 1;
 };
 
 class TrafficGenerator {
  public:
+  /// General form: one Rnic + HostConfig per host (same indexing), plus
+  /// the connection specs to realize. Empty `connections` defaults to
+  /// traffic.num_connections copies of the 0->1 pair.
+  TrafficGenerator(Simulator* sim, std::vector<Rnic*> nics,
+                   std::vector<HostConfig> host_cfgs,
+                   std::vector<ConnectionSpec> connections,
+                   TrafficConfig traffic, EtsConfig ets,
+                   std::uint64_t seed = 0xBEEF);
+
+  /// Classic two-host pair (Listing 1): host 0 = requester, 1 = responder.
   TrafficGenerator(Simulator* sim, Rnic* requester_nic, Rnic* responder_nic,
                    const HostConfig& requester_cfg,
                    const HostConfig& responder_cfg, TrafficConfig traffic,
@@ -52,7 +70,10 @@ class TrafficGenerator {
   const FlowMetrics& metrics(int connection) const {
     return metrics_[static_cast<std::size_t>(connection)];
   }
-  int num_connections() const { return traffic_.num_connections; }
+  int num_connections() const {
+    return static_cast<int>(conn_specs_.size());
+  }
+  int num_hosts() const { return static_cast<int>(nics_.size()); }
 
   /// Mean of per-connection average MCTs over `connections` (all when
   /// empty), in microseconds.
@@ -61,6 +82,8 @@ class TrafficGenerator {
   /// Registers the run's telemetry context (docs/telemetry.md: host.*).
   void attach_telemetry(telemetry::Telemetry* telemetry);
 
+  /// Connection-local QPs: the requester QP of connection i lives on
+  /// nics[conn_specs[i].src_host], the responder QP on the dst host.
   QueuePair* requester_qp(int connection) {
     return req_qps_[static_cast<std::size_t>(connection)];
   }
@@ -74,10 +97,9 @@ class TrafficGenerator {
   void maybe_advance_barrier();
 
   Simulator* sim_;
-  Rnic* req_nic_;
-  Rnic* resp_nic_;
-  HostConfig req_cfg_;
-  HostConfig resp_cfg_;
+  std::vector<Rnic*> nics_;
+  std::vector<HostConfig> host_cfgs_;
+  std::vector<ConnectionSpec> conn_specs_;
   TrafficConfig traffic_;
   EtsConfig ets_;
   Rng rng_;

@@ -21,85 +21,34 @@ Orchestrator::Orchestrator(TestConfig config)
 
 Orchestrator::Orchestrator(TestConfig config, Options options)
     : config_(std::move(config)), options_(options) {
-  // Fill default GIDs so configs may omit ip-list (Listing 1 shows them,
-  // but benches usually construct configs programmatically).
-  if (config_.requester.ip_list.empty()) {
-    config_.requester.ip_list.push_back(Ipv4Address::from_octets(10, 0, 0, 1));
-  }
-  if (config_.responder.ip_list.empty()) {
-    config_.responder.ip_list.push_back(Ipv4Address::from_octets(10, 0, 0, 2));
-  }
+  // Default host names, collision-free GIDs, connection expansion — the
+  // config becomes a complete testbed description here.
+  config_.normalize();
   build_testbed();
 }
 
 Orchestrator::~Orchestrator() = default;
 
 void Orchestrator::build_testbed() {
-  sim_ = std::make_unique<Simulator>();
+  TestbedSpec spec;
+  spec.hosts = config_.hosts;
+  spec.switch_options = options_.switch_options;
+  spec.dumper_options = options_.dumper_options;
+  spec.num_dumpers = options_.num_dumpers;
+  spec.link_propagation = options_.link_propagation;
+  spec.trim_mirrors = options_.trim_mirrors;
+  spec.enable_telemetry = options_.enable_telemetry;
+  spec.trace_capacity = options_.trace_capacity;
+  testbed_ = std::make_unique<Testbed>(std::move(spec));
 
-  if (options_.enable_telemetry) {
-    metrics_ = std::make_unique<telemetry::MetricsRegistry>();
-    trace_sink_ = std::make_unique<telemetry::TraceSink>(
-        options_.trace_capacity);
-    trace_sink_->set_track_name(telemetry::kTrackSim, "sim");
-    trace_sink_->set_track_name(telemetry::kTrackInjector, "injector");
-    trace_sink_->set_track_name(telemetry::kTrackRequester, "requester-nic");
-    trace_sink_->set_track_name(telemetry::kTrackResponder, "responder-nic");
-    trace_sink_->set_track_name(telemetry::kTrackHost, "host");
-    telemetry_.metrics = metrics_.get();
-    telemetry_.trace = trace_sink_.get();
+  std::vector<Rnic*> nics;
+  for (int i = 0; i < testbed_->num_hosts(); ++i) {
+    nics.push_back(&testbed_->nic(i));
   }
-
-  const int num_ports = 2 + options_.num_dumpers;
-  switch_ = std::make_unique<EventInjectorSwitch>(sim_.get(), num_ports,
-                                                  options_.switch_options);
-
-  const DeviceProfile& req_prof = DeviceProfile::get(config_.requester.nic_type);
-  const DeviceProfile& resp_prof =
-      DeviceProfile::get(config_.responder.nic_type);
-
-  req_nic_ = std::make_unique<Rnic>(sim_.get(), "requester", req_prof,
-                                    config_.requester.roce,
-                                    MacAddress::from_u48(0x0200000000aaULL));
-  resp_nic_ = std::make_unique<Rnic>(sim_.get(), "responder", resp_prof,
-                                     config_.responder.roce,
-                                     MacAddress::from_u48(0x0200000000bbULL));
-
-  connect(req_nic_->port(), switch_->port(0),
-          LinkParams{req_prof.link_gbps, options_.link_propagation});
-  connect(resp_nic_->port(), switch_->port(1),
-          LinkParams{resp_prof.link_gbps, options_.link_propagation});
-
-  // Routes: every GID of a host resolves to its switch port.
-  for (const auto& ip : config_.requester.ip_list) switch_->add_route(ip, 0);
-  for (const auto& ip : config_.responder.ip_list) switch_->add_route(ip, 1);
-
-  // Traffic dumper pool: links sized like the fastest host link (§3.4 —
-  // pooling is what makes slower dumpers viable; benches vary this).
-  const double dumper_gbps = std::max(req_prof.link_gbps, resp_prof.link_gbps);
-  std::vector<MirrorEngine::Target> targets;
-  TrafficDumper::Options dopt = options_.dumper_options;
-  if (!options_.trim_mirrors) dopt.trim_bytes = 1 << 20;
-  for (int i = 0; i < options_.num_dumpers; ++i) {
-    auto dumper = std::make_unique<TrafficDumper>(
-        sim_.get(), "dumper-" + std::to_string(i), dopt);
-    connect(dumper->port(), switch_->port(2 + i),
-            LinkParams{dumper_gbps, options_.link_propagation});
-    targets.push_back(MirrorEngine::Target{2 + i, 1});
-    dumpers_.push_back(std::move(dumper));
-  }
-  switch_->set_mirror_targets(std::move(targets));
-
   generator_ = std::make_unique<TrafficGenerator>(
-      sim_.get(), req_nic_.get(), resp_nic_.get(), config_.requester,
-      config_.responder, config_.traffic, config_.ets, options_.seed);
-
-  if (options_.enable_telemetry) {
-    switch_->attach_telemetry(&telemetry_);
-    req_nic_->attach_telemetry(&telemetry_);
-    resp_nic_->attach_telemetry(&telemetry_);
-    generator_->attach_telemetry(&telemetry_);
-  }
+      &testbed_->sim(), std::move(nics), config_.hosts, config_.connections,
+      config_.traffic, config_.ets, options_.seed);
+  generator_->attach_telemetry(testbed_->telemetry());
 }
 
 EventRule Orchestrator::translate_intent(const DataPacketEvent& intent) const {
@@ -136,8 +85,9 @@ void Orchestrator::program_injector() {
     // Ablation: hand the switch relative intents; the data plane discovers
     // QPs and materializes rules itself. No metadata is shared.
     for (const auto& intent : config_.traffic.data_pkt_events) {
-      switch_->install_relative_rule(EventInjectorSwitch::RelativeEventRule{
-          intent.qpn, intent.psn, intent.iter, intent.type, intent.delay});
+      testbed_->injector().install_relative_rule(
+          EventInjectorSwitch::RelativeEventRule{
+              intent.qpn, intent.psn, intent.iter, intent.type, intent.delay});
     }
     return;
   }
@@ -151,10 +101,10 @@ void Orchestrator::program_injector() {
     } else {
       flow = FlowKey{meta.requester.ip, meta.responder.ip, meta.responder.qpn};
     }
-    switch_->register_flow(flow, meta.requester.ipsn);
+    testbed_->injector().register_flow(flow, meta.requester.ipsn);
   }
   for (const auto& intent : config_.traffic.data_pkt_events) {
-    switch_->install_rule(translate_intent(intent));
+    testbed_->injector().install_rule(translate_intent(intent));
   }
 }
 
@@ -167,18 +117,20 @@ const TestResult& Orchestrator::run() {
   program_injector();  // tables must be populated before traffic starts
   generator_->start();
 
-  sim_->run_until(options_.max_sim_time);
+  Simulator& sim = testbed_->sim();
+  sim.run_until(options_.max_sim_time);
   result_.finished = generator_->finished();
-  result_.duration = sim_->now();
+  result_.duration = sim.now();
 
   collect_results();
   return result_;
 }
 
 void Orchestrator::collect_results() {
+  EventInjectorSwitch& injector = testbed_->injector();
   // TERM all dumpers, then merge and sort by mirror sequence number.
   std::vector<TracePacket> packets;
-  for (auto& dumper : dumpers_) {
+  for (auto& dumper : testbed_->dumpers()) {
     dumper->terminate();
     for (const auto& dumped : dumper->packets()) {
       TracePacket tp;
@@ -198,8 +150,8 @@ void Orchestrator::collect_results() {
 
   IntegrityReport& integrity = result_.integrity;
   integrity.trace_packets = packets.size();
-  integrity.injector_mirrored = switch_->mirror_engine().mirrored_count();
-  integrity.injector_roce_rx = switch_->roce_counters().roce_rx;
+  integrity.injector_mirrored = injector.mirror_engine().mirrored_count();
+  integrity.injector_roce_rx = injector.roce_counters().roce_rx;
   integrity.seqnums_consecutive = true;
   for (std::size_t i = 0; i < packets.size(); ++i) {
     if (packets[i].meta.mirror_seq != i) {
@@ -216,9 +168,11 @@ void Orchestrator::collect_results() {
       integrity.injector_roce_rx == packets.size();
 
   result_.trace.packets = std::move(packets);
-  result_.requester_counters = req_nic_->counters();
-  result_.responder_counters = resp_nic_->counters();
-  result_.switch_counters = switch_->roce_counters();
+  result_.host_counters.clear();
+  for (int i = 0; i < testbed_->num_hosts(); ++i) {
+    result_.host_counters.push_back(testbed_->nic(i).counters());
+  }
+  result_.switch_counters = injector.roce_counters();
   result_.verb = config_.traffic.verb;
   result_.connections = generator_->connections();
   for (int i = 0; i < generator_->num_connections(); ++i) {
@@ -227,7 +181,7 @@ void Orchestrator::collect_results() {
 
   if (options_.enable_telemetry) {
     scrape_telemetry();
-    result_.telemetry = metrics_->snapshot();
+    result_.telemetry = testbed_->metrics()->snapshot();
   }
 }
 
@@ -235,34 +189,38 @@ void Orchestrator::collect_results() {
 /// integers during the run land in the registry only here, alongside the
 /// histograms the hot paths populated live.
 void Orchestrator::scrape_telemetry() {
-  telemetry::MetricsRegistry& reg = *metrics_;
+  telemetry::MetricsRegistry& reg = *testbed_->metrics();
+  Simulator& sim = testbed_->sim();
+  telemetry::TraceSink& trace_sink = *testbed_->trace_sink();
+  EventInjectorSwitch& injector = testbed_->injector();
 
-  reg.counter("sim.events_processed").inc(sim_->events_processed());
-  reg.counter("sim.events_cancelled").inc(sim_->cancel_requests());
+  reg.counter("sim.events_processed").inc(sim.events_processed());
+  reg.counter("sim.events_cancelled").inc(sim.cancel_requests());
   reg.gauge("sim.queue_depth_max")
-      .set(static_cast<std::int64_t>(sim_->max_queue_depth()));
-  reg.gauge("sim.time_ns").set(sim_->now());
-  reg.counter("sim.trace_recorded").inc(trace_sink_->recorded());
-  reg.counter("sim.trace_dropped").inc(trace_sink_->dropped());
+      .set(static_cast<std::int64_t>(sim.max_queue_depth()));
+  reg.gauge("sim.time_ns").set(sim.now());
+  reg.counter("sim.trace_recorded").inc(trace_sink.recorded());
+  reg.counter("sim.trace_dropped").inc(trace_sink.dropped());
 
-  const SwitchRoceCounters& sw = switch_->roce_counters();
+  const SwitchRoceCounters& sw = injector.roce_counters();
   reg.counter("injector.roce_rx").inc(sw.roce_rx);
   reg.counter("injector.roce_tx").inc(sw.roce_tx);
   reg.counter("injector.mirrored").inc(sw.mirrored);
   reg.counter("injector.events_applied").inc(sw.events_applied);
   reg.counter("injector.dropped_by_event").inc(sw.dropped_by_event);
   reg.counter("injector.ecn_marked_by_queue").inc(sw.ecn_marked_by_queue);
-  for (int p = 0; p < switch_->num_ports(); ++p) {
-    const PortCounters& pc = switch_->port(p).counters();
+  for (int p = 0; p < injector.num_ports(); ++p) {
+    const PortCounters& pc = injector.port(p).counters();
     const std::string prefix = "injector.port" + std::to_string(p) + ".";
     reg.gauge(prefix + "max_queued_bytes")
         .set(static_cast<std::int64_t>(pc.max_queued_bytes));
     reg.counter(prefix + "drops").inc(pc.drops);
   }
 
-  for (const Rnic* nic : {req_nic_.get(), resp_nic_.get()}) {
-    const std::string prefix = "rnic." + nic->name() + ".";
-    for (const auto& [counter, value] : nic->counters().entries()) {
+  for (int i = 0; i < testbed_->num_hosts(); ++i) {
+    const Rnic& nic = testbed_->nic(i);
+    const std::string prefix = "rnic." + nic.name() + ".";
+    for (const auto& [counter, value] : nic.counters().entries()) {
       reg.counter(prefix + counter).inc(value);
     }
   }

@@ -1,12 +1,9 @@
-// Orchestrator (§3.1, Fig. 1): assembles the testbed, translates user
-// intents into injector rules, runs the experiment, collects results
-// (Table 1), reconstructs the packet trace, and runs the integrity check.
-//
-// Testbed topology:
-//
-//   requester host --- [port 0]                      [port 2] --- dumper 0
-//                            EVENT-INJECTOR SWITCH   [port 3] --- dumper 1
-//   responder host --- [port 1]                      [...]    --- ...
+// Orchestrator (§3.1, Fig. 1): a thin experiment driver over a Testbed.
+// It normalizes the config into a TestbedSpec, translates user intents
+// into injector rules, runs the experiment, collects results (Table 1),
+// reconstructs the packet trace, and runs the integrity check. The
+// topology itself — N hosts around the event-injector switch plus the
+// dumper pool — is built and wired by topology/testbed.h.
 #pragma once
 
 #include <memory>
@@ -22,15 +19,20 @@
 #include "rnic/rnic.h"
 #include "sim/simulator.h"
 #include "telemetry/telemetry.h"
+#include "topology/testbed.h"
 
 namespace lumina {
 
-/// Everything the orchestrator gathers after a run (Table 1).
+/// Everything the orchestrator gathers after a run (Table 1). Counters are
+/// keyed by host index; hosts 0/1 keep requester/responder accessors for
+/// the classic two-host shape.
 struct TestResult {
   PacketTrace trace;
   IntegrityReport integrity;
-  RnicCounters requester_counters;
-  RnicCounters responder_counters;
+  /// NIC counters of host i (testbed port order). Starts as the zeroed
+  /// classic pair so synthetic results behave like the old two-member
+  /// struct; collect_results() replaces it with one entry per host.
+  std::vector<RnicCounters> host_counters{RnicCounters{}, RnicCounters{}};
   SwitchRoceCounters switch_counters;
   std::vector<FlowMetrics> flows;
   std::vector<ConnectionMetadata> connections;
@@ -40,6 +42,11 @@ struct TestResult {
   /// Merged telemetry scrape (docs/telemetry.md) — a pure function of
   /// (config, seed); serialized as report.json's deterministic section.
   telemetry::MetricsSnapshot telemetry;
+
+  const RnicCounters& requester_counters() const { return host_counters.at(0); }
+  const RnicCounters& responder_counters() const { return host_counters.at(1); }
+  RnicCounters& requester_counters() { return host_counters.at(0); }
+  RnicCounters& responder_counters() { return host_counters.at(1); }
 };
 
 class Orchestrator {
@@ -77,16 +84,21 @@ class Orchestrator {
   const TestResult& result() const { return result_; }
 
   // Component access for targeted tests and ablation benches.
-  Simulator& sim() { return *sim_; }
-  EventInjectorSwitch& injector() { return *switch_; }
-  Rnic& requester_nic() { return *req_nic_; }
-  Rnic& responder_nic() { return *resp_nic_; }
+  Testbed& testbed() { return *testbed_; }
+  Simulator& sim() { return testbed_->sim(); }
+  EventInjectorSwitch& injector() { return testbed_->injector(); }
+  int num_hosts() { return testbed_->num_hosts(); }
+  Rnic& nic(int host) { return testbed_->nic(host); }
+  Rnic& requester_nic() { return testbed_->nic(0); }
+  Rnic& responder_nic() { return testbed_->nic(1); }
   TrafficGenerator& generator() { return *generator_; }
-  std::vector<std::unique_ptr<TrafficDumper>>& dumpers() { return dumpers_; }
+  std::vector<std::unique_ptr<TrafficDumper>>& dumpers() {
+    return testbed_->dumpers();
+  }
 
   /// Null when Options::enable_telemetry is false.
-  telemetry::MetricsRegistry* metrics() { return metrics_.get(); }
-  telemetry::TraceSink* trace_sink() { return trace_sink_.get(); }
+  telemetry::MetricsRegistry* metrics() { return testbed_->metrics(); }
+  telemetry::TraceSink* trace_sink() { return testbed_->trace_sink(); }
 
   /// Translates one relative user intent (Listing 2) into the absolute
   /// match-action rule installed on the injector (Fig. 2). Exposed for the
@@ -104,14 +116,7 @@ class Orchestrator {
   /// Recycles wire-byte buffers across the run; installed as the
   /// thread-current arena for the duration of run() (docs/simulator.md).
   PacketArena arena_;
-  std::unique_ptr<telemetry::MetricsRegistry> metrics_;
-  std::unique_ptr<telemetry::TraceSink> trace_sink_;
-  telemetry::Telemetry telemetry_;
-  std::unique_ptr<Simulator> sim_;
-  std::unique_ptr<EventInjectorSwitch> switch_;
-  std::unique_ptr<Rnic> req_nic_;
-  std::unique_ptr<Rnic> resp_nic_;
-  std::vector<std::unique_ptr<TrafficDumper>> dumpers_;
+  std::unique_ptr<Testbed> testbed_;
   std::unique_ptr<TrafficGenerator> generator_;
   TestResult result_;
   bool ran_ = false;

@@ -13,6 +13,15 @@
 namespace lumina {
 namespace {
 
+/// Counter artifact of host `index`. Hosts 0/1 keep the historical
+/// requester/responder filenames (golden directories stay byte-identical);
+/// later hosts get host<i>_counters.txt.
+std::string host_counters_filename(std::size_t index) {
+  if (index == 0) return "requester_counters.txt";
+  if (index == 1) return "responder_counters.txt";
+  return "host" + std::to_string(index) + "_counters.txt";
+}
+
 bool write_counters(const RnicCounters& counters, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
@@ -76,11 +85,17 @@ bool write_connections(const TestResult& result, const std::string& path) {
     const auto& meta = result.connections[i];
     std::fprintf(f,
                  "conn %zu requester ip=%s qpn=0x%x ipsn=%u | "
-                 "responder ip=%s qpn=0x%x ipsn=%u\n",
+                 "responder ip=%s qpn=0x%x ipsn=%u",
                  i + 1, meta.requester.ip.to_string().c_str(),
                  meta.requester.qpn, meta.requester.ipsn,
                  meta.responder.ip.to_string().c_str(), meta.responder.qpn,
                  meta.responder.ipsn);
+    // Host endpoints are spelled out only beyond the classic 0->1 pair, so
+    // two-host artifacts stay byte-identical to pre-topology goldens.
+    if (meta.src_host != 0 || meta.dst_host != 1) {
+      std::fprintf(f, " | hosts %d->%d", meta.src_host, meta.dst_host);
+    }
+    std::fprintf(f, "\n");
   }
   std::fclose(f);
   return true;
@@ -206,13 +221,16 @@ bool write_results(const TestResult& result, const std::string& dir,
   std::fprintf(f, "%s\n", result.integrity.to_string().c_str());
   std::fclose(f);
 
-  if (!write_counters(result.requester_counters,
-                      dir + "/requester_counters.txt")) {
-    return fail(dir + "/requester_counters.txt", failed_path);
-  }
-  if (!write_counters(result.responder_counters,
-                      dir + "/responder_counters.txt")) {
-    return fail(dir + "/responder_counters.txt", failed_path);
+  // Always at least the classic pair of counter files (zeroed when the
+  // result carries no hosts), so every directory reads back uniformly.
+  const std::size_t num_hosts = std::max<std::size_t>(
+      2, result.host_counters.size());
+  for (std::size_t h = 0; h < num_hosts; ++h) {
+    const std::string path = dir + "/" + host_counters_filename(h);
+    const RnicCounters counters = h < result.host_counters.size()
+                                      ? result.host_counters[h]
+                                      : RnicCounters{};
+    if (!write_counters(counters, path)) return fail(path, failed_path);
   }
   if (!write_switch_counters(result.switch_counters,
                              dir + "/switch_counters.txt")) {
@@ -251,6 +269,16 @@ bool read_results(const std::string& dir, ReadResults* out,
   if (!read_counter_file(dir + "/responder_counters.txt",
                          &out->responder_counters)) {
     return fail(dir + "/responder_counters.txt", failed_path);
+  }
+  out->host_counters = {out->requester_counters, out->responder_counters};
+  // Hosts beyond the classic pair (host2_counters.txt, ...): read until
+  // the next index is absent.
+  for (std::size_t h = 2;; ++h) {
+    const std::string path = dir + "/" + host_counters_filename(h);
+    if (!std::filesystem::exists(path)) break;
+    std::map<std::string, std::uint64_t> counters;
+    if (!read_counter_file(path, &counters)) return fail(path, failed_path);
+    out->host_counters.push_back(std::move(counters));
   }
   if (!read_counter_file(dir + "/switch_counters.txt",
                          &out->switch_counters)) {

@@ -4,7 +4,8 @@
 //   <dir>/trace.pcap              reconstructed packet trace (ns pcap)
 //   <dir>/integrity.txt           §3.5 integrity-check verdict
 //   <dir>/requester_counters.txt  NIC counters, one `name value` per line
-//   <dir>/responder_counters.txt
+//   <dir>/responder_counters.txt    (hosts 0/1; host i >= 2 writes
+//   <dir>/host<i>_counters.txt       host<i>_counters.txt)
 //   <dir>/switch_counters.txt     event-injector port/mirror counters
 //   <dir>/flows.csv               per-message application metrics
 //   <dir>/connections.txt         runtime QP metadata (QPN/IPSN/GID)
@@ -58,6 +59,9 @@ struct ReadResults {
 
   std::vector<ReadTracePacket> trace;
   std::string integrity;  ///< integrity.txt verdict line (no newline).
+  /// NIC counters by host index (host_counters[0]/[1] duplicate the
+  /// requester/responder alias maps below).
+  std::vector<std::map<std::string, std::uint64_t>> host_counters;
   std::map<std::string, std::uint64_t> requester_counters;
   std::map<std::string, std::uint64_t> responder_counters;
   std::map<std::string, std::uint64_t> switch_counters;

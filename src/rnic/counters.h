@@ -49,6 +49,30 @@ struct RnicCounters {
   /// Reaction point: CNPs received and processed (Intel: cnpHandled).
   std::uint64_t rp_cnp_handled = 0;
 
+  /// Folds another NIC's counters in — the counter analyzer aggregates
+  /// the hosts of one flow role (e.g. all incast senders) this way.
+  RnicCounters& operator+=(const RnicCounters& o) {
+    tx_packets += o.tx_packets;
+    rx_packets += o.rx_packets;
+    tx_bytes += o.tx_bytes;
+    rx_bytes += o.rx_bytes;
+    rx_discards_phy += o.rx_discards_phy;
+    out_of_sequence += o.out_of_sequence;
+    packet_seq_err += o.packet_seq_err;
+    implied_nak_seq_err += o.implied_nak_seq_err;
+    local_ack_timeout_err += o.local_ack_timeout_err;
+    retransmitted_packets += o.retransmitted_packets;
+    icrc_error_packets += o.icrc_error_packets;
+    duplicate_request += o.duplicate_request;
+    rnr_nak_sent += o.rnr_nak_sent;
+    rnr_nak_received += o.rnr_nak_received;
+    remote_access_errors += o.remote_access_errors;
+    np_cnp_sent += o.np_cnp_sent;
+    np_ecn_marked_roce_packets += o.np_ecn_marked_roce_packets;
+    rp_cnp_handled += o.rp_cnp_handled;
+    return *this;
+  }
+
   /// Flattens to (name, value) pairs for dump files and the analyzer.
   std::vector<std::pair<std::string, std::uint64_t>> entries() const {
     return {

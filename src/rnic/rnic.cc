@@ -22,12 +22,14 @@ std::uint64_t fnv1a(const std::string& s) {
 }  // namespace
 
 Rnic::Rnic(Simulator* sim, std::string name, const DeviceProfile& profile,
-           RoceParameters roce, MacAddress mac)
+           RoceParameters roce, MacAddress mac,
+           std::uint32_t telemetry_track)
     : sim_(sim),
       name_(std::move(name)),
       profile_(profile),
       roce_(roce),
       mac_(mac),
+      telemetry_track_(telemetry_track),
       port_(std::make_unique<Port>(sim, this, 0)),
       cnp_limiter_(profile.cnp_mode) {
   // QPNs are generated pseudo-randomly at runtime (§3.2) — deterministically
@@ -138,8 +140,7 @@ void Rnic::attach_telemetry(telemetry::Telemetry* t) {
   tele_.rto_fired_after =
       &reg.histogram(prefix + "rto_fired_after_ns",
                      telemetry::BucketBounds::exponential(4000, 2.0, 20));
-  tele_.track = name_ == "responder" ? telemetry::kTrackResponder
-                                     : telemetry::kTrackRequester;
+  tele_.track = telemetry_track_;
 }
 
 void Rnic::enqueue_control(Packet pkt) {

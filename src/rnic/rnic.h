@@ -38,8 +38,12 @@ struct RnicTelemetryHooks {
 
 class Rnic : public Node {
  public:
+  /// `telemetry_track` is the trace track this NIC's events land on —
+  /// assigned by the Testbed (telemetry::nic_track(host_index)); the
+  /// default suits single-NIC unit tests.
   Rnic(Simulator* sim, std::string name, const DeviceProfile& profile,
-       RoceParameters roce, MacAddress mac);
+       RoceParameters roce, MacAddress mac,
+       std::uint32_t telemetry_track = telemetry::kTrackRequester);
   ~Rnic() override;
 
   // -- wiring ----------------------------------------------------------------
@@ -103,6 +107,7 @@ class Rnic : public Node {
   DeviceProfile profile_;
   RoceParameters roce_;
   MacAddress mac_;
+  std::uint32_t telemetry_track_;
   std::unique_ptr<Port> port_;
   RnicCounters counters_;
 

@@ -11,8 +11,8 @@ namespace {
 
 TestConfig base(NicType nic) {
   TestConfig cfg;
-  cfg.requester.nic_type = nic;
-  cfg.responder.nic_type = nic;
+  cfg.requester().nic_type = nic;
+  cfg.responder().nic_type = nic;
   return cfg;
 }
 
@@ -26,7 +26,7 @@ std::string fmt_evidence(const char* format, double a, double b) {
 // QP1 cannot exceed its guaranteed 50% share.
 DetectionResult detect_ets(NicType nic) {
   TestConfig cfg = base(nic);
-  cfg.requester.roce.min_time_between_cnps = 4 * kMicrosecond;
+  cfg.requester().roce.min_time_between_cnps = 4 * kMicrosecond;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.num_connections = 2;
   cfg.traffic.num_msgs_per_qp = 8;
@@ -77,7 +77,7 @@ DetectionResult detect_noisy_neighbor(NicType nic) {
                       ""};
   out.evidence = fmt_evidence(
       "innocent-flow avg MCT %.0f us, requester discards %.0f", innocent_us,
-      static_cast<double>(result.requester_counters.rx_discards_phy));
+      static_cast<double>(result.requester_counters().rx_discards_phy));
   return out;
 }
 
@@ -85,7 +85,7 @@ DetectionResult detect_noisy_neighbor(NicType nic) {
 // affected when the CX5 responder discards packets.
 DetectionResult detect_interop(NicType nic) {
   TestConfig cfg = base(nic);
-  cfg.responder.nic_type = NicType::kCx5;
+  cfg.responder().nic_type = NicType::kCx5;
   cfg.traffic.verb = RdmaVerb::kSendRecv;
   cfg.traffic.num_connections = 16;
   cfg.traffic.num_msgs_per_qp = 3;
@@ -94,10 +94,10 @@ DetectionResult detect_interop(NicType nic) {
   Orchestrator orch(cfg);
   const TestResult& result = orch.run();
   DetectionResult out{KnownIssue::kInteropMigReq, nic,
-                      result.responder_counters.rx_discards_phy > 0, ""};
+                      result.responder_counters().rx_discards_phy > 0, ""};
   out.evidence = fmt_evidence("CX5 responder rx_discards_phy = %.0f%s",
                               static_cast<double>(
-                                  result.responder_counters.rx_discards_phy),
+                                  result.responder_counters().rx_discards_phy),
                               0.0);
   return out;
 }
@@ -108,7 +108,7 @@ DetectionResult detect_counters(NicType nic) {
   std::string evidence;
   {
     TestConfig cfg = base(nic);
-    cfg.requester.roce.min_time_between_cnps = 4 * kMicrosecond;
+    cfg.requester().roce.min_time_between_cnps = 4 * kMicrosecond;
     cfg.traffic.verb = RdmaVerb::kWrite;
     cfg.traffic.message_size = 20 * 1024;
     cfg.traffic.data_pkt_events.push_back(
@@ -116,7 +116,7 @@ DetectionResult detect_counters(NicType nic) {
     Orchestrator orch(cfg);
     const TestResult& r = orch.run();
     const auto report = check_counters(
-        r.trace, RdmaVerb::kWrite, r.requester_counters, r.responder_counters,
+        r.trace, RdmaVerb::kWrite, r.requester_counters(), r.responder_counters(),
         {r.connections[0].requester.ip}, {r.connections[0].responder.ip});
     if (!report.consistent()) {
       flagged = true;
@@ -132,7 +132,7 @@ DetectionResult detect_counters(NicType nic) {
     Orchestrator orch(cfg);
     const TestResult& r = orch.run();
     const auto report = check_counters(
-        r.trace, RdmaVerb::kRead, r.requester_counters, r.responder_counters,
+        r.trace, RdmaVerb::kRead, r.requester_counters(), r.responder_counters(),
         {r.connections[0].requester.ip}, {r.connections[0].responder.ip});
     if (!report.consistent()) {
       flagged = true;
@@ -149,7 +149,7 @@ DetectionResult detect_counters(NicType nic) {
 // CNP count falls short of the marked-packet count.
 DetectionResult detect_cnp_rate_limiting(NicType nic) {
   TestConfig cfg = base(nic);
-  cfg.requester.roce.dcqcn_rp_enable = false;
+  cfg.requester().roce.dcqcn_rp_enable = false;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.message_size = 256 * 1024;
   for (int k = 1; k <= 256; ++k) {
@@ -173,8 +173,8 @@ DetectionResult detect_cnp_rate_limiting(NicType nic) {
 // RTO lands below the configured IB-spec minimum.
 DetectionResult detect_adaptive_retrans(NicType nic) {
   TestConfig cfg = base(nic);
-  cfg.requester.roce.adaptive_retrans = true;
-  cfg.responder.roce.adaptive_retrans = true;
+  cfg.requester().roce.adaptive_retrans = true;
+  cfg.responder().roce.adaptive_retrans = true;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.message_size = 1024;
   cfg.traffic.min_retransmit_timeout = 14;

@@ -91,6 +91,20 @@ enum TrackId : std::uint32_t {
   kTrackRequester = 2,
   kTrackResponder = 3,
   kTrackHost = 4,
+  /// First dynamic per-host track. Testbeds with more than the classic
+  /// two-host pair name these via set_track_name(); see nic_track().
+  kTrackDynamicBase = 5,
 };
+
+/// Track id of host `host_index`'s NIC. Hosts 0/1 keep the legacy
+/// requester/responder tracks (two-host traces are byte-identical to the
+/// pre-topology layout); host i >= 2 gets the dense dynamic id
+/// kTrackDynamicBase + (i - 2).
+constexpr std::uint32_t nic_track(int host_index) {
+  return host_index == 0   ? kTrackRequester
+         : host_index == 1 ? kTrackResponder
+                           : kTrackDynamicBase +
+                                 static_cast<std::uint32_t>(host_index - 2);
+}
 
 }  // namespace lumina::telemetry

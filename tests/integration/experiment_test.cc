@@ -22,8 +22,8 @@ std::string nic_verb_name(const ::testing::TestParamInfo<NicVerb>& info) {
 
 TestConfig make_config(NicType nic, RdmaVerb verb) {
   TestConfig cfg;
-  cfg.requester.nic_type = nic;
-  cfg.responder.nic_type = nic;
+  cfg.requester().nic_type = nic;
+  cfg.responder().nic_type = nic;
   cfg.traffic.verb = verb;
   cfg.traffic.num_connections = 2;
   cfg.traffic.num_msgs_per_qp = 3;
@@ -47,9 +47,9 @@ TEST_P(NicVerbSweep, CleanTransferCompletesWithIntegrity) {
     EXPECT_FALSE(flow.aborted);
   }
   // No retransmissions on a clean path.
-  EXPECT_EQ(result.requester_counters.retransmitted_packets, 0u);
-  EXPECT_EQ(result.responder_counters.retransmitted_packets, 0u);
-  EXPECT_EQ(result.requester_counters.local_ack_timeout_err, 0u);
+  EXPECT_EQ(result.requester_counters().retransmitted_packets, 0u);
+  EXPECT_EQ(result.responder_counters().retransmitted_packets, 0u);
+  EXPECT_EQ(result.requester_counters().local_ack_timeout_err, 0u);
   // The trace passes the Go-Back-N specification check.
   const auto gbn = check_gbn_compliance(result.trace, verb);
   EXPECT_TRUE(gbn.compliant());
@@ -142,10 +142,10 @@ TEST(DeviceBehavior, RetransmissionLatencyOrderingMatchesFig8and9) {
 TEST(DeviceBehavior, E810IgnoresCnpIntervalConfiguration) {
   const auto cnp_count = [](NicType nic) {
     TestConfig cfg = make_config(nic, RdmaVerb::kWrite);
-    cfg.requester.roce.dcqcn_rp_enable = false;
-    cfg.responder.roce.dcqcn_rp_enable = false;
-    cfg.requester.roce.min_time_between_cnps = 0;  // CNP per packet
-    cfg.responder.roce.min_time_between_cnps = 0;
+    cfg.requester().roce.dcqcn_rp_enable = false;
+    cfg.responder().roce.dcqcn_rp_enable = false;
+    cfg.requester().roce.min_time_between_cnps = 0;  // CNP per packet
+    cfg.responder().roce.min_time_between_cnps = 0;
     cfg.traffic.num_connections = 1;
     cfg.traffic.num_msgs_per_qp = 1;
     cfg.traffic.message_size = 32 * 1024;

@@ -5,6 +5,7 @@
 //  * configurable ACK coalescing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 
@@ -17,8 +18,8 @@ namespace {
 
 TestConfig base_config() {
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx5;
-  cfg.responder.nic_type = NicType::kCx5;
+  cfg.requester().nic_type = NicType::kCx5;
+  cfg.responder().nic_type = NicType::kCx5;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.num_connections = 1;
   cfg.traffic.num_msgs_per_qp = 1;
@@ -44,8 +45,8 @@ TEST(DelayEvent, ShiftsOnePacketWithoutLoss) {
   // beats the 30 us hold, so the transfer completes BEFORE the delayed
   // original even arrives — which then lands as a duplicate.
   EXPECT_LT(result.flows[0].avg_mct_us(), 30.0);
-  EXPECT_GE(result.responder_counters.out_of_sequence, 1u);
-  EXPECT_GE(result.responder_counters.duplicate_request, 1u);
+  EXPECT_GE(result.responder_counters().out_of_sequence, 1u);
+  EXPECT_GE(result.responder_counters().duplicate_request, 1u);
   EXPECT_TRUE(result.integrity.ok());
   // The mirrored copy is tagged with the delay event type.
   int tagged = 0;
@@ -66,8 +67,8 @@ TEST(DelayEvent, LongDelayBehavesLikeLossThenDuplicate) {
   const TestResult& result = orch.run();
   ASSERT_TRUE(result.finished);
   EXPECT_EQ(result.flows[0].completed(), 1u);
-  EXPECT_GE(result.responder_counters.out_of_sequence, 1u);
-  EXPECT_GE(result.responder_counters.duplicate_request, 1u);
+  EXPECT_GE(result.responder_counters().out_of_sequence, 1u);
+  EXPECT_GE(result.responder_counters().duplicate_request, 1u);
 }
 
 TEST(DelayEvent, ParsesFromYaml) {
@@ -95,9 +96,9 @@ TEST(ReorderEvent, SwapsAdjacentPackets) {
   // Go-Back-N tolerates no reordering: packet 6 before 5 looks like a loss
   // of 5 -> NACK and a rewind, even though nothing was dropped. This is
   // exactly why lossy-RoCE debates care about reordering (§7).
-  EXPECT_GE(result.responder_counters.out_of_sequence, 1u);
-  EXPECT_GE(result.requester_counters.packet_seq_err, 1u);
-  EXPECT_GE(result.requester_counters.retransmitted_packets, 1u);
+  EXPECT_GE(result.responder_counters().out_of_sequence, 1u);
+  EXPECT_GE(result.requester_counters().packet_seq_err, 1u);
+  EXPECT_GE(result.requester_counters().retransmitted_packets, 1u);
 }
 
 TEST(ReorderEvent, TailPacketFlushedByTimeout) {
@@ -160,6 +161,44 @@ TEST(StatefulDiscovery, DiscoversEveryConcurrentFlow) {
   EXPECT_EQ(result.switch_counters.events_applied, 1u);
 }
 
+TEST(StatefulDiscovery, BindsRulesByFlowArrivalOrder) {
+  // The relative rule names "connection 2". The stateless design would
+  // join that with config connection 2's announced metadata; the stateful
+  // ablation instead binds it to the SECOND flow to appear on the wire —
+  // the arrival-order dependence §3.3 argues against.
+  TestConfig cfg = base_config();
+  cfg.traffic.num_connections = 2;
+  cfg.traffic.num_msgs_per_qp = 2;
+  cfg.traffic.data_pkt_events.push_back(
+      DataPacketEvent{2, 3, EventType::kDrop, 1});
+  Orchestrator::Options options;
+  options.stateful_qp_discovery = true;
+  Orchestrator orch(cfg, options);
+  const TestResult& result = orch.run();
+  ASSERT_TRUE(result.finished);
+  EXPECT_EQ(orch.injector().discovered_flows(), 2);
+  EXPECT_EQ(result.switch_counters.dropped_by_event, 1u);
+
+  // Reconstruct the order in which distinct data flows first crossed the
+  // switch, straight from the mirrored trace.
+  std::vector<FlowKey> arrival;
+  for (const auto& p : result.trace) {
+    if (!p.is_data()) continue;
+    const FlowKey flow{p.view.src_ip, p.view.dst_ip, p.view.bth.dest_qpn};
+    if (std::find(arrival.begin(), arrival.end(), flow) == arrival.end()) {
+      arrival.push_back(flow);
+    }
+  }
+  ASSERT_GE(arrival.size(), 2u);
+
+  // Exactly one recovery episode, and it sits on the second-ARRIVING flow.
+  const auto episodes = analyze_retransmissions(result.trace, RdmaVerb::kWrite);
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_EQ(episodes[0].flow, arrival[1]);
+  // The untouched flow is the first arrival.
+  EXPECT_NE(episodes[0].flow, arrival[0]);
+}
+
 // ---------------------------------------------------------------------------
 // Egress-queue ECN marking (closed-loop congestion extension)
 // ---------------------------------------------------------------------------
@@ -179,17 +218,17 @@ TEST(QueueEcnMarking, MarksOnlyWhenBottleneckBuilds) {
   }
   // 100 GbE sender into a 40 GbE receiver: the bottleneck port queue
   // crosses the threshold and data packets get CE.
-  cfg.responder.nic_type = NicType::kCx4Lx;
-  cfg.requester.roce.min_time_between_cnps = 4 * kMicrosecond;
-  cfg.responder.roce.min_time_between_cnps = 4 * kMicrosecond;
+  cfg.responder().nic_type = NicType::kCx4Lx;
+  cfg.requester().roce.min_time_between_cnps = 4 * kMicrosecond;
+  cfg.responder().roce.min_time_between_cnps = 4 * kMicrosecond;
   Orchestrator orch(cfg, options);
   const TestResult& result = orch.run();
   ASSERT_TRUE(result.finished);
   EXPECT_GT(result.switch_counters.ecn_marked_by_queue, 0u);
-  EXPECT_GE(result.responder_counters.np_ecn_marked_roce_packets, 1u);
-  EXPECT_GE(result.requester_counters.rp_cnp_handled, 1u);
+  EXPECT_GE(result.responder_counters().np_ecn_marked_roce_packets, 1u);
+  EXPECT_GE(result.requester_counters().rp_cnp_handled, 1u);
   // Marks keep iCRC valid (ECN is a masked field) so nothing is discarded.
-  EXPECT_EQ(result.responder_counters.icrc_error_packets, 0u);
+  EXPECT_EQ(result.responder_counters().icrc_error_packets, 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -305,8 +344,8 @@ TEST(ResultsIo, FailsCleanlyOnBadPath) {
 
 TEST(AckCoalescing, DefaultIntervalAcksEverySixteenthPacket) {
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx5;
-  cfg.responder.nic_type = NicType::kCx5;
+  cfg.requester().nic_type = NicType::kCx5;
+  cfg.responder().nic_type = NicType::kCx5;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.message_size = 64 * 1024;  // 64 packets, one message
   Orchestrator orch(cfg);

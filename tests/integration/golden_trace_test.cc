@@ -44,8 +44,8 @@ std::string read_file(const fs::path& path) {
 
 TestConfig gbn_drop_config() {
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx6Dx;
-  cfg.responder.nic_type = NicType::kCx6Dx;
+  cfg.requester().nic_type = NicType::kCx6Dx;
+  cfg.responder().nic_type = NicType::kCx6Dx;
   cfg.traffic.num_connections = 2;
   cfg.traffic.num_msgs_per_qp = 4;
   cfg.traffic.message_size = 10240;
@@ -59,8 +59,8 @@ TestConfig gbn_drop_config() {
 
 TestConfig cnp_inject_config() {
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx6Dx;
-  cfg.responder.nic_type = NicType::kCx6Dx;
+  cfg.requester().nic_type = NicType::kCx6Dx;
+  cfg.responder().nic_type = NicType::kCx6Dx;
   cfg.traffic.num_connections = 1;
   cfg.traffic.num_msgs_per_qp = 4;
   cfg.traffic.message_size = 10240;
@@ -76,11 +76,42 @@ TestConfig cnp_inject_config() {
   return cfg;
 }
 
+/// 3-requester incast onto one responder (§3.1 generalized, §6.3): the
+/// 3:1 bottleneck builds the sink-port queue past the marking threshold,
+/// so the golden captures the closed-loop ECN -> CNP -> DCQCN exchange on
+/// top of the schema-v2 host/connection layout (docs/topology.md).
+TestConfig incast_4host_config() {
+  TestConfig cfg;
+  cfg.hosts.clear();
+  for (int i = 0; i < 3; ++i) {
+    HostConfig sender;
+    sender.nic_type = NicType::kCx6Dx;
+    cfg.hosts.push_back(sender);
+  }
+  HostConfig sink;
+  sink.nic_type = NicType::kCx6Dx;
+  cfg.hosts.push_back(sink);
+  for (int i = 0; i < 3; ++i) {
+    cfg.connections.push_back(ConnectionSpec{i, 3});
+  }
+  cfg.traffic.verb = RdmaVerb::kWrite;
+  cfg.traffic.num_msgs_per_qp = 2;
+  cfg.traffic.message_size = 16 * 1024;
+  cfg.traffic.mtu = 1024;
+  return cfg;
+}
+
+Orchestrator::Options incast_options() {
+  Orchestrator::Options options;
+  options.switch_options.ecn_marking_threshold_bytes = 12 * 1024;
+  return options;
+}
+
 /// Runs the experiment and compares every artifact against the golden
 /// directory, or rewrites the goldens when LUMINA_REGEN_GOLDEN is set.
-void check_against_golden(const std::string& scenario,
-                          const TestConfig& cfg) {
-  const TestResult result = Orchestrator(cfg).run();
+void check_against_golden(const std::string& scenario, const TestConfig& cfg,
+                          const Orchestrator::Options& options = {}) {
+  const TestResult result = Orchestrator(cfg, options).run();
   ASSERT_TRUE(result.finished) << scenario;
   ASSERT_TRUE(result.integrity.ok()) << scenario << ": "
                                      << result.integrity.to_string();
@@ -150,6 +181,20 @@ TEST(GoldenTrace, CnpInjectionMatchesGolden) {
   check_against_golden("cnp_inject", cnp_inject_config());
 }
 
+TEST(GoldenTrace, Incast4HostMatchesGolden) {
+  check_against_golden("incast_4host", incast_4host_config(),
+                       incast_options());
+  // The multi-host artifact set: hosts beyond the classic pair get their
+  // own counter files next to the aliased requester/responder ones.
+  const fs::path dir = fs::path(golden_root()) / "incast_4host";
+  if (fs::is_directory(dir)) {
+    EXPECT_TRUE(fs::is_regular_file(dir / "requester_counters.txt"));
+    EXPECT_TRUE(fs::is_regular_file(dir / "responder_counters.txt"));
+    EXPECT_TRUE(fs::is_regular_file(dir / "host2_counters.txt"));
+    EXPECT_TRUE(fs::is_regular_file(dir / "host3_counters.txt"));
+  }
+}
+
 // Semantic guards alongside the byte-level goldens, so a regen can't
 // silently bless a trace that lost the behavior under test.
 TEST(GoldenTrace, GoBackNGoldenContainsRetransmission) {
@@ -173,6 +218,21 @@ TEST(GoldenTrace, CnpGoldenContainsCnps) {
     if (packet.view.is_cnp()) ++cnps;
   }
   EXPECT_GT(cnps, 0u) << "ECN marks produced no CNPs";
+}
+
+TEST(GoldenTrace, IncastGoldenContainsCongestionFeedback) {
+  const TestResult result =
+      Orchestrator(incast_4host_config(), incast_options()).run();
+  ASSERT_TRUE(result.finished);
+  ASSERT_EQ(result.host_counters.size(), 4u);
+  // The 3:1 bottleneck actually congested: queue-driven CE marks, and the
+  // sink's notification point turned them into CNPs on the wire.
+  EXPECT_GT(result.switch_counters.ecn_marked_by_queue, 0u);
+  std::size_t cnps = 0;
+  for (const auto& packet : result.trace) {
+    if (packet.view.is_cnp()) ++cnps;
+  }
+  EXPECT_GT(cnps, 0u) << "incast produced no CNPs";
 }
 
 }  // namespace

@@ -13,8 +13,8 @@ namespace {
 
 TestConfig basic_config(NicType nic, RdmaVerb verb) {
   TestConfig cfg;
-  cfg.requester.nic_type = nic;
-  cfg.responder.nic_type = nic;
+  cfg.requester().nic_type = nic;
+  cfg.responder().nic_type = nic;
   cfg.traffic.verb = verb;
   cfg.traffic.num_connections = 1;
   cfg.traffic.num_msgs_per_qp = 3;
@@ -73,9 +73,9 @@ TEST(Integration, WriteDropRecoversViaNack) {
   EXPECT_GT(*episodes[0].nack_reaction_latency(), 0);
 
   // Counters reflect the loss.
-  EXPECT_GE(result.responder_counters.out_of_sequence, 1u);
-  EXPECT_GE(result.requester_counters.packet_seq_err, 1u);
-  EXPECT_GE(result.requester_counters.retransmitted_packets, 1u);
+  EXPECT_GE(result.responder_counters().out_of_sequence, 1u);
+  EXPECT_GE(result.requester_counters().packet_seq_err, 1u);
+  EXPECT_GE(result.requester_counters().retransmitted_packets, 1u);
 
   const auto gbn = check_gbn_compliance(result.trace, RdmaVerb::kWrite);
   EXPECT_TRUE(gbn.compliant()) << gbn.violations.size() << " violations; first: "
@@ -97,7 +97,7 @@ TEST(Integration, ReadDropRecoversViaReRequest) {
   ASSERT_EQ(episodes.size(), 1u);
   ASSERT_TRUE(episodes[0].nack_time.has_value());
   ASSERT_TRUE(episodes[0].retransmit_time.has_value());
-  EXPECT_GE(result.requester_counters.implied_nak_seq_err, 1u);
+  EXPECT_GE(result.requester_counters().implied_nak_seq_err, 1u);
 
   const auto gbn = check_gbn_compliance(result.trace, RdmaVerb::kRead);
   EXPECT_TRUE(gbn.compliant());
@@ -115,7 +115,7 @@ TEST(Integration, TailDropRecoversViaTimeout) {
 
   ASSERT_TRUE(result.finished);
   EXPECT_EQ(result.flows[0].completed(), 1u);
-  EXPECT_GE(result.requester_counters.local_ack_timeout_err, 1u);
+  EXPECT_GE(result.requester_counters().local_ack_timeout_err, 1u);
 
   const auto episodes = analyze_retransmissions(result.trace, RdmaVerb::kWrite);
   ASSERT_EQ(episodes.size(), 1u);
@@ -146,8 +146,8 @@ TEST(Integration, DoubleDropWithIterTargeting) {
 
 TEST(Integration, EcnMarkTriggersCnp) {
   TestConfig cfg = basic_config(NicType::kCx5, RdmaVerb::kWrite);
-  cfg.requester.roce.dcqcn_rp_enable = true;
-  cfg.responder.roce.dcqcn_np_enable = true;
+  cfg.requester().roce.dcqcn_rp_enable = true;
+  cfg.responder().roce.dcqcn_np_enable = true;
   cfg.traffic.data_pkt_events.push_back(
       DataPacketEvent{1, 4, EventType::kEcn, 1});
   Orchestrator orch(cfg);
@@ -157,8 +157,8 @@ TEST(Integration, EcnMarkTriggersCnp) {
   const auto cnps = analyze_cnps(result.trace);
   EXPECT_EQ(cnps.ecn_marked_data_packets, 1u);
   EXPECT_EQ(cnps.cnps.size(), 1u);
-  EXPECT_GE(result.responder_counters.np_cnp_sent, 1u);
-  EXPECT_GE(result.requester_counters.rp_cnp_handled, 1u);
+  EXPECT_GE(result.responder_counters().np_cnp_sent, 1u);
+  EXPECT_GE(result.requester_counters().rp_cnp_handled, 1u);
 }
 
 TEST(Integration, CorruptionDetectedByIcrc) {
@@ -171,9 +171,9 @@ TEST(Integration, CorruptionDetectedByIcrc) {
 
   ASSERT_TRUE(result.finished);
   EXPECT_EQ(result.flows[0].completed(), 1u);
-  EXPECT_GE(result.responder_counters.icrc_error_packets, 1u);
+  EXPECT_GE(result.responder_counters().icrc_error_packets, 1u);
   // The corrupted packet is discarded like a loss; recovery must happen.
-  EXPECT_GE(result.requester_counters.retransmitted_packets, 1u);
+  EXPECT_GE(result.requester_counters().retransmitted_packets, 1u);
 }
 
 TEST(Integration, MultiQpTransfer) {
@@ -202,8 +202,8 @@ TEST(Integration, CountersConsistentOnHealthyNics) {
   ASSERT_TRUE(result.finished);
 
   const auto report = check_counters(
-      result.trace, RdmaVerb::kWrite, result.requester_counters,
-      result.responder_counters, {result.connections[0].requester.ip},
+      result.trace, RdmaVerb::kWrite, result.requester_counters(),
+      result.responder_counters(), {result.connections[0].requester.ip},
       {result.connections[0].responder.ip});
   EXPECT_TRUE(report.consistent())
       << (report.inconsistencies.empty()

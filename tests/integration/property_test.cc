@@ -33,8 +33,8 @@ RandomScenario make_scenario(std::uint64_t seed) {
   TestConfig& cfg = scenario.cfg;
 
   const NicType nics[] = {NicType::kCx5, NicType::kCx6Dx};  // bug-free paths
-  cfg.requester.nic_type = nics[rng.next_below(2)];
-  cfg.responder.nic_type = cfg.requester.nic_type;
+  cfg.requester().nic_type = nics[rng.next_below(2)];
+  cfg.responder().nic_type = cfg.requester().nic_type;
 
   const RdmaVerb verbs[] = {RdmaVerb::kWrite, RdmaVerb::kRead,
                             RdmaVerb::kSendRecv};
@@ -114,8 +114,8 @@ TEST_P(RandomScenarioTest, InvariantsHold) {
     resp_ips.push_back(c.responder.ip);
   }
   const auto counters = check_counters(
-      result.trace, scenario.cfg.traffic.verb, result.requester_counters,
-      result.responder_counters, req_ips, resp_ips);
+      result.trace, scenario.cfg.traffic.verb, result.requester_counters(),
+      result.responder_counters(), req_ips, resp_ips);
   EXPECT_TRUE(counters.consistent())
       << (counters.inconsistencies.empty()
               ? ""

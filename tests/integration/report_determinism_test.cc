@@ -62,6 +62,52 @@ TEST(ReportDeterminism, CampaignReportIsByteIdenticalAcrossJobCounts) {
   EXPECT_EQ(jobs1, jobs8) << "jobs=1 vs jobs=8";
 }
 
+// A schema-v2 multi-host run inside a campaign: 3 senders incast onto one
+// sink, swept over two message sizes (docs/topology.md).
+constexpr const char* kIncastCampaignYaml = R"(campaign:
+  name: incast-determinism
+  seed: 99
+  runs:
+    - kind: experiment
+      name: incast-3to1
+      repeat: 2
+      sweep:
+        message-size: [8192, 16384]
+      config:
+        hosts:
+        - nic: {type: cx6}
+        - nic: {type: cx6}
+        - nic: {type: cx6}
+        - name: sink
+          nic: {type: cx6}
+        connections:
+        - {src: 0, dst: sink}
+        - {src: 1, dst: sink}
+        - {src: 2, dst: sink}
+        traffic:
+          rdma-verb: write
+          num-msgs-per-qp: 2
+          mtu: 1024
+          data-pkt-events:
+          - {qpn: 2, psn: 3, type: ecn, iter: 1}
+)";
+
+TEST(ReportDeterminism, IncastCampaignIsByteIdenticalAcrossJobCounts) {
+  const Campaign campaign = load_campaign(parse_yaml(kIncastCampaignYaml));
+  ASSERT_EQ(campaign.runs.size(), 4u);
+
+  const std::string jobs1 = deterministic_bytes_at_jobs(campaign, 1);
+  const std::string jobs4 = deterministic_bytes_at_jobs(campaign, 4);
+  const std::string jobs8 = deterministic_bytes_at_jobs(campaign, 8);
+
+  EXPECT_GT(jobs1.size(), 1000u);
+  // Per-host NIC metrics exist for hosts beyond the classic pair.
+  EXPECT_NE(jobs1.find("rnic.host2."), std::string::npos);
+  EXPECT_NE(jobs1.find("rnic.sink."), std::string::npos);
+  EXPECT_EQ(jobs1, jobs4) << "jobs=1 vs jobs=4";
+  EXPECT_EQ(jobs1, jobs8) << "jobs=1 vs jobs=8";
+}
+
 /// The same contract through the CI gate's own oracle: diff_reports at
 /// tolerance 0 must find zero differing metrics between job counts.
 TEST(ReportDeterminism, StructuredDiffAtToleranceZeroAcrossJobCounts) {

@@ -120,8 +120,8 @@ class MtuSweepTest : public ::testing::TestWithParam<std::uint32_t> {};
 
 TEST_P(MtuSweepTest, TransfersAndRecoversAtEveryMtu) {
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx5;
-  cfg.responder.nic_type = NicType::kCx5;
+  cfg.requester().nic_type = NicType::kCx5;
+  cfg.responder().nic_type = NicType::kCx5;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.num_msgs_per_qp = 2;
   cfg.traffic.message_size = 20 * 1024;
@@ -152,8 +152,8 @@ INSTANTIATE_TEST_SUITE_P(Mtus, MtuSweepTest,
 
 TEST(Scale, SixtyFourConnectionsComplete) {
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx5;
-  cfg.responder.nic_type = NicType::kCx5;
+  cfg.requester().nic_type = NicType::kCx5;
+  cfg.responder().nic_type = NicType::kCx5;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.num_connections = 64;
   cfg.traffic.num_msgs_per_qp = 3;
@@ -181,8 +181,8 @@ TEST(Scale, SixtyFourConnectionsComplete) {
 
 TEST(Scale, ManyEventsAcrossManyFlows) {
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx5;
-  cfg.responder.nic_type = NicType::kCx5;
+  cfg.requester().nic_type = NicType::kCx5;
+  cfg.responder().nic_type = NicType::kCx5;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.num_connections = 16;
   cfg.traffic.num_msgs_per_qp = 2;
@@ -210,8 +210,8 @@ TEST(Scale, ManyEventsAcrossManyFlows) {
 
 TEST(Scale, LongRunRemainsStable) {
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx6Dx;
-  cfg.responder.nic_type = NicType::kCx6Dx;
+  cfg.requester().nic_type = NicType::kCx6Dx;
+  cfg.responder().nic_type = NicType::kCx6Dx;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.num_connections = 2;
   cfg.traffic.num_msgs_per_qp = 200;

@@ -196,8 +196,8 @@ TEST_F(AtomicTest, AtomicsInterleaveWithWrites) {
 
 TEST(AtomicEndToEnd, FetchAddVerbFromConfig) {
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx5;
-  cfg.responder.nic_type = NicType::kCx5;
+  cfg.requester().nic_type = NicType::kCx5;
+  cfg.responder().nic_type = NicType::kCx5;
   cfg.traffic.verb = RdmaVerb::kFetchAdd;
   cfg.traffic.num_msgs_per_qp = 10;  // ten atomic increments
   Orchestrator orch(cfg);

@@ -136,10 +136,139 @@ traffic:
   rdma-verb: send
 )");
   const TestConfig cfg = load_test_config(root);
-  EXPECT_EQ(cfg.requester.nic_type, NicType::kCx4Lx);
-  EXPECT_EQ(cfg.responder.nic_type, NicType::kE810);
+  EXPECT_EQ(cfg.requester().nic_type, NicType::kCx4Lx);
+  EXPECT_EQ(cfg.responder().nic_type, NicType::kE810);
   EXPECT_EQ(cfg.traffic.verb, RdmaVerb::kSendRecv);
   EXPECT_EQ(cfg.traffic.num_connections, 2);
+}
+
+TEST(Config, LoadsHostsAndConnectionsSchema) {
+  // Schema v2 (docs/topology.md): a hosts: list plus connection specs
+  // addressed by host name or index, with an optional count multiplier.
+  const YamlNode root = parse_yaml(R"(
+hosts:
+- name: sender0
+  nic:
+    type: cx6
+- name: sender1
+  nic:
+    type: cx6
+- name: sink
+  nic:
+    type: e810
+    ip-list: [10.0.0.9/24]
+connections:
+- {src: sender0, dst: sink}
+- {src: 1, dst: 2, count: 2}
+traffic:
+  rdma-verb: write
+)");
+  TestConfig cfg = load_test_config(root);
+  ASSERT_EQ(cfg.hosts.size(), 3u);
+  EXPECT_EQ(cfg.hosts[0].name, "sender0");
+  EXPECT_EQ(cfg.hosts[2].nic_type, NicType::kE810);
+  ASSERT_EQ(cfg.connections.size(), 3u);
+  EXPECT_EQ(cfg.connections[0].src_host, 0);
+  EXPECT_EQ(cfg.connections[0].dst_host, 2);
+  EXPECT_EQ(cfg.connections[1].src_host, 1);
+  EXPECT_EQ(cfg.connections[2].src_host, 1);
+  EXPECT_EQ(cfg.connections[2].dst_host, 2);
+  cfg.normalize();
+  // num_connections mirrors the resolved list.
+  EXPECT_EQ(cfg.traffic.num_connections, 3);
+}
+
+TEST(Config, ConnectionsResolveDefaultHostNames) {
+  // Unnamed hosts 0/1 answer to the classic role aliases.
+  const YamlNode root = parse_yaml(R"(
+hosts:
+- nic:
+    type: cx5
+- nic:
+    type: cx5
+connections:
+- {src: requester, dst: responder}
+)");
+  const TestConfig cfg = load_test_config(root);
+  ASSERT_EQ(cfg.connections.size(), 1u);
+  EXPECT_EQ(cfg.connections[0].src_host, 0);
+  EXPECT_EQ(cfg.connections[0].dst_host, 1);
+}
+
+TEST(Config, RejectsMixedSchemas) {
+  EXPECT_THROW(load_test_config(parse_yaml(R"(
+hosts:
+- nic:
+    type: cx5
+requester:
+  nic:
+    type: cx5
+)")),
+               YamlError);
+  EXPECT_THROW(load_test_config(parse_yaml(R"(
+connections:
+- {src: 0, dst: 1}
+responder:
+  nic:
+    type: cx5
+)")),
+               YamlError);
+}
+
+TEST(Config, RejectsBadConnectionSpecs) {
+  EXPECT_THROW(load_test_config(parse_yaml(
+                   "hosts:\n- nic:\n    type: cx5\nconnections:\n"
+                   "- {src: nowhere, dst: 0}\n")),
+               YamlError);
+  EXPECT_THROW(load_test_config(parse_yaml(
+                   "connections:\n- {src: 0, dst: 1, count: 0}\n")),
+               YamlError);
+  // Out-of-range indices and self-loops surface at normalize() time.
+  TestConfig out_of_range = load_test_config(
+      parse_yaml("connections:\n- {src: 0, dst: 7}\n"));
+  EXPECT_THROW(out_of_range.normalize(), YamlError);
+  TestConfig self_loop =
+      load_test_config(parse_yaml("connections:\n- {src: 1, dst: 1}\n"));
+  EXPECT_THROW(self_loop.normalize(), YamlError);
+}
+
+TEST(Config, NormalizeRejectsDuplicateHostNames) {
+  TestConfig cfg;
+  cfg.host_at(0).name = "twin";
+  cfg.host_at(1).name = "twin";
+  EXPECT_THROW(cfg.normalize(), YamlError);
+}
+
+TEST(Config, NormalizeAssignsCollisionFreeIps) {
+  // Host i defaults to 10.0.0.<i+1> for any host count...
+  TestConfig cfg;
+  cfg.host_at(3);  // four hosts, no ip-list anywhere
+  cfg.normalize();
+  ASSERT_EQ(cfg.hosts.size(), 4u);
+  EXPECT_EQ(cfg.hosts[0].ip_list.at(0).to_string(), "10.0.0.1");
+  EXPECT_EQ(cfg.hosts[1].ip_list.at(0).to_string(), "10.0.0.2");
+  EXPECT_EQ(cfg.hosts[2].ip_list.at(0).to_string(), "10.0.0.3");
+  EXPECT_EQ(cfg.hosts[3].ip_list.at(0).to_string(), "10.0.0.4");
+
+  // ...and skips addresses the config already claims instead of colliding.
+  TestConfig taken;
+  taken.host_at(0).ip_list = {*Ipv4Address::parse("10.0.0.2")};
+  taken.host_at(2);
+  taken.normalize();
+  EXPECT_EQ(taken.hosts[0].ip_list.at(0).to_string(), "10.0.0.2");
+  EXPECT_EQ(taken.hosts[1].ip_list.at(0).to_string(), "10.0.0.3");
+  EXPECT_EQ(taken.hosts[2].ip_list.at(0).to_string(), "10.0.0.4");
+}
+
+TEST(Config, NumConnectionsSweepConflictsWithExplicitList) {
+  TestConfig cfg = load_test_config(
+      parse_yaml("connections:\n- {src: 0, dst: 1}\n"));
+  EXPECT_THROW(apply_traffic_override(cfg, "num-connections", YamlNode::scalar("4")),
+               YamlError);
+  // Without an explicit list the sweep still works.
+  TestConfig classic;
+  apply_traffic_override(classic, "num-connections", YamlNode::scalar("4"));
+  EXPECT_EQ(classic.traffic.num_connections, 4);
 }
 
 TEST(Config, IbTimeoutFormula) {

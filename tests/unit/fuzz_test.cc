@@ -120,8 +120,8 @@ TEST(Fuzzer, LossyTargetScoresCounterBugsHigh) {
   // drops/marks...) higher than a healthy CX5 run of the same shape.
   const FuzzTarget target = make_lossy_network_target(NicType::kCx4Lx);
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx4Lx;
-  cfg.responder.nic_type = NicType::kCx4Lx;
+  cfg.requester().nic_type = NicType::kCx4Lx;
+  cfg.responder().nic_type = NicType::kCx4Lx;
   cfg.traffic.verb = RdmaVerb::kRead;
   cfg.traffic.message_size = 20 * 1024;
   cfg.traffic.data_pkt_events.push_back(
@@ -131,8 +131,8 @@ TEST(Fuzzer, LossyTargetScoresCounterBugsHigh) {
   EXPECT_TRUE(target.is_anomaly(cfg, bad.result()));  // implied_nak stuck
 
   TestConfig good_cfg = cfg;
-  good_cfg.requester.nic_type = NicType::kCx5;
-  good_cfg.responder.nic_type = NicType::kCx5;
+  good_cfg.requester().nic_type = NicType::kCx5;
+  good_cfg.responder().nic_type = NicType::kCx5;
   Orchestrator good(good_cfg);
   const double good_score = target.score(good_cfg, good.run());
   EXPECT_FALSE(target.is_anomaly(good_cfg, good.result()));

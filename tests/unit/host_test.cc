@@ -12,8 +12,8 @@ namespace {
 
 TestConfig base_config() {
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx5;
-  cfg.responder.nic_type = NicType::kCx5;
+  cfg.requester().nic_type = NicType::kCx5;
+  cfg.responder().nic_type = NicType::kCx5;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.num_connections = 1;
   cfg.traffic.num_msgs_per_qp = 6;
@@ -92,8 +92,8 @@ TEST(TrafficGenerator, WithoutBarrierFlowsRunIndependently) {
   TestConfig cfg = base_config();
   cfg.traffic.num_connections = 2;
   cfg.traffic.num_msgs_per_qp = 4;
-  cfg.requester.nic_type = NicType::kCx4Lx;  // 200 us NACK reaction
-  cfg.responder.nic_type = NicType::kCx4Lx;
+  cfg.requester().nic_type = NicType::kCx4Lx;  // 200 us NACK reaction
+  cfg.responder().nic_type = NicType::kCx4Lx;
   cfg.traffic.data_pkt_events.push_back(
       DataPacketEvent{1, 2, EventType::kDrop, 1});
   Orchestrator orch(cfg);
@@ -106,7 +106,7 @@ TEST(TrafficGenerator, WithoutBarrierFlowsRunIndependently) {
 
 TEST(TrafficGenerator, MultiGidCyclesAddresses) {
   TestConfig cfg = base_config();
-  cfg.requester.ip_list = {Ipv4Address::from_octets(10, 0, 0, 1),
+  cfg.requester().ip_list = {Ipv4Address::from_octets(10, 0, 0, 1),
                            Ipv4Address::from_octets(10, 0, 0, 2),
                            Ipv4Address::from_octets(10, 0, 0, 3)};
   cfg.traffic.multi_gid = true;
@@ -114,22 +114,22 @@ TEST(TrafficGenerator, MultiGidCyclesAddresses) {
   Orchestrator orch(cfg);
   orch.generator().setup();
   const auto& conns = orch.generator().connections();
-  EXPECT_EQ(conns[0].requester.ip, cfg.requester.ip_list[0]);
-  EXPECT_EQ(conns[1].requester.ip, cfg.requester.ip_list[1]);
-  EXPECT_EQ(conns[2].requester.ip, cfg.requester.ip_list[2]);
-  EXPECT_EQ(conns[3].requester.ip, cfg.requester.ip_list[0]);  // wraps
+  EXPECT_EQ(conns[0].requester.ip, cfg.requester().ip_list[0]);
+  EXPECT_EQ(conns[1].requester.ip, cfg.requester().ip_list[1]);
+  EXPECT_EQ(conns[2].requester.ip, cfg.requester().ip_list[2]);
+  EXPECT_EQ(conns[3].requester.ip, cfg.requester().ip_list[0]);  // wraps
 }
 
 TEST(TrafficGenerator, WithoutMultiGidAllConnectionsShareFirstAddress) {
   TestConfig cfg = base_config();
-  cfg.requester.ip_list = {Ipv4Address::from_octets(10, 0, 0, 1),
+  cfg.requester().ip_list = {Ipv4Address::from_octets(10, 0, 0, 1),
                            Ipv4Address::from_octets(10, 0, 0, 2)};
   cfg.traffic.multi_gid = false;
   cfg.traffic.num_connections = 3;
   Orchestrator orch(cfg);
   orch.generator().setup();
   for (const auto& conn : orch.generator().connections()) {
-    EXPECT_EQ(conn.requester.ip, cfg.requester.ip_list[0]);
+    EXPECT_EQ(conn.requester.ip, cfg.requester().ip_list[0]);
   }
 }
 

@@ -106,6 +106,42 @@ TEST_F(NetTest, EgressOverflowDropsTail) {
   EXPECT_EQ(a.port().counters().tx_packets, b.arrivals.size());
 }
 
+TEST_F(NetTest, OverflowHighWaterMarkStopsAtTheCap) {
+  // Flood far past the cap: the FIFO's high-water mark must reflect what
+  // was actually queued — bounded by the byte cap, not by the offered load
+  // — and every packet beyond it must land in `drops`.
+  connect(a.port(), b.port(), LinkParams{100.0, 0});
+  const Packet pkt = make_packet(1024);
+  a.port().set_queue_byte_cap(4 * pkt.size());
+  for (int i = 0; i < 32; ++i) a.port().send(pkt);
+  sim.run();
+  const PortCounters& c = a.port().counters();
+  EXPECT_GT(c.drops, 0u);
+  EXPECT_EQ(c.drops + c.tx_packets, 32u);
+  EXPECT_LE(c.max_queued_bytes, 4 * pkt.size());
+  // The mark is a real high-water mark: at least one full burst fit.
+  EXPECT_GE(c.max_queued_bytes, 3 * pkt.size());
+  // Dropped packets never occupied the queue, so the mark is unchanged by
+  // a second overflowing burst of the same shape.
+  const std::size_t mark = c.max_queued_bytes;
+  for (int i = 0; i < 32; ++i) a.port().send(pkt);
+  sim.run();
+  EXPECT_EQ(a.port().counters().max_queued_bytes, mark);
+}
+
+TEST_F(NetTest, HighWaterMarkTracksPeakWithoutOverflow) {
+  // Below the cap the mark equals the largest backlog ever held: the full
+  // burst minus the packet being serialized is queued at its peak.
+  connect(a.port(), b.port(), LinkParams{100.0, 0});
+  const Packet pkt = make_packet(1024);
+  for (int i = 0; i < 6; ++i) a.port().send(pkt);
+  sim.run();
+  const PortCounters& c = a.port().counters();
+  EXPECT_EQ(c.drops, 0u);
+  EXPECT_EQ(c.tx_packets, 6u);
+  EXPECT_EQ(c.max_queued_bytes, 5 * pkt.size());
+}
+
 TEST_F(NetTest, CountersTrackTraffic) {
   connect(a.port(), b.port(), LinkParams{100.0, 0});
   const Packet pkt = make_packet(512);

@@ -10,8 +10,8 @@ namespace {
 
 TestConfig small_config(RdmaVerb verb = RdmaVerb::kWrite) {
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx5;
-  cfg.responder.nic_type = NicType::kCx5;
+  cfg.requester().nic_type = NicType::kCx5;
+  cfg.responder().nic_type = NicType::kCx5;
   cfg.traffic.verb = verb;
   cfg.traffic.num_connections = 2;
   cfg.traffic.num_msgs_per_qp = 2;
@@ -110,8 +110,8 @@ TEST(Orchestrator, CollectsTable1Results) {
   // Dumped packets.
   EXPECT_GT(result.trace.size(), 0u);
   // Network stack counters from both NICs.
-  EXPECT_GT(result.requester_counters.tx_packets, 0u);
-  EXPECT_GT(result.responder_counters.rx_packets, 0u);
+  EXPECT_GT(result.requester_counters().tx_packets, 0u);
+  EXPECT_GT(result.responder_counters().rx_packets, 0u);
   // Traffic generator log (application metrics).
   ASSERT_EQ(result.flows.size(), 2u);
   EXPECT_GT(result.flows[0].goodput_gbps(), 0.0);
@@ -165,9 +165,9 @@ TEST(Orchestrator, SeedChangesQpNumbering) {
 
 TEST(Orchestrator, MultiGidRoutesAllAddresses) {
   TestConfig cfg = small_config();
-  cfg.requester.ip_list = {Ipv4Address::from_octets(10, 0, 0, 1),
+  cfg.requester().ip_list = {Ipv4Address::from_octets(10, 0, 0, 1),
                            Ipv4Address::from_octets(10, 0, 0, 11)};
-  cfg.responder.ip_list = {Ipv4Address::from_octets(10, 0, 1, 1)};
+  cfg.responder().ip_list = {Ipv4Address::from_octets(10, 0, 1, 1)};
   cfg.traffic.multi_gid = true;
   cfg.traffic.num_connections = 4;
   Orchestrator orch(cfg);

@@ -48,11 +48,11 @@ void expect_round_trip(const TestResult& result, const ReadResults& read) {
   EXPECT_EQ(read.integrity, result.integrity.to_string());
 
   // NIC counters: every entry present with the exact value.
-  for (const auto& [name, value] : result.requester_counters.entries()) {
+  for (const auto& [name, value] : result.requester_counters().entries()) {
     ASSERT_TRUE(read.requester_counters.count(name)) << name;
     EXPECT_EQ(read.requester_counters.at(name), value) << name;
   }
-  for (const auto& [name, value] : result.responder_counters.entries()) {
+  for (const auto& [name, value] : result.responder_counters().entries()) {
     ASSERT_TRUE(read.responder_counters.count(name)) << name;
     EXPECT_EQ(read.responder_counters.at(name), value) << name;
   }
@@ -94,8 +94,8 @@ void expect_round_trip(const TestResult& result, const ReadResults& read) {
 
 TestResult run_small_experiment() {
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx6Dx;
-  cfg.responder.nic_type = NicType::kCx6Dx;
+  cfg.requester().nic_type = NicType::kCx6Dx;
+  cfg.responder().nic_type = NicType::kCx6Dx;
   cfg.traffic.num_connections = 2;
   cfg.traffic.num_msgs_per_qp = 3;
   cfg.traffic.message_size = 4096;

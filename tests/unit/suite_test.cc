@@ -65,8 +65,8 @@ TEST(BugSuite, IssueNamesMatchTable2) {
 
 TEST(TraceStats, AccountsForEveryPacketClass) {
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx5;
-  cfg.responder.nic_type = NicType::kCx5;
+  cfg.requester().nic_type = NicType::kCx5;
+  cfg.responder().nic_type = NicType::kCx5;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.num_msgs_per_qp = 2;
   cfg.traffic.message_size = 8192;
@@ -97,8 +97,8 @@ TEST(TraceStats, AccountsForEveryPacketClass) {
 
 TEST(TraceStats, ReadTrafficShowsBothDirections) {
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx5;
-  cfg.responder.nic_type = NicType::kCx5;
+  cfg.requester().nic_type = NicType::kCx5;
+  cfg.responder().nic_type = NicType::kCx5;
   cfg.traffic.verb = RdmaVerb::kRead;
   cfg.traffic.message_size = 8192;
   Orchestrator orch(cfg);
@@ -120,8 +120,8 @@ TEST(TraceStats, EmptyTraceIsSafe) {
 
 TEST(TraceStats, SummaryMentionsEveryFlow) {
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx5;
-  cfg.responder.nic_type = NicType::kCx5;
+  cfg.requester().nic_type = NicType::kCx5;
+  cfg.responder().nic_type = NicType::kCx5;
   cfg.traffic.num_connections = 2;
   cfg.traffic.message_size = 4096;
   Orchestrator orch(cfg);
@@ -137,8 +137,8 @@ TEST(TraceStats, SummaryMentionsEveryFlow) {
 
 TEST(RateTimeline, BucketsThroughputPerFlow) {
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx5;
-  cfg.responder.nic_type = NicType::kCx5;
+  cfg.requester().nic_type = NicType::kCx5;
+  cfg.responder().nic_type = NicType::kCx5;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.num_msgs_per_qp = 20;
   cfg.traffic.message_size = 64 * 1024;
@@ -164,9 +164,9 @@ TEST(RateTimeline, BucketsThroughputPerFlow) {
 
 TEST(RateTimeline, ThrottledFlowShowsLowerRateThanCleanFlow) {
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx5;
-  cfg.responder.nic_type = NicType::kCx5;
-  cfg.requester.roce.min_time_between_cnps = 4 * kMicrosecond;
+  cfg.requester().nic_type = NicType::kCx5;
+  cfg.responder().nic_type = NicType::kCx5;
+  cfg.requester().roce.min_time_between_cnps = 4 * kMicrosecond;
   cfg.traffic.verb = RdmaVerb::kWrite;
   cfg.traffic.num_connections = 2;
   cfg.traffic.num_msgs_per_qp = 4;
@@ -205,8 +205,8 @@ TEST(RateTimeline, ThrottledFlowShowsLowerRateThanCleanFlow) {
 TEST(RateTimeline, EmptyAndDegenerateInputs) {
   EXPECT_TRUE(compute_rate_timeline(PacketTrace{}, kMicrosecond).empty());
   TestConfig cfg;
-  cfg.requester.nic_type = NicType::kCx5;
-  cfg.responder.nic_type = NicType::kCx5;
+  cfg.requester().nic_type = NicType::kCx5;
+  cfg.responder().nic_type = NicType::kCx5;
   cfg.traffic.message_size = 1024;
   Orchestrator orch(cfg);
   const TestResult& result = orch.run();

@@ -13,10 +13,12 @@
 // results directory is given. --screen fans the Table 2 bug suite across
 // worker threads; --campaign executes a whole run matrix (see
 // docs/campaigns.md) with deterministic, jobs-independent artifacts.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <utility>
 
 #include "analyzers/cnp_analyzer.h"
 #include "analyzers/counter_analyzer.h"
@@ -196,16 +198,6 @@ int run_campaign_mode(int argc, char** argv) {
   return report.ok_count() == report.runs.size() ? 0 : 2;
 }
 
-std::vector<Ipv4Address> side_ips(const std::vector<ConnectionMetadata>& conns,
-                                  bool requester) {
-  std::vector<Ipv4Address> ips;
-  for (const auto& c : conns) {
-    const Ipv4Address ip = requester ? c.requester.ip : c.responder.ip;
-    if (std::find(ips.begin(), ips.end(), ip) == ips.end()) ips.push_back(ip);
-  }
-  return ips;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -263,6 +255,7 @@ int main(int argc, char** argv) {
   TestConfig cfg;
   try {
     cfg = load_test_config(parse_yaml_file(argv[1]));
+    cfg.normalize();  // names/IPs/connections resolved for printing below
   } catch (const YamlError& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
@@ -272,10 +265,10 @@ int main(int argc, char** argv) {
               cfg.traffic.num_connections, to_string(cfg.traffic.verb).c_str(),
               cfg.traffic.num_msgs_per_qp,
               static_cast<unsigned long long>(cfg.traffic.message_size));
-  std::printf("   requester NIC: %s\n",
-              DeviceProfile::get(cfg.requester.nic_type).name.c_str());
-  std::printf("   responder NIC: %s\n",
-              DeviceProfile::get(cfg.responder.nic_type).name.c_str());
+  for (std::size_t h = 0; h < cfg.hosts.size(); ++h) {
+    std::printf("   %s NIC: %s\n", cfg.hosts[h].name.c_str(),
+                DeviceProfile::get(cfg.hosts[h].nic_type).name.c_str());
+  }
   std::printf("   injected events: %zu\n", cfg.traffic.data_pkt_events.size());
 
   Orchestrator orch(cfg);
@@ -344,10 +337,29 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto counters = check_counters(
-      result.trace, cfg.traffic.verb, result.requester_counters,
-      result.responder_counters, side_ips(result.connections, true),
-      side_ips(result.connections, false));
+  // Re-key per-host counters into the two flow roles; for the classic
+  // two-host pair this reduces exactly to the old requester/responder check.
+  std::vector<HostCountersView> host_views(result.host_counters.size());
+  std::vector<std::pair<int, int>> connection_hosts;
+  for (std::size_t h = 0; h < host_views.size(); ++h) {
+    host_views[h].counters = result.host_counters[h];
+  }
+  for (const auto& c : result.connections) {
+    connection_hosts.emplace_back(c.src_host, c.dst_host);
+    const auto add_ip = [&](int host, Ipv4Address ip) {
+      if (host < 0 || static_cast<std::size_t>(host) >= host_views.size()) {
+        return;
+      }
+      auto& ips = host_views[host].ips;
+      if (std::find(ips.begin(), ips.end(), ip) == ips.end()) {
+        ips.push_back(ip);
+      }
+    };
+    add_ip(c.src_host, c.requester.ip);
+    add_ip(c.dst_host, c.responder.ip);
+  }
+  const auto counters = check_counters_hosts(result.trace, cfg.traffic.verb,
+                                             host_views, connection_hosts);
   std::printf("\n== Counter consistency: %s\n",
               counters.consistent() ? "OK" : "INCONSISTENT");
   for (const auto& inc : counters.inconsistencies) {
