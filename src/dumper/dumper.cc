@@ -62,6 +62,14 @@ void TrafficDumper::handle_packet(int in_port, Packet pkt) {
     dumped.pkt.bytes.assign(
         pkt.bytes.begin(),
         pkt.bytes.begin() + static_cast<std::ptrdiff_t>(options_.trim_bytes));
+    if (pkt.view_state == ViewCacheState::kFull &&
+        options_.trim_bytes >= pkt.view.payload_offset) {
+      // The headers survive the trim, so the full view still describes the
+      // copy — except the iCRC, which the trimmed parser reports as 0.
+      dumped.pkt.view = pkt.view;
+      dumped.pkt.view.icrc = 0;
+      dumped.pkt.view_state = ViewCacheState::kTrimmed;
+    }
   } else {
     dumped.pkt = std::move(pkt);
   }

@@ -1,9 +1,14 @@
 #include "fuzz/targets.h"
 
 #include <algorithm>
+#include <memory>
+#include <sstream>
+#include <vector>
 
 #include "analyzers/counter_analyzer.h"
 #include "analyzers/retrans_perf.h"
+#include "packet/icrc.h"
+#include "packet/roce_packet.h"
 
 namespace lumina {
 namespace {
@@ -167,10 +172,181 @@ FuzzTarget make_lossy_network_target(NicType nic) {
   return target;
 }
 
+namespace {
+
+void record_mismatch(CrcDifferentialOutcome& out, const std::string& what) {
+  ++out.mismatches;
+  if (out.first_mismatch.empty()) out.first_mismatch = what;
+}
+
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t len) {
+  std::vector<std::uint8_t> buf(len);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return buf;
+}
+
+}  // namespace
+
+CrcDifferentialOutcome run_crc_differential(std::uint64_t seed,
+                                            int iterations) {
+  Rng rng(seed);
+  CrcDifferentialOutcome out;
+  for (int it = 0; it < iterations; ++it) {
+    ++out.iterations;
+    // Lengths cluster where the slice-by-8 edge cases live: empty, shorter
+    // than one 8-byte step, just around multiples of 8, and jumbo-ish.
+    const std::size_t len = static_cast<std::size_t>(rng.next_bool(0.3)
+        ? rng.next_in(0, 16)
+        : rng.next_in(17, 2048));
+    // Random alignment: carve the test span out of a larger allocation at
+    // an arbitrary offset so the memcpy loads see every phase.
+    const std::size_t lead = static_cast<std::size_t>(rng.next_in(0, 7));
+    const std::vector<std::uint8_t> backing =
+        random_bytes(rng, lead + len);
+    const std::span<const std::uint8_t> data =
+        std::span<const std::uint8_t>(backing).subspan(lead);
+
+    // (1) Slice-by-8 vs bit-at-a-time, random seed included.
+    const std::uint32_t fast = crc32(data);
+    if (fast != crc32_reference(data)) {
+      record_mismatch(out, "crc32 != crc32_reference at len " +
+                               std::to_string(len));
+    }
+    const std::uint32_t seed32 =
+        static_cast<std::uint32_t>(rng.next_u64());
+    if (crc32(data, seed32) != crc32_reference(data, seed32)) {
+      record_mismatch(out, "seeded crc32 != reference at len " +
+                               std::to_string(len));
+    }
+
+    // (2) Segmented streaming: chaining crc32_update over a random
+    // multi-way split must match the one-shot CRC.
+    std::uint32_t state = kCrcInit;
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+      const std::size_t chunk = static_cast<std::size_t>(
+          rng.next_in(1, static_cast<std::int64_t>(data.size() - pos)));
+      state = crc32_update(state, data.subspan(pos, chunk));
+      pos += chunk;
+    }
+    if (crc32_final(state) != fast) {
+      record_mismatch(out, "segmented crc32_update != one-shot at len " +
+                               std::to_string(len));
+    }
+
+    // (3) crc32_combine over a random split point.
+    const std::size_t split = static_cast<std::size_t>(
+        rng.next_in(0, static_cast<std::int64_t>(len)));
+    const auto a = data.first(split);
+    const auto b = data.subspan(split);
+    if (crc32_combine(crc32(a), crc32(b), b.size()) != fast) {
+      record_mismatch(out, "crc32_combine != whole-buffer crc at split " +
+                               std::to_string(split) + "/" +
+                               std::to_string(len));
+    }
+
+    // (4) Zero-advance identity: appending n zero bytes through the
+    // matrix operator must match actually hashing them.
+    const std::size_t zeros =
+        static_cast<std::size_t>(rng.next_in(0, 4096));
+    const std::vector<std::uint8_t> zero_tail(zeros, 0);
+    const std::uint32_t advanced =
+        crc32_final(crc32_zero_advance(crc32_update(kCrcInit, data), zeros));
+    if (advanced != crc32_final(crc32_update(crc32_update(kCrcInit, data),
+                                             zero_tail))) {
+      record_mismatch(out, "crc32_zero_advance != explicit zeros, n = " +
+                               std::to_string(zeros));
+    }
+
+    // (5) Copy-free compute_icrc vs the pseudo-packet reference, over a
+    // random frame and l3 offset (including frames too short to reach
+    // some masked offsets).
+    if (!data.empty()) {
+      const std::size_t l3_offset = static_cast<std::size_t>(
+          rng.next_in(0, static_cast<std::int64_t>(len - 1)));
+      if (compute_icrc(data, l3_offset) !=
+          compute_icrc_reference(data, l3_offset)) {
+        record_mismatch(out, "compute_icrc != reference at l3_offset " +
+                                 std::to_string(l3_offset));
+      }
+    }
+
+    // (6) The incremental-patch property set_mig_req relies on: flipping
+    // MigReq on a built frame must leave a trailer the full recompute
+    // agrees with, and must match a frame built with the flipped value.
+    RocePacketSpec spec;
+    spec.src_mac = MacAddress::from_u48(rng.next_u64() & 0xffffffffffffULL);
+    spec.dst_mac = MacAddress::from_u48(rng.next_u64() & 0xffffffffffffULL);
+    spec.src_ip.value = static_cast<std::uint32_t>(rng.next_u64());
+    spec.dst_ip.value = static_cast<std::uint32_t>(rng.next_u64());
+    spec.mig_req = rng.next_bool(0.5);
+    spec.psn = static_cast<std::uint32_t>(rng.next_below(1 << 24));
+    spec.payload_len = static_cast<std::uint32_t>(rng.next_in(0, 1500));
+    Packet pkt = build_roce_packet(spec);
+    set_mig_req(pkt, !spec.mig_req);
+    if (!verify_icrc(pkt)) {
+      record_mismatch(out, "incremental set_mig_req broke the iCRC");
+    }
+    RocePacketSpec flipped = spec;
+    flipped.mig_req = !spec.mig_req;
+    if (pkt.bytes != build_roce_packet(flipped).bytes) {
+      record_mismatch(out, "patched frame != rebuilt frame");
+    }
+  }
+  return out;
+}
+
+FuzzTarget make_crc_differential_target(NicType nic) {
+  FuzzTarget target;
+  // The batch outcome has to flow from mutate() (which has the Rng) to
+  // score()/is_anomaly(); the shared state is per-target, matching the
+  // one-target-per-GeneticFuzzer ownership model.
+  auto state = std::make_shared<CrcDifferentialOutcome>();
+
+  target.make_initial = [nic](Rng& rng) {
+    TestConfig cfg = base_config(nic);
+    cfg.traffic.verb = RdmaVerb::kWrite;
+    cfg.traffic.num_connections = 1;
+    cfg.traffic.num_msgs_per_qp = 1;
+    cfg.traffic.message_size = 4 * 1024;
+    // A corrupt event drives the simulated receive path through
+    // verify_icrc on every run.
+    cfg.traffic.data_pkt_events.push_back(DataPacketEvent{
+        1, static_cast<std::uint32_t>(rng.next_in(0, 3)),
+        EventType::kCorrupt, 1});
+    return cfg;
+  };
+
+  target.mutate = [state](TestConfig& cfg, Rng& rng) {
+    const CrcDifferentialOutcome batch =
+        run_crc_differential(rng.next_u64(), 64);
+    state->iterations += batch.iterations;
+    if (batch.mismatches > 0 && state->first_mismatch.empty()) {
+      state->first_mismatch = batch.first_mismatch;
+    }
+    state->mismatches += batch.mismatches;
+    if (!cfg.traffic.data_pkt_events.empty()) {
+      cfg.traffic.data_pkt_events[0].psn =
+          static_cast<std::uint32_t>(rng.next_in(0, 3));
+    }
+  };
+
+  target.score = [state](const TestConfig&, const TestResult&) {
+    return static_cast<double>(state->mismatches);
+  };
+
+  target.is_anomaly = [state](const TestConfig&, const TestResult&) {
+    return state->mismatches > 0;
+  };
+
+  return target;
+}
+
 std::optional<FuzzTarget> make_fuzz_target(const std::string& name,
                                            NicType nic) {
   if (name == "noisy-neighbor") return make_noisy_neighbor_target(nic);
   if (name == "lossy-network") return make_lossy_network_target(nic);
+  if (name == "crc-differential") return make_crc_differential_target(nic);
   return std::nullopt;
 }
 

@@ -21,8 +21,33 @@ FuzzTarget make_noisy_neighbor_target(NicType nic);
 /// recovery latency (large NACK generation/reaction times).
 FuzzTarget make_lossy_network_target(NicType nic);
 
+/// Outcome of a crc-differential batch (see run_crc_differential).
+struct CrcDifferentialOutcome {
+  int iterations = 0;
+  int mismatches = 0;
+  /// Human-readable description of the first divergence, if any.
+  std::string first_mismatch;
+};
+
+/// Differentially checks the packet/icrc fast paths against the retained
+/// bit-at-a-time / pseudo-packet references (packet/icrc.h) on random
+/// buffers, split points, and alignments: slice-by-8 vs bitwise CRC,
+/// chained crc32_update segmentation, crc32_combine / crc32_zero_advance
+/// identities, the copy-free compute_icrc vs the materializing reference,
+/// and the single-byte incremental-patch property set_mig_req relies on.
+/// A healthy implementation reports 0 mismatches for every seed.
+CrcDifferentialOutcome run_crc_differential(std::uint64_t seed,
+                                            int iterations);
+
+/// Wraps run_crc_differential as a fuzz target: each fuzzer iteration runs
+/// a differential batch (plus a tiny corrupt-event simulation so the real
+/// verify_icrc path executes) and anomaly = any fast-vs-reference
+/// divergence. The `nic` only parameterizes the carrier simulation.
+FuzzTarget make_crc_differential_target(NicType nic);
+
 /// Looks a canned target up by its campaign-YAML name
-/// ("noisy-neighbor" | "lossy-network"). Empty on unknown names.
+/// ("noisy-neighbor" | "lossy-network" | "crc-differential"). Empty on
+/// unknown names.
 std::optional<FuzzTarget> make_fuzz_target(const std::string& name,
                                            NicType nic);
 

@@ -30,6 +30,10 @@ MirrorEngine::Mirrored MirrorEngine::mirror(const Packet& original,
   Mirrored out{Packet{PacketArena::acquire_current()}, pick_target()};
   Packet& clone = out.clone;
   clone.bytes.assign(original.bytes.begin(), original.bytes.end());
+  // Identical bytes -> identical parse: seed the clone's view cache so the
+  // mutators below patch it and the mirror path never re-decodes.
+  clone.view = original.view;
+  clone.view_state = original.view_state;
   // Embed metadata into iCRC-masked fields; see file comment.
   set_ttl(clone, static_cast<std::uint8_t>(event));
   set_src_mac(clone, next_seq_++);

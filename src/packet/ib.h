@@ -103,6 +103,8 @@ struct Bth {
   std::uint32_t psn = 0;  // 24 bits
 
   static constexpr std::size_t kWireSize = 12;
+
+  bool operator==(const Bth&) const = default;
 };
 
 /// RDMA Extended Transport Header (16 bytes) — Write first/only packets and
@@ -113,6 +115,8 @@ struct Reth {
   std::uint32_t dma_len = 0;
 
   static constexpr std::size_t kWireSize = 16;
+
+  bool operator==(const Reth&) const = default;
 };
 
 /// Atomic Extended Transport Header (28 bytes) — CmpSwap and FetchAdd
@@ -124,6 +128,8 @@ struct AtomicEth {
   std::uint64_t compare = 0;   ///< Compare operand (CmpSwap only).
 
   static constexpr std::size_t kWireSize = 28;
+
+  bool operator==(const AtomicEth&) const = default;
 };
 
 /// Atomic ACK Extended Transport Header (8 bytes): the original value read
@@ -132,6 +138,8 @@ struct AtomicAckEth {
   std::uint64_t original = 0;
 
   static constexpr std::size_t kWireSize = 8;
+
+  bool operator==(const AtomicAckEth&) const = default;
 };
 
 constexpr bool is_atomic(IbOpcode op) {
@@ -144,6 +152,8 @@ struct Aeth {
   std::uint32_t msn = 0;  // 24 bits
 
   static constexpr std::size_t kWireSize = 4;
+
+  bool operator==(const Aeth&) const = default;
 
   /// Positive ACK with unlimited credits (syndrome 000 11111b).
   static constexpr Aeth ack(std::uint32_t msn) { return Aeth{0x1f, msn}; }

@@ -1,58 +1,214 @@
 #include "packet/icrc.h"
 
 #include <array>
+#include <bit>
+#include <cstring>
 #include <vector>
 
 namespace lumina {
 namespace {
 
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
+constexpr std::uint32_t kPoly = 0xedb88320u;
+
+/// Slice-by-8 lookup tables. Table 0 is the classic byte-at-a-time table;
+/// table k maps a byte to its CRC contribution k positions further along,
+/// so one iteration folds 8 input bytes into the state.
+struct CrcTables {
+  std::array<std::array<std::uint32_t, 256>, 8> t;
+};
+
+CrcTables make_crc_tables() {
+  CrcTables tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
-      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      c = (c & 1) ? kPoly ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables.t[0][i] = c;
   }
-  return table;
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = tables.t[k - 1][i];
+      tables.t[k][i] = tables.t[0][prev & 0xff] ^ (prev >> 8);
+    }
+  }
+  return tables;
 }
 
-const std::array<std::uint32_t, 256>& crc_table() {
-  static const auto table = make_crc_table();
-  return table;
+const CrcTables& crc_tables() {
+  static const CrcTables tables = make_crc_tables();
+  return tables;
 }
 
-std::uint32_t crc32_raw(std::uint32_t state,
-                        std::span<const std::uint8_t> data) {
-  const auto& table = crc_table();  // hoist the static-init guard
-  for (const std::uint8_t byte : data) {
-    state = table[(state ^ byte) & 0xff] ^ (state >> 8);
+std::uint32_t update_bytewise(const CrcTables& tables, std::uint32_t state,
+                              const std::uint8_t* p, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    state = tables.t[0][(state ^ p[i]) & 0xff] ^ (state >> 8);
   }
   return state;
 }
 
+// ---- GF(2) matrix operators (zlib's crc32_combine construction) ---------
+// A 32x32 matrix over GF(2) is 32 column vectors; mat * vec xors the
+// columns selected by vec's set bits. Squaring a matrix composes the
+// zero-bit-advance operator with itself, so "advance by n zero bytes"
+// costs O(log n) squarings.
+
+using Gf2Matrix = std::array<std::uint32_t, 32>;
+
+std::uint32_t gf2_matrix_times(const Gf2Matrix& mat, std::uint32_t vec) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; vec != 0; vec >>= 1, ++i) {
+    if (vec & 1) sum ^= mat[i];
+  }
+  return sum;
+}
+
+void gf2_matrix_square(Gf2Matrix& out, const Gf2Matrix& mat) {
+  for (std::size_t i = 0; i < 32; ++i) {
+    out[i] = gf2_matrix_times(mat, mat[i]);
+  }
+}
+
+/// Operator table: ops[k] advances a CRC state by 2^k zero BYTES. Built
+/// once; makes crc32_zero_advance a handful of matrix-vector products
+/// (32 xors each) instead of O(log n) 32x32 matrix squarings per call —
+/// that is what lets the set_mig_req trailer patch beat a full recompute
+/// even on minimum-size frames.
+using ZeroAdvanceOps = std::array<Gf2Matrix, 64>;
+
+ZeroAdvanceOps make_zero_advance_ops() {
+  ZeroAdvanceOps ops{};
+  // One zero BIT: bit 0 maps to the polynomial, bit n to bit n-1 (a right
+  // shift in the reflected representation).
+  Gf2Matrix mat{};
+  mat[0] = kPoly;
+  for (std::size_t i = 1; i < 32; ++i) {
+    mat[i] = 1u << (i - 1);
+  }
+  // Square three times: 1 -> 2 -> 4 -> 8 zero bits = one zero byte.
+  Gf2Matrix tmp;
+  gf2_matrix_square(tmp, mat);
+  gf2_matrix_square(mat, tmp);
+  gf2_matrix_square(ops[0], mat);
+  for (std::size_t k = 1; k < ops.size(); ++k) {
+    gf2_matrix_square(ops[k], ops[k - 1]);
+  }
+  return ops;
+}
+
+const ZeroAdvanceOps& zero_advance_ops() {
+  static const ZeroAdvanceOps ops = make_zero_advance_ops();
+  return ops;
+}
+
 }  // namespace
 
+std::uint32_t crc32_update(std::uint32_t state,
+                           std::span<const std::uint8_t> data) {
+  const CrcTables& tables = crc_tables();  // hoist the static-init guard
+  const std::uint8_t* p = data.data();
+  std::size_t len = data.size();
+
+  if constexpr (std::endian::native == std::endian::little) {
+    while (len >= 8) {
+      std::uint32_t lo;
+      std::uint32_t hi;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      lo ^= state;
+      state = tables.t[7][lo & 0xff] ^ tables.t[6][(lo >> 8) & 0xff] ^
+              tables.t[5][(lo >> 16) & 0xff] ^ tables.t[4][lo >> 24] ^
+              tables.t[3][hi & 0xff] ^ tables.t[2][(hi >> 8) & 0xff] ^
+              tables.t[1][(hi >> 16) & 0xff] ^ tables.t[0][hi >> 24];
+      p += 8;
+      len -= 8;
+    }
+  }
+  return update_bytewise(tables, state, p, len);
+}
+
 std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {
-  return crc32_raw(seed, data) ^ 0xffffffffu;
+  return crc32_final(crc32_update(seed, data));
+}
+
+std::uint32_t crc32_zero_advance(std::uint32_t state, std::size_t len) {
+  if (len == 0 || state == 0) return state;
+  const ZeroAdvanceOps& ops = zero_advance_ops();
+  for (std::size_t bit = 0; len != 0; len >>= 1, ++bit) {
+    if (len & 1) state = gf2_matrix_times(ops[bit], state);
+  }
+  return state;
+}
+
+std::uint32_t crc32_combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                            std::size_t len_b) {
+  // The pre/post conditioning terms cancel when the advanced first-half
+  // CRC is xored with the second half's CRC (zlib's construction).
+  return crc32_zero_advance(crc_a, len_b) ^ crc_b;
 }
 
 std::uint32_t compute_icrc(std::span<const std::uint8_t> frame,
                            std::size_t l3_offset) {
-  // Build the masked pseudo packet: bulk copy, then patch the handful of
-  // masked bytes. This runs once per packet per hop (build + verify), so it
-  // reuses a thread-local scratch buffer instead of allocating each call.
+  // Masked byte offsets relative to the IPv4 header, ascending: TOS, TTL,
+  // IP checksum (2), UDP checksum (2), BTH resv8a.
+  constexpr std::size_t kIpv4Size = 20;
+  constexpr std::size_t kUdpSize = 8;
+  constexpr std::size_t kMasked[] = {
+      1, 8, 10, 11, kIpv4Size + 6, kIpv4Size + 7, kIpv4Size + kUdpSize + 4};
+  constexpr std::uint8_t kFf = 0xff;
+
+  // The 8-byte 0xff prefix (dummy LRH) always starts the pseudo packet, so
+  // the state it produces from kCrcInit is a constant.
+  static const std::uint32_t kPrefixState = [] {
+    const std::array<std::uint8_t, 8> prefix{kFf, kFf, kFf, kFf,
+                                             kFf, kFf, kFf, kFf};
+    return crc32_update(kCrcInit, prefix);
+  }();
+
+  // Stream the frame's spans directly: unmasked runs through the sliced
+  // update, each masked position as a single 0xff — no pseudo packet.
+  const std::span<const std::uint8_t> l3 = frame.subspan(l3_offset);
+  std::uint32_t state = kPrefixState;
+  std::size_t pos = 0;
+  for (const std::size_t masked : kMasked) {
+    if (masked >= l3.size()) break;
+    state = crc32_update(state, l3.subspan(pos, masked - pos));
+    state = crc32_update(state, std::span<const std::uint8_t>(&kFf, 1));
+    pos = masked + 1;
+  }
+  state = crc32_update(state, l3.subspan(pos));
+  return crc32_final(state);
+}
+
+// ---- Reference implementations ------------------------------------------
+
+std::uint32_t crc32_reference(std::span<const std::uint8_t> data,
+                              std::uint32_t seed) {
+  std::uint32_t state = seed;
+  for (const std::uint8_t byte : data) {
+    state ^= byte;
+    for (int k = 0; k < 8; ++k) {
+      state = (state & 1) ? kPoly ^ (state >> 1) : state >> 1;
+    }
+  }
+  return crc32_final(state);
+}
+
+std::uint32_t compute_icrc_reference(std::span<const std::uint8_t> frame,
+                                     std::size_t l3_offset) {
+  // The original implementation: build the masked pseudo packet (bulk
+  // copy, then patch the masked bytes), CRC the copy.
   constexpr std::size_t kIpv4Size = 20;
   constexpr std::size_t kUdpSize = 8;
 
-  thread_local std::vector<std::uint8_t> pseudo;
-  pseudo.clear();
+  std::vector<std::uint8_t> pseudo;
   pseudo.reserve(8 + frame.size() - l3_offset);
 
   // 64 bits of 1s (dummy LRH / fields outside the invariant scope).
   pseudo.insert(pseudo.end(), 8, 0xff);
-  pseudo.insert(pseudo.end(), frame.begin() + static_cast<std::ptrdiff_t>(l3_offset),
+  pseudo.insert(pseudo.end(),
+                frame.begin() + static_cast<std::ptrdiff_t>(l3_offset),
                 frame.end());
 
   std::uint8_t* const l3 = pseudo.data() + 8;
@@ -60,15 +216,15 @@ std::uint32_t compute_icrc(std::span<const std::uint8_t> frame,
   const auto mask = [l3, l3_len](std::size_t rel) {
     if (rel < l3_len) l3[rel] = 0xff;
   };
-  mask(1);                          // IPv4 TOS (DSCP+ECN)
-  mask(8);                          // IPv4 TTL
-  mask(10);                         // IPv4 header checksum
+  mask(1);                         // IPv4 TOS (DSCP+ECN)
+  mask(8);                         // IPv4 TTL
+  mask(10);                        // IPv4 header checksum
   mask(11);
-  mask(kIpv4Size + 6);              // UDP checksum
+  mask(kIpv4Size + 6);             // UDP checksum
   mask(kIpv4Size + 7);
-  mask(kIpv4Size + kUdpSize + 4);   // BTH resv8a
+  mask(kIpv4Size + kUdpSize + 4);  // BTH resv8a
 
-  return crc32(pseudo);
+  return crc32_reference(pseudo);
 }
 
 }  // namespace lumina

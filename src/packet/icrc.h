@@ -9,6 +9,19 @@
 // The masking is what makes Lumina's metadata embedding legal: rewriting
 // TTL (event type), ECN bits, and the Ethernet MACs (mirror seq/timestamp)
 // never invalidates the iCRC.
+//
+// Implementation notes (docs/packet.md):
+//   - crc32()/crc32_update() run slice-by-8 (eight 256-entry tables, one
+//     8-byte step per iteration) — the data-plane fast path.
+//   - compute_icrc() is copy-free: it streams the frame's unmasked spans
+//     through the CRC state and substitutes the handful of masked bytes
+//     inline, instead of materializing the masked pseudo packet.
+//   - crc32_combine()/crc32_zero_advance() implement the GF(2) matrix
+//     trick, letting single-byte rewrites (MigReq) patch a trailing CRC in
+//     O(log n) instead of recomputing over the whole frame.
+//   - crc32_reference()/compute_icrc_reference() keep the original
+//     bit-at-a-time / pseudo-packet implementations as differential oracles
+//     (tests, the crc-differential fuzz target, bench/packet_fastpath).
 #pragma once
 
 #include <cstdint>
@@ -16,14 +29,53 @@
 
 namespace lumina {
 
+/// Initial CRC32 state (also the final xor constant).
+inline constexpr std::uint32_t kCrcInit = 0xffffffffu;
+
 /// Plain reflected CRC32 (poly 0xEDB88320), init/final-xor 0xFFFFFFFF.
 std::uint32_t crc32(std::span<const std::uint8_t> data,
-                    std::uint32_t seed = 0xffffffffu);
+                    std::uint32_t seed = kCrcInit);
+
+/// Streaming form: advances a raw CRC state over `data` without applying
+/// the final xor. `crc32(data, seed) == crc32_final(crc32_update(seed,
+/// data))`; segmented callers chain updates across spans.
+std::uint32_t crc32_update(std::uint32_t state,
+                           std::span<const std::uint8_t> data);
+
+/// Applies the final inversion to a raw streaming state.
+constexpr std::uint32_t crc32_final(std::uint32_t state) {
+  return state ^ kCrcInit;
+}
+
+/// Advances a raw CRC state as if `len` zero bytes were appended, in
+/// O(log len) via GF(2) matrix squaring. Also valid on finalized CRCs when
+/// used through crc32_combine().
+std::uint32_t crc32_zero_advance(std::uint32_t state, std::size_t len);
+
+/// CRC of a concatenation from the CRCs of its halves:
+/// `crc32_combine(crc32(A), crc32(B), B.size()) == crc32(AB)`.
+std::uint32_t crc32_combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                            std::size_t len_b);
 
 /// Computes the RoCEv2 iCRC over a serialized frame. `l3_offset` is the
 /// byte offset of the IPv4 header within `frame` (14 for plain Ethernet).
 /// The frame must extend to the end of the IB payload, iCRC excluded.
 std::uint32_t compute_icrc(std::span<const std::uint8_t> frame,
                            std::size_t l3_offset);
+
+// ---- Reference implementations (differential oracles) -------------------
+// Retained byte-for-byte equivalents of the pre-fast-path code: a
+// bit-at-a-time CRC32 and a compute_icrc that materializes the masked
+// pseudo packet. Exercised by unit tests, the crc-differential fuzz
+// target, and the bench/packet_fastpath shape checks; never on the hot
+// path.
+
+/// Bit-at-a-time reflected CRC32; identical results to crc32().
+std::uint32_t crc32_reference(std::span<const std::uint8_t> data,
+                              std::uint32_t seed = kCrcInit);
+
+/// Pseudo-packet-materializing iCRC; identical results to compute_icrc().
+std::uint32_t compute_icrc_reference(std::span<const std::uint8_t> frame,
+                                     std::size_t l3_offset);
 
 }  // namespace lumina

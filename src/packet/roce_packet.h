@@ -6,6 +6,11 @@
 // and rewrites the same byte image a hardware implementation would see,
 // so header-rewriting tricks (metadata embedding, ECN marking, MigReq
 // rewriting) behave exactly as they do on the Tofino.
+//
+// Each Packet carries a cached parse view (docs/packet.md): the first
+// parse_roce() populates it, later hops reuse it, and the in-place
+// mutators patch or invalidate exactly the fields they touch — so the
+// switch→RNIC→dumper chain decodes each frame once, not once per hop.
 #pragma once
 
 #include <cstdint>
@@ -34,44 +39,6 @@ enum class EventType : std::uint8_t {
 
 std::string to_string(EventType t);
 
-/// A frame on the wire. `bytes` is the full L2 frame excluding preamble and
-/// FCS; `kWireOverheadBytes` accounts for those plus the inter-frame gap
-/// when computing serialization delay.
-struct Packet {
-  std::vector<std::uint8_t> bytes;
-
-  static constexpr std::size_t kWireOverheadBytes = 24;  // preamble+FCS+IFG
-
-  std::size_t size() const { return bytes.size(); }
-  std::size_t wire_size() const { return bytes.size() + kWireOverheadBytes; }
-
-  std::span<std::uint8_t> span() { return bytes; }
-  std::span<const std::uint8_t> span() const { return bytes; }
-};
-
-/// Everything needed to build one RoCEv2 packet.
-struct RocePacketSpec {
-  MacAddress src_mac;
-  MacAddress dst_mac;
-  Ipv4Address src_ip;
-  Ipv4Address dst_ip;
-  std::uint8_t ttl = 64;
-  std::uint8_t dscp = 0;
-  std::uint8_t ecn = 0b10;  // ECT(0); injector may set CE (0b11)
-  std::uint16_t src_udp_port = 49152;
-
-  IbOpcode opcode = IbOpcode::kSendOnly;
-  bool mig_req = true;
-  bool ack_req = false;
-  std::uint32_t dest_qpn = 0;
-  std::uint32_t psn = 0;
-  std::optional<Reth> reth;
-  std::optional<Aeth> aeth;
-  std::optional<AtomicEth> atomic_eth;        // CmpSwap / FetchAdd requests
-  std::optional<AtomicAckEth> atomic_ack_eth; // AtomicAck responses
-  std::uint32_t payload_len = 0;  // payload bytes (deterministic pattern)
-};
-
 /// Parsed view of a RoCEv2 frame. Header structs are copies; offsets allow
 /// callers to patch the original bytes.
 struct RoceView {
@@ -95,6 +62,69 @@ struct RoceView {
 
   bool is_cnp() const { return bth.opcode == IbOpcode::kCnp; }
   bool ecn_ce() const { return ecn == 0b11; }
+
+  bool operator==(const RoceView&) const = default;
+};
+
+/// What the cached view in a Packet is known to represent. The states
+/// distinguish full-length frames from dumper-trimmed ones (which only the
+/// allow_trimmed parser accepts) and remember parse rejections, so repeat
+/// parses of non-RoCE frames are also free.
+enum class ViewCacheState : std::uint8_t {
+  kUnknown = 0,   ///< Never parsed (or invalidated) — must decode.
+  kFull,          ///< Full-length frame; view valid for either parse mode.
+  kTrimmed,       ///< Short frame; view valid only for allow_trimmed.
+  kUnparseable,   ///< Rejected even by the trimmed parser.
+  kNotFull,       ///< Full parse rejected; trimmed outcome unknown.
+};
+
+/// A frame on the wire. `bytes` is the full L2 frame excluding preamble and
+/// FCS; `kWireOverheadBytes` accounts for those plus the inter-frame gap
+/// when computing serialization delay.
+struct Packet {
+  std::vector<std::uint8_t> bytes;
+
+  static constexpr std::size_t kWireOverheadBytes = 24;  // preamble+FCS+IFG
+
+  std::size_t size() const { return bytes.size(); }
+  std::size_t wire_size() const { return bytes.size() + kWireOverheadBytes; }
+
+  std::span<std::uint8_t> span() { return bytes; }
+  std::span<const std::uint8_t> span() const { return bytes; }
+
+  /// Drops the cached parse view. Mandatory after writing `bytes` directly;
+  /// the roce_packet.h mutators maintain the cache themselves, so only code
+  /// that pokes raw bytes outside them needs this (docs/packet.md).
+  void invalidate_view() const { view_state = ViewCacheState::kUnknown; }
+
+  // Parse-view cache, owned by parse_roce() and the mutators below. Copies
+  // and moves carry it (bytes and view travel together, so a copy stays
+  // consistent). `view` is meaningful only in the kFull/kTrimmed states.
+  mutable RoceView view{};
+  mutable ViewCacheState view_state = ViewCacheState::kUnknown;
+};
+
+/// Everything needed to build one RoCEv2 packet.
+struct RocePacketSpec {
+  MacAddress src_mac;
+  MacAddress dst_mac;
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  std::uint8_t ttl = 64;
+  std::uint8_t dscp = 0;
+  std::uint8_t ecn = 0b10;  // ECT(0); injector may set CE (0b11)
+  std::uint16_t src_udp_port = 49152;
+
+  IbOpcode opcode = IbOpcode::kSendOnly;
+  bool mig_req = true;
+  bool ack_req = false;
+  std::uint32_t dest_qpn = 0;
+  std::uint32_t psn = 0;
+  std::optional<Reth> reth;
+  std::optional<Aeth> aeth;
+  std::optional<AtomicEth> atomic_eth;        // CmpSwap / FetchAdd requests
+  std::optional<AtomicAckEth> atomic_ack_eth; // AtomicAck responses
+  std::uint32_t payload_len = 0;  // payload bytes (deterministic pattern)
 };
 
 /// Fixed byte offsets within a frame (Ethernet + IPv4 without options).
@@ -129,16 +159,28 @@ Packet build_roce_packet(const RocePacketSpec& spec);
 /// With `allow_trimmed` the frame may be shorter than the IP total length
 /// (the traffic dumper keeps only the first 128 bytes, §5); payload length
 /// is then derived from the IP header and the iCRC is reported as 0.
+///
+/// The result is served from the packet's view cache when one is valid;
+/// a miss decodes the bytes and populates the cache.
 std::optional<RoceView> parse_roce(const Packet& pkt,
                                    bool allow_trimmed = false);
 
 /// Recomputes and verifies the trailing iCRC. Corrupted packets fail.
 bool verify_icrc(const Packet& pkt);
 
+/// iCRC over the frame as it stands (everything but the 4-byte trailer).
+std::uint32_t frame_icrc(const Packet& pkt);
+
+/// Recomputes the trailing iCRC in place (frame_icrc + trailer rewrite).
+/// The builder and any full-frame rewrite share this; single-bit rewrites
+/// (set_mig_req) patch the trailer incrementally instead.
+void refresh_icrc(Packet& pkt);
+
 // ---- In-place mutators (the switch/mirror data plane) -------------------
 // ECN / TTL / MAC rewrites never touch the iCRC (those fields are masked,
 // see packet/icrc.h). MigReq is covered by the iCRC, so rewriting it must
-// recompute the trailing CRC, mirroring what a NIC-tolerated rewrite does.
+// update the trailing CRC, mirroring what a NIC-tolerated rewrite does.
+// Every mutator keeps the packet's cached parse view consistent.
 
 void set_ecn_ce(Packet& pkt);
 void set_ttl(Packet& pkt, std::uint8_t ttl);

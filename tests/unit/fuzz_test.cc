@@ -139,5 +139,35 @@ TEST(Fuzzer, LossyTargetScoresCounterBugsHigh) {
   EXPECT_GT(bad_score, good_score);
 }
 
+TEST(CrcDifferential, CleanAcrossSeeds) {
+  // The fast CRC paths must agree with the retained references on random
+  // buffers, splits, and alignments, for several independent seeds.
+  for (const std::uint64_t seed : {0x1CECAFEu, 0xBADF00Du, 0x5EEDu}) {
+    const CrcDifferentialOutcome out = run_crc_differential(seed, 300);
+    EXPECT_EQ(out.iterations, 300);
+    EXPECT_EQ(out.mismatches, 0) << out.first_mismatch;
+  }
+}
+
+TEST(CrcDifferential, DeterministicForSameSeed) {
+  const CrcDifferentialOutcome a = run_crc_differential(42, 50);
+  const CrcDifferentialOutcome b = run_crc_differential(42, 50);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.mismatches, b.mismatches);
+}
+
+TEST(CrcDifferential, TargetRegisteredAndRunsClean) {
+  ASSERT_TRUE(make_fuzz_target("crc-differential", NicType::kCx5).has_value());
+  GeneticFuzzer::Options options;
+  options.pool_size = 2;
+  options.max_iterations = 3;
+  options.seed = 11;
+  GeneticFuzzer fuzzer(make_crc_differential_target(NicType::kCx5), options);
+  const FuzzOutcome outcome = fuzzer.run();
+  // A healthy implementation never diverges from the references, so the
+  // hunt must exhaust its budget without an anomaly.
+  EXPECT_FALSE(outcome.anomaly.has_value());
+}
+
 }  // namespace
 }  // namespace lumina

@@ -346,6 +346,120 @@ TEST(Icrc, RandomPayloadBitflipAlwaysDetected) {
 }
 
 // ---------------------------------------------------------------------------
+// CRC fast path vs the retained references (packet/icrc.h)
+// ---------------------------------------------------------------------------
+
+TEST(Icrc, SliceBy8MatchesBitwiseReference) {
+  Rng rng(31);
+  // Lengths straddle the 8-byte slicing step; offsets shift alignment.
+  for (const std::size_t len : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 1500u}) {
+    for (std::size_t offset = 0; offset < 4; ++offset) {
+      std::vector<std::uint8_t> buf(offset + len);
+      for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_below(256));
+      const auto data = std::span<const std::uint8_t>(buf).subspan(offset);
+      EXPECT_EQ(crc32(data), crc32_reference(data))
+          << "len " << len << " offset " << offset;
+    }
+  }
+}
+
+TEST(Icrc, SegmentedUpdateMatchesOneShot) {
+  Rng rng(32);
+  std::vector<std::uint8_t> buf(777);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_below(256));
+  const auto data = std::span<const std::uint8_t>(buf);
+  // Chain updates over uneven chunks — the segmentation compute_icrc uses.
+  std::uint32_t state = kCrcInit;
+  std::size_t pos = 0;
+  for (const std::size_t chunk : {1u, 2u, 3u, 5u, 8u, 13u, 100u}) {
+    state = crc32_update(state, data.subspan(pos, chunk));
+    pos += chunk;
+  }
+  state = crc32_update(state, data.subspan(pos));
+  EXPECT_EQ(crc32_final(state), crc32(data));
+}
+
+TEST(Icrc, CombineMatchesConcatenation) {
+  Rng rng(33);
+  std::vector<std::uint8_t> buf(513);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_below(256));
+  const auto data = std::span<const std::uint8_t>(buf);
+  const std::uint32_t whole = crc32(data);
+  for (const std::size_t split : {0u, 1u, 8u, 100u, 512u, 513u}) {
+    const auto a = data.first(split);
+    const auto b = data.subspan(split);
+    EXPECT_EQ(crc32_combine(crc32(a), crc32(b), b.size()), whole)
+        << "split " << split;
+  }
+}
+
+TEST(Icrc, ZeroAdvanceMatchesExplicitZeros) {
+  const std::uint8_t seed_bytes[] = {0xde, 0xad, 0xbe, 0xef};
+  const std::uint32_t state = crc32_update(kCrcInit, seed_bytes);
+  for (const std::size_t n : {0u, 1u, 7u, 8u, 255u, 4096u}) {
+    const std::vector<std::uint8_t> zeros(n, 0);
+    EXPECT_EQ(crc32_zero_advance(state, n), crc32_update(state, zeros))
+        << "n " << n;
+  }
+}
+
+TEST(Icrc, CopyFreeComputeMatchesPseudoPacketReference) {
+  // Every opcode shape the builder produces, plus trimmed prefixes that cut
+  // into the masked-offset range.
+  Rng rng(34);
+  for (const std::uint32_t payload : {0u, 1u, 64u, 1024u}) {
+    RocePacketSpec spec = base_spec();
+    spec.opcode = IbOpcode::kWriteOnly;
+    spec.reth = Reth{0x5000, 0x77, payload};
+    spec.payload_len = payload;
+    const Packet pkt = build_roce_packet(spec);
+    const auto frame = pkt.span().first(pkt.size() - 4);
+    EXPECT_EQ(compute_icrc(frame, off::kIp),
+              compute_icrc_reference(frame, off::kIp));
+    for (int trial = 0; trial < 8; ++trial) {
+      // Cuts may land inside the masked-offset range, but the frame must
+      // always reach the IP header (the compute_icrc contract).
+      const std::size_t cut = static_cast<std::size_t>(
+          rng.next_in(off::kIp, static_cast<std::int64_t>(frame.size())));
+      EXPECT_EQ(compute_icrc(frame.first(cut), off::kIp),
+                compute_icrc_reference(frame.first(cut), off::kIp))
+          << "cut " << cut;
+    }
+  }
+}
+
+TEST(Icrc, IncrementalMigReqPatchEqualsRebuild) {
+  for (const bool initial : {false, true}) {
+    RocePacketSpec spec = base_spec();
+    spec.opcode = IbOpcode::kSendOnly;
+    spec.payload_len = 700;
+    spec.mig_req = initial;
+    Packet pkt = build_roce_packet(spec);
+    set_mig_req(pkt, !initial);  // O(log n) trailer patch
+    RocePacketSpec flipped = spec;
+    flipped.mig_req = !initial;
+    EXPECT_EQ(pkt.bytes, build_roce_packet(flipped).bytes);
+    set_mig_req(pkt, initial);  // and back
+    EXPECT_EQ(pkt.bytes, build_roce_packet(spec).bytes);
+  }
+}
+
+TEST(Icrc, MigReqPatchPreservesStaleness) {
+  // An already-corrupt frame must stay exactly as corrupt across a MigReq
+  // rewrite: the incremental patch transports the trailer error verbatim,
+  // like a switch's incremental checksum update would.
+  Packet pkt = data_packet();
+  corrupt_payload_bit(pkt, 9);
+  EXPECT_FALSE(verify_icrc(pkt));
+  set_mig_req(pkt, false);
+  EXPECT_FALSE(verify_icrc(pkt));
+  // Undo both changes: the frame must verify again bit-for-bit.
+  set_mig_req(pkt, true);
+  corrupt_payload_bit(pkt, 9);
+  EXPECT_TRUE(verify_icrc(pkt));
+}
+
+// ---------------------------------------------------------------------------
 // pcap writer
 // ---------------------------------------------------------------------------
 
