@@ -73,9 +73,12 @@ GbnReport check_gbn_compliance(const PacketTrace& trace, RdmaVerb verb) {
       st.last_data_psn = psn;
 
       // The injector marks packets it dropped; the receiver never sees
-      // them, so they do not advance the FSM.
+      // them, so they do not advance the FSM. kBurstLoss marks are only
+      // applied to enforced drops (the GE channel judges on its pre-
+      // transition state, so the arming packet itself is always lost).
       if (p.meta.event == EventType::kDrop ||
-          p.meta.event == EventType::kCorrupt) {
+          p.meta.event == EventType::kCorrupt ||
+          p.meta.event == EventType::kBurstLoss) {
         continue;
       }
       if (psn == st.expected) {

@@ -2,22 +2,34 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <set>
 
 namespace lumina {
 namespace {
 
 EventType parse_event_type_or_throw(const std::string& text) {
+  const auto parsed = parse_event_type(text);
+  if (!parsed) throw YamlError("unknown event type: " + text);
+  return *parsed;
+}
+
+}  // namespace
+
+std::optional<EventType> parse_event_type(const std::string& text) {
+  if (text == "none") return EventType::kNone;
   if (text == "ecn") return EventType::kEcn;
   if (text == "drop") return EventType::kDrop;
   if (text == "corrupt") return EventType::kCorrupt;
   if (text == "rewrite-migreq") return EventType::kRewriteMigReq;
   if (text == "delay") return EventType::kDelay;
   if (text == "reorder") return EventType::kReorder;
-  throw YamlError("unknown event type: " + text);
+  if (text == "duplicate") return EventType::kDuplicate;
+  if (text == "burst-loss") return EventType::kBurstLoss;
+  if (text == "pause-storm") return EventType::kPauseStorm;
+  if (text == "link-flap") return EventType::kLinkFlap;
+  return std::nullopt;
 }
-
-}  // namespace
 
 std::string default_host_name(std::size_t index) {
   if (index == 0) return "requester";
@@ -194,6 +206,22 @@ TrafficConfig load_traffic_config(const YamlNode& node) {
     out.type = parse_event_type_or_throw(ev["type"].as_string_or("drop"));
     out.iter = static_cast<std::uint32_t>(ev["iter"].as_int_or(1));
     out.delay = ev["delay-us"].as_int_or(0) * kMicrosecond;
+    // Stateful fault knobs (docs/fuzzing.md); defaults match FaultParams.
+    out.fault.duration = ev["duration-us"].as_int_or(0) * kMicrosecond;
+    out.fault.ge_p = ev["ge-p"].as_double_or(out.fault.ge_p);
+    out.fault.ge_r = ev["ge-r"].as_double_or(out.fault.ge_r);
+    out.fault.priority = static_cast<int>(ev["priority"].as_int_or(0));
+    if (ev.has("queued")) {
+      const std::string queued = ev["queued"].as_string();
+      if (queued == "drop") {
+        out.fault.flap_drops_queued = true;
+      } else if (queued == "hold") {
+        out.fault.flap_drops_queued = false;
+      } else {
+        throw YamlError("link-flap queued: must be drop or hold, got " +
+                        queued);
+      }
+    }
     cfg.data_pkt_events.push_back(out);
   }
   return cfg;
@@ -254,8 +282,149 @@ TestConfig load_test_config(const YamlNode& root) {
       if (count < 1) throw YamlError("connection count must be >= 1");
       for (std::int64_t c = 0; c < count; ++c) cfg.connections.push_back(spec);
     }
+    // An explicit connection list IS the connection count. normalize()
+    // repeats this later, but doing it here keeps a loaded config
+    // structurally identical to the in-memory config it was serialized
+    // from — the fuzzer mutates configs on both sides of a checkpoint
+    // round trip, so any field skew changes the RNG draw sequence.
+    cfg.traffic.num_connections = static_cast<int>(cfg.connections.size());
   }
   return cfg;
+}
+
+namespace {
+
+/// Shortest decimal form that parses back to the same double (to_chars
+/// round-trip guarantee) — keeps ge-p/ge-r exact across checkpoint cycles.
+std::string format_double(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+void append_kv(std::string& out, int indent, const std::string& key,
+               const std::string& value) {
+  out.append(static_cast<std::size_t>(indent), ' ');
+  out += key;
+  out += ": ";
+  out += value;
+  out += '\n';
+}
+
+void append_host(std::string& out, const HostConfig& host) {
+  out += "- name: " + host.name + "\n";
+  if (!host.workspace.empty()) append_kv(out, 2, "workspace", host.workspace);
+  if (!host.control_ip.empty()) {
+    append_kv(out, 2, "control-ip", host.control_ip);
+  }
+  out += "  nic:\n";
+  append_kv(out, 4, "type", to_string(host.nic_type));
+  if (!host.if_name.empty()) append_kv(out, 4, "if-name", host.if_name);
+  if (host.switch_port != 0) {
+    append_kv(out, 4, "switch-port", std::to_string(host.switch_port));
+  }
+  if (!host.ip_list.empty()) {
+    std::string ips = "[";
+    for (std::size_t i = 0; i < host.ip_list.size(); ++i) {
+      if (i != 0) ips += ", ";
+      ips += host.ip_list[i].to_string();
+    }
+    ips += "]";
+    append_kv(out, 4, "ip-list", ips);
+  }
+  const RoceParameters defaults;
+  const RoceParameters& roce = host.roce;
+  if (roce.dcqcn_rp_enable != defaults.dcqcn_rp_enable ||
+      roce.dcqcn_np_enable != defaults.dcqcn_np_enable ||
+      roce.min_time_between_cnps != defaults.min_time_between_cnps ||
+      roce.adaptive_retrans != defaults.adaptive_retrans ||
+      roce.slow_restart != defaults.slow_restart) {
+    out += "  roce-parameters:\n";
+    if (roce.dcqcn_rp_enable != defaults.dcqcn_rp_enable) {
+      append_kv(out, 4, "dcqcn-rp-enable", "false");
+    }
+    if (roce.dcqcn_np_enable != defaults.dcqcn_np_enable) {
+      append_kv(out, 4, "dcqcn-np-enable", "false");
+    }
+    if (roce.min_time_between_cnps >= 0) {
+      append_kv(out, 4, "min-time-between-cnps",
+                std::to_string(roce.min_time_between_cnps / kMicrosecond));
+    }
+    if (roce.adaptive_retrans != defaults.adaptive_retrans) {
+      append_kv(out, 4, "adaptive-retrans", "true");
+    }
+    if (roce.slow_restart != defaults.slow_restart) {
+      append_kv(out, 4, "slow-restart", "false");
+    }
+  }
+}
+
+void append_event(std::string& out, const DataPacketEvent& ev) {
+  out += "  - {qpn: " + std::to_string(ev.qpn);
+  out += ", psn: " + std::to_string(ev.psn);
+  out += ", type: " + to_string(ev.type);
+  out += ", iter: " + std::to_string(ev.iter);
+  if (ev.delay != 0) {
+    out += ", delay-us: " + std::to_string(ev.delay / kMicrosecond);
+  }
+  const FaultParams defaults;
+  if (ev.fault.duration != 0) {
+    out += ", duration-us: " + std::to_string(ev.fault.duration / kMicrosecond);
+  }
+  if (ev.type == EventType::kBurstLoss) {
+    out += ", ge-p: " + format_double(ev.fault.ge_p);
+    out += ", ge-r: " + format_double(ev.fault.ge_r);
+  }
+  if (ev.fault.priority != 0) {
+    out += ", priority: " + std::to_string(ev.fault.priority);
+  }
+  if (ev.type == EventType::kLinkFlap &&
+      ev.fault.flap_drops_queued != defaults.flap_drops_queued) {
+    out += ", queued: hold";
+  }
+  out += "}\n";
+}
+
+}  // namespace
+
+std::string serialize_test_config(const TestConfig& cfg) {
+  std::string out;
+  out += "hosts:\n";
+  for (std::size_t i = 0; i < cfg.hosts.size(); ++i) {
+    HostConfig host = cfg.hosts[i];
+    if (host.name.empty()) host.name = default_host_name(i);
+    append_host(out, host);
+  }
+  if (!cfg.connections.empty()) {
+    out += "connections:\n";
+    for (const auto& conn : cfg.connections) {
+      out += "- {src: " + std::to_string(conn.src_host) +
+             ", dst: " + std::to_string(conn.dst_host) + "}\n";
+    }
+  }
+  const TrafficConfig& t = cfg.traffic;
+  out += "traffic:\n";
+  if (cfg.connections.empty()) {
+    append_kv(out, 2, "num-connections", std::to_string(t.num_connections));
+  }
+  std::string verb = to_string(t.verb);
+  if (t.secondary_verb) verb += "+" + to_string(*t.secondary_verb);
+  append_kv(out, 2, "rdma-verb", verb);
+  append_kv(out, 2, "num-msgs-per-qp", std::to_string(t.num_msgs_per_qp));
+  append_kv(out, 2, "mtu", std::to_string(t.mtu));
+  append_kv(out, 2, "message-size", std::to_string(t.message_size));
+  if (t.multi_gid) append_kv(out, 2, "multi-gid", "true");
+  if (t.barrier_sync) append_kv(out, 2, "barrier-sync", "true");
+  append_kv(out, 2, "tx-depth", std::to_string(t.tx_depth));
+  append_kv(out, 2, "min-retransmit-timeout",
+            std::to_string(t.min_retransmit_timeout));
+  append_kv(out, 2, "max-retransmit-retry",
+            std::to_string(t.max_retransmit_retry));
+  if (!t.data_pkt_events.empty()) {
+    out += "  data-pkt-events:\n";
+    for (const auto& ev : t.data_pkt_events) append_event(out, ev);
+  }
+  return out;
 }
 
 void apply_traffic_override(TestConfig& cfg, const std::string& key,

@@ -76,7 +76,17 @@ struct DataPacketEvent {
   std::uint32_t iter = 1;
   /// For type=delay (§7 extension): how long the packet is held.
   Tick delay = 0;
+  /// Stateful fault parameters (burst-loss / pause-storm / link-flap);
+  /// ignored by the single-packet event types.
+  FaultParams fault;
+
+  bool operator==(const DataPacketEvent&) const = default;
 };
+
+/// Parses an event-type name (the exact strings to_string(EventType)
+/// emits, "none" included). The public counterpart of the YAML loader's
+/// throwing parser, so tests can hold the string<->enum maps in sync.
+std::optional<EventType> parse_event_type(const std::string& text);
 
 /// Traffic shape and reliability knobs (Listing 2).
 struct TrafficConfig {
@@ -154,6 +164,15 @@ TrafficConfig load_traffic_config(const YamlNode& node);
 /// with a "hosts:" list plus an optional "connections:" list (entries
 /// reference hosts by index or name). Mixing both is an error.
 TestConfig load_test_config(const YamlNode& root);
+
+/// Serializes a config to YAML text that load_test_config() parses back to
+/// an equivalent config (schema v2: hosts:/connections:/traffic:). The
+/// encoding is canonical — fixed key order, defaults omitted, doubles
+/// printed with round-trip precision — so equal configs serialize to equal
+/// bytes. This is what the fuzz corpus checkpoints (src/fuzz/corpus.h)
+/// persist. ETS mappings are not part of the YAML schema and are not
+/// serialized.
+std::string serialize_test_config(const TestConfig& cfg);
 
 /// Applies one sweep override to the traffic block, e.g.
 /// `apply_traffic_override(cfg, "message-size", node)`. Campaign sweeps

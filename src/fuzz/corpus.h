@@ -1,0 +1,57 @@
+// Fuzz corpus checkpointing — the on-disk form of FuzzCorpusState.
+//
+// A corpus file is a framed text document: a small header (step counter,
+// completion flags, the four xoshiro256** state words) followed by one
+// block per pool entry, each carrying the entry's score (shortest
+// round-trip double) and its configuration in the canonical
+// serialize_test_config() encoding. Because every piece is canonical, the
+// serialization is a pure function of the state: equal states produce
+// equal bytes, which is what lets the determinism tests compare corpus
+// files across --jobs values and across interrupt/resume boundaries
+// (docs/fuzzing.md).
+//
+//   # lumina fuzz corpus v1
+//   steps-done: 12
+//   done: false
+//   rng-state: 18027913782083383 4084527 991 7
+//   --- entry score=103.25 anomaly=0
+//   hosts:
+//     ...
+//   --- end
+//   --- anomaly score=5919.5
+//   ...
+//   --- end
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "fuzz/fuzzer.h"
+
+namespace lumina {
+
+/// Canonical corpus text for a checkpoint. Equal states serialize to equal
+/// bytes.
+std::string serialize_corpus(const FuzzCorpusState& state);
+
+/// Parses serialize_corpus() output back. Throws YamlError on malformed
+/// framing or header fields (config blocks are parsed by
+/// load_test_config and throw its errors).
+FuzzCorpusState parse_corpus(const std::string& text);
+
+/// Writes a checkpoint to `path`; false on I/O failure (path recorded in
+/// `failed_path` when non-null).
+bool write_corpus_file(const FuzzCorpusState& state, const std::string& path,
+                       std::string* failed_path = nullptr);
+
+/// Reads and parses a corpus file. Returns nullopt when the file does not
+/// exist; throws YamlError on unreadable or malformed content.
+std::optional<FuzzCorpusState> load_corpus_file(const std::string& path);
+
+/// FNV-1a over the serialized corpus bytes — the compact per-shard
+/// fingerprint the fuzz-campaign report.json records, so two runs can be
+/// compared for corpus identity without shipping the corpora.
+std::uint64_t corpus_digest(const std::string& serialized);
+
+}  // namespace lumina

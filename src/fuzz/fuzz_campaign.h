@@ -1,0 +1,114 @@
+// Fuzz campaigns — the YAML-driven front end for sharded Algorithm 1 hunts
+// with corpus checkpointing (docs/fuzzing.md).
+//
+//   fuzz-campaign:
+//     name: scenario-hunt
+//     target: scenario            # fuzz/targets.h registry
+//     nic: cx5
+//     hosts: 4                    # scenario-target topology width
+//     shards: 4                   # independent hunts (parallelizable)
+//     pool-size: 4
+//     max-iterations: 12
+//     low-quality-keep-probability: 0.25
+//     seed: 42                    # overridable with --seed
+//     step-budget: 0              # max steps per shard per invocation
+//     corpus-dir: corpus          # checkpoint directory under --out
+//     fitness:                    # optional score override (fuzz/scorers.h)
+//       - {metric: mct-mean, weight: 1.0}
+//       - {metric: injector.dropped_by_event, weight: 25}
+//
+// Determinism contract (tests/integration/fuzz_campaign_test):
+//   * shard i always runs with derive_run_seed(seed, i) and its outputs
+//     land in shard order — corpus bytes and the report.json deterministic
+//     section are identical for any --jobs value;
+//   * an interrupted hunt (step-budget) resumed from its checkpoints
+//     converges to byte-identical final corpora, because FuzzCorpusState
+//     carries the Rng state across the boundary.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/parallel.h"
+#include "config/yaml_lite.h"
+#include "fuzz/corpus.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/scorers.h"
+#include "telemetry/report.h"
+
+namespace lumina {
+
+struct FuzzCampaignSpec {
+  std::string name = "fuzz";
+  std::string target = "lossy-network";
+  NicType nic = NicType::kCx5;
+  int scenario_hosts = 4;
+  int shards = 4;
+  std::uint64_t seed = 0xC0FFEEULL;
+  /// Max Algorithm 1 steps per shard per invocation; <= 0 = run every
+  /// shard to completion. A budgeted invocation checkpoints wherever it
+  /// stops; the next --resume invocation continues from there.
+  int step_budget = 0;
+  std::string corpus_dir = "corpus";
+  GeneticFuzzer::Options fuzzer;  ///< seed field is ignored (per-shard).
+  std::vector<FitnessTerm> fitness;  ///< Empty = the target's own score.
+};
+
+/// Parses the `fuzz-campaign:` document. Validates the target name and
+/// fitness terms eagerly. Throws YamlError.
+FuzzCampaignSpec load_fuzz_campaign(const YamlNode& root);
+FuzzCampaignSpec load_fuzz_campaign_file(const std::string& path);
+
+struct FuzzShardOutcome {
+  FuzzOutcome outcome;     ///< Steps executed by THIS invocation only.
+  FuzzCorpusState state;   ///< Checkpoint after those steps.
+  std::string corpus;      ///< serialize_corpus(state) — artifact bytes.
+  bool resumed = false;
+};
+
+struct FuzzCampaignRunReport {
+  std::string name;
+  std::uint64_t seed = 0;
+  std::vector<FuzzShardOutcome> shards;  ///< Shard order.
+  int anomaly_shard = -1;  ///< Lowest shard index holding an anomaly.
+
+  bool all_done() const {
+    for (const auto& s : shards) {
+      if (!s.state.done) return false;
+    }
+    return !shards.empty();
+  }
+  int total_steps() const {
+    int n = 0;
+    for (const auto& s : shards) n += s.state.steps_done;
+    return n;
+  }
+};
+
+/// Runs (or continues) every shard across `options.jobs` threads.
+/// `options.seed` is the campaign seed (callers overlay the CLI --seed on
+/// the spec's). `resume[i]`, when present, is shard i's prior checkpoint.
+FuzzCampaignRunReport run_fuzz_campaign_spec(
+    const FuzzCampaignSpec& spec, const CampaignOptions& options,
+    const std::vector<std::optional<FuzzCorpusState>>& resume = {});
+
+/// The deterministic report.json for a hunt: per-shard step/pool counts
+/// and corpus digests plus campaign-wide totals — the byte-comparable
+/// summary the jobs-invariance test keys on.
+telemetry::RunReport fuzz_campaign_report_json(
+    const FuzzCampaignRunReport& report);
+
+/// Writes every shard's checkpoint to `<corpus_dir>/shard_NNN.yaml`
+/// (creating the directory). False on the first I/O failure.
+bool write_fuzz_corpora(const FuzzCampaignRunReport& report,
+                        const std::string& corpus_dir,
+                        std::string* failed_path = nullptr);
+
+/// Loads existing checkpoints from `<corpus_dir>/shard_NNN.yaml`; missing
+/// files yield nullopt entries (fresh shards). Throws YamlError on
+/// malformed files.
+std::vector<std::optional<FuzzCorpusState>> load_fuzz_corpora(
+    const std::string& corpus_dir, int shards);
+
+}  // namespace lumina

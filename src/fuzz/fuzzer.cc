@@ -10,57 +10,72 @@ GeneticFuzzer::GeneticFuzzer(FuzzTarget target, Options options)
     : target_(std::move(target)), options_(options), rng_(options.seed) {}
 
 double GeneticFuzzer::median_score() const {
-  if (pool_.empty()) return 0;
+  if (state_.pool.empty()) return 0;
   std::vector<double> scores;
-  scores.reserve(pool_.size());
-  for (const auto& entry : pool_) scores.push_back(entry.score);
+  scores.reserve(state_.pool.size());
+  for (const auto& entry : state_.pool) scores.push_back(entry.score);
   std::sort(scores.begin(), scores.end());
   return scores[scores.size() / 2];
 }
 
-FuzzOutcome GeneticFuzzer::run() {
-  FuzzOutcome outcome;
+FuzzCorpusState GeneticFuzzer::checkpoint() const {
+  FuzzCorpusState state = state_;
+  state.rng_state = rng_.state();
+  return state;
+}
 
-  // Initialization: a pool of valid configurations, scored by running them.
-  for (int i = 0; i < options_.pool_size; ++i) {
-    FuzzIteration entry;
+void GeneticFuzzer::restore(FuzzCorpusState state) {
+  rng_.set_state(state.rng_state);
+  state_ = std::move(state);
+}
+
+// One Algorithm 1 step. The RNG call sequence per step is fixed — initial
+// steps draw only inside make_initial; mutation steps draw pick, mutate,
+// and (only for below-median mutants, via the || short-circuit) the
+// keep-probability trial — so a checkpoint/restore at any step boundary
+// continues the exact same random sequence as an uninterrupted run.
+void GeneticFuzzer::step(FuzzOutcome& outcome) {
+  const bool initial = state_.steps_done < options_.pool_size;
+  FuzzIteration entry;
+  if (initial) {
     entry.config = target_.make_initial(rng_);
-    Orchestrator orch(entry.config, options_.orchestrator);
-    const TestResult& result = orch.run();
-    entry.score = target_.score(entry.config, result);
-    entry.anomaly = target_.is_anomaly(entry.config, result);
-    outcome.history.push_back(entry);
-    pool_.push_back(entry);
-    ++outcome.iterations;
-    if (entry.anomaly) {
-      outcome.anomaly = entry;
-      return outcome;
-    }
+  } else {
+    const std::size_t pick = rng_.next_below(state_.pool.size());
+    entry.config = state_.pool[pick].config;
+    target_.mutate(entry.config, rng_);
   }
 
-  // Mutation / scoring / selection loop.
-  for (int iter = 0; iter < options_.max_iterations; ++iter) {
-    const std::size_t pick = rng_.next_below(pool_.size());
-    FuzzIteration mutant;
-    mutant.config = pool_[pick].config;
-    target_.mutate(mutant.config, rng_);
+  Orchestrator orch(entry.config, options_.orchestrator);
+  const TestResult& result = orch.run();
+  entry.score = target_.score(entry.config, result);
+  entry.anomaly = target_.is_anomaly(entry.config, result);
+  outcome.history.push_back(entry);
+  ++outcome.iterations;
 
-    Orchestrator orch(mutant.config, options_.orchestrator);
-    const TestResult& result = orch.run();
-    mutant.score = target_.score(mutant.config, result);
-    mutant.anomaly = target_.is_anomaly(mutant.config, result);
-    outcome.history.push_back(mutant);
-    ++outcome.iterations;
-
-    if (mutant.score >= median_score() ||
-        rng_.next_bool(options_.low_quality_keep_probability)) {
-      pool_.push_back(mutant);
-    }
-    if (mutant.anomaly) {
-      outcome.anomaly = mutant;
-      return outcome;
-    }
+  if (initial || entry.score >= median_score() ||
+      rng_.next_bool(options_.low_quality_keep_probability)) {
+    state_.pool.push_back(entry);
   }
+  ++state_.steps_done;
+  if (entry.anomaly) {
+    state_.anomaly = entry;
+    state_.done = true;
+  } else if (state_.steps_done >=
+             options_.pool_size + options_.max_iterations) {
+    state_.done = true;
+  }
+}
+
+FuzzOutcome GeneticFuzzer::run() { return run(0); }
+
+FuzzOutcome GeneticFuzzer::run(int max_steps) {
+  FuzzOutcome outcome;
+  int executed = 0;
+  while (!state_.done && (max_steps <= 0 || executed < max_steps)) {
+    step(outcome);
+    ++executed;
+  }
+  outcome.anomaly = state_.anomaly;
   return outcome;
 }
 

@@ -8,6 +8,8 @@
 // anomaly predicate fires or the iteration budget is exhausted.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -42,6 +44,22 @@ struct FuzzOutcome {
   int iterations = 0;
 };
 
+/// The complete resumable state of one hunt: everything Algorithm 1 carries
+/// between steps. A GeneticFuzzer restored from a checkpoint executes the
+/// exact same remaining step sequence as one that never paused, because the
+/// Rng state rides along (util/random.h) and every step consumes a
+/// deterministic number of draws. Serialized by src/fuzz/corpus.h.
+struct FuzzCorpusState {
+  /// Steps executed so far. Step s < pool_size is an initial-pool fill;
+  /// later steps are mutation iterations. The budget is
+  /// pool_size + max_iterations steps total.
+  int steps_done = 0;
+  bool done = false;
+  std::optional<FuzzIteration> anomaly;
+  std::vector<FuzzIteration> pool;
+  std::array<std::uint64_t, 4> rng_state{};
+};
+
 class GeneticFuzzer {
  public:
   struct Options {
@@ -57,13 +75,31 @@ class GeneticFuzzer {
   /// Runs Algorithm 1 until an anomaly is found or the budget runs out.
   FuzzOutcome run();
 
+  /// Runs at most `max_steps` further steps (<= 0 = unlimited). The
+  /// returned outcome covers only the steps executed by *this* call —
+  /// `state().steps_done` carries the lifetime total — so a caller can
+  /// interleave run(budget) / checkpoint() to make any hunt interruptible.
+  FuzzOutcome run(int max_steps);
+
+  /// Snapshot of the hunt, suitable for corpus serialization.
+  FuzzCorpusState checkpoint() const;
+
+  /// Replaces the hunt state with a checkpoint. Must be called before the
+  /// first run(); Options must match the checkpointing fuzzer's for the
+  /// resumed sequence to be meaningful.
+  void restore(FuzzCorpusState state);
+
+  const FuzzCorpusState& state() const { return state_; }
+
  private:
+  /// Executes one Algorithm 1 step, appending to `outcome`.
+  void step(FuzzOutcome& outcome);
   double median_score() const;
 
   FuzzTarget target_;
   Options options_;
   Rng rng_;
-  std::vector<FuzzIteration> pool_;
+  FuzzCorpusState state_;
 };
 
 /// A sharded hunt: `shards` independent GeneticFuzzer instances, shard `i`

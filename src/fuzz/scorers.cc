@@ -1,0 +1,151 @@
+#include "fuzz/scorers.h"
+
+#include <algorithm>
+
+namespace lumina {
+namespace {
+
+double mean_mct_us(const TestResult& result) {
+  if (result.flows.empty()) return 0;
+  double sum = 0;
+  for (const auto& flow : result.flows) sum += flow.avg_mct_us();
+  return sum / static_cast<double>(result.flows.size());
+}
+
+double max_mct_us(const TestResult& result) {
+  double worst = 0;
+  for (const auto& flow : result.flows) {
+    worst = std::max(worst, flow.avg_mct_us());
+  }
+  return worst;
+}
+
+double min_goodput_gbps(const TestResult& result) {
+  if (result.flows.empty()) return 0;
+  double least = result.flows[0].goodput_gbps();
+  for (const auto& flow : result.flows) {
+    least = std::min(least, flow.goodput_gbps());
+  }
+  return least;
+}
+
+double innocent_mct_us(const TestConfig& cfg, const TestResult& result) {
+  std::vector<bool> injected(result.flows.size(), false);
+  for (const auto& ev : cfg.traffic.data_pkt_events) {
+    const auto idx = static_cast<std::size_t>(ev.qpn - 1);
+    if (idx < injected.size()) injected[idx] = true;
+  }
+  double sum = 0;
+  int n = 0;
+  for (std::size_t i = 0; i < result.flows.size(); ++i) {
+    if (injected[i]) continue;
+    sum += result.flows[i].avg_mct_us();
+    ++n;
+  }
+  return n == 0 ? 0 : sum / n;
+}
+
+double incomplete_messages(const TestConfig& cfg, const TestResult& result) {
+  double missing = 0;
+  for (const auto& flow : result.flows) {
+    const auto expected =
+        static_cast<std::size_t>(cfg.traffic.num_msgs_per_qp);
+    if (flow.completed() < expected) {
+      missing += static_cast<double>(expected - flow.completed());
+    }
+  }
+  return missing;
+}
+
+double sum_counters_with_suffix(const TestResult& result,
+                                const std::string& suffix) {
+  double sum = 0;
+  for (const auto& [name, value] : result.telemetry.counters) {
+    if (name.size() >= suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      sum += static_cast<double>(value);
+    }
+  }
+  return sum;
+}
+
+bool is_builtin(const std::string& metric) {
+  return metric == "mct-mean" || metric == "mct-max" ||
+         metric == "goodput-min" || metric == "innocent-mct" ||
+         metric == "incomplete-messages" || metric == "unfinished" ||
+         metric == "integrity-failed";
+}
+
+void validate_metric(const std::string& metric) {
+  if (is_builtin(metric)) return;
+  if (metric.rfind("sum:", 0) == 0 && metric.size() > 4) return;
+  // Anything with a '.' is a registry counter path; absent counters read
+  // as 0, which is exactly the dormant-fault contract (orchestrator.cc
+  // scrapes fault metrics only when they fired).
+  if (metric.find('.') != std::string::npos) return;
+  throw YamlError("unknown fitness metric '" + metric + "'");
+}
+
+}  // namespace
+
+double eval_fitness_metric(const std::string& metric, const TestConfig& cfg,
+                           const TestResult& result) {
+  if (metric == "mct-mean") return mean_mct_us(result);
+  if (metric == "mct-max") return max_mct_us(result);
+  if (metric == "goodput-min") return min_goodput_gbps(result);
+  if (metric == "innocent-mct") return innocent_mct_us(cfg, result);
+  if (metric == "incomplete-messages") {
+    return incomplete_messages(cfg, result);
+  }
+  if (metric == "unfinished") return result.finished ? 0 : 1;
+  if (metric == "integrity-failed") return result.integrity.ok() ? 0 : 1;
+  if (metric.rfind("sum:", 0) == 0 && metric.size() > 4) {
+    return sum_counters_with_suffix(result, metric.substr(4));
+  }
+  validate_metric(metric);  // counter path or throw
+  const auto it = result.telemetry.counters.find(metric);
+  return it == result.telemetry.counters.end()
+             ? 0
+             : static_cast<double>(it->second);
+}
+
+std::function<double(const TestConfig&, const TestResult&)> make_fitness(
+    std::vector<FitnessTerm> terms) {
+  if (terms.empty()) {
+    throw YamlError("fitness needs at least one term");
+  }
+  for (const auto& term : terms) validate_metric(term.metric);
+  return [terms = std::move(terms)](const TestConfig& cfg,
+                                    const TestResult& result) {
+    double score = 0;
+    for (const auto& term : terms) {
+      score += term.weight * eval_fitness_metric(term.metric, cfg, result);
+    }
+    return score;
+  };
+}
+
+std::vector<FitnessTerm> load_fitness(const YamlNode& node) {
+  if (!node.is_list()) {
+    throw YamlError("fitness must be a list of terms");
+  }
+  std::vector<FitnessTerm> terms;
+  for (const auto& item : node.items()) {
+    FitnessTerm term;
+    if (item.is_scalar()) {
+      term.metric = item.as_string();
+    } else if (item.is_map()) {
+      term.metric = item["metric"].as_string();
+      term.weight = item["weight"].as_double_or(1.0);
+    } else {
+      throw YamlError("fitness entries are metric names or "
+                      "{metric, weight} maps");
+    }
+    validate_metric(term.metric);
+    terms.push_back(std::move(term));
+  }
+  return terms;
+}
+
+}  // namespace lumina

@@ -1,0 +1,55 @@
+// Report-driven fitness for fuzz hunts.
+//
+// Algorithm 1 needs a multi-objective quality score. The canned targets
+// hard-code theirs; campaign YAML instead composes a fitness from named
+// terms evaluated against the run's telemetry snapshot (the same metric
+// namespace report.json serializes) plus a few flow-level aggregates the
+// registry doesn't carry. This keeps scoring declarative: a hunt can be
+// retargeted at, say, pause time or flap drops without writing C++.
+//
+//   fitness:
+//     - {metric: mct-mean, weight: 1.0}
+//     - {metric: injector.dropped_by_event, weight: 25}
+//     - {metric: sum:.retransmitted_packets, weight: 10}
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "config/test_config.h"
+#include "orchestrator/orchestrator.h"
+
+namespace lumina {
+
+/// One weighted fitness objective. `metric` is either
+///   * a registry counter name (contains '.'): its value in
+///     result.telemetry.counters, 0 when absent — e.g.
+///     "injector.dropped_by_event", "rnic.responder.pause_frames_rx";
+///   * "sum:<suffix>": the sum of every counter whose name ends with
+///     the suffix — e.g. "sum:.retransmitted_packets" across all NICs;
+///   * a flow/run aggregate: "mct-mean", "mct-max" (us), "goodput-min"
+///     (Gbps, typically weighted negative), "innocent-mct" (mean MCT of
+///     flows without injected events, us), "incomplete-messages",
+///     "unfinished" (0/1), "integrity-failed" (0/1).
+struct FitnessTerm {
+  std::string metric;
+  double weight = 1.0;
+};
+
+/// Evaluates one term's raw (unweighted) value. Throws YamlError on a
+/// metric name that is neither a builtin, a sum:, nor a counter path.
+double eval_fitness_metric(const std::string& metric, const TestConfig& cfg,
+                           const TestResult& result);
+
+/// Composes terms into a FuzzTarget::score function:
+/// sum(weight * value). Validates every name eagerly (throws YamlError),
+/// so a bad campaign file fails at load time, not mid-hunt.
+std::function<double(const TestConfig&, const TestResult&)> make_fitness(
+    std::vector<FitnessTerm> terms);
+
+/// Loads a `fitness:` YAML list — entries are `{metric: ..., weight: ...}`
+/// flow maps (weight defaults to 1) or bare metric-name scalars.
+std::vector<FitnessTerm> load_fitness(const YamlNode& node);
+
+}  // namespace lumina

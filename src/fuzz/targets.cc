@@ -7,8 +7,10 @@
 
 #include "analyzers/counter_analyzer.h"
 #include "analyzers/retrans_perf.h"
+#include "fuzz/scorers.h"
 #include "packet/icrc.h"
 #include "packet/roce_packet.h"
+#include "util/time.h"
 
 namespace lumina {
 namespace {
@@ -342,11 +344,140 @@ FuzzTarget make_crc_differential_target(NicType nic) {
   return target;
 }
 
+namespace {
+
+/// The full event vocabulary the scenario target mutates over (kNone is
+/// not a useful injection).
+constexpr EventType kScenarioVocabulary[] = {
+    EventType::kDrop,      EventType::kEcn,       EventType::kCorrupt,
+    EventType::kRewriteMigReq, EventType::kDelay, EventType::kReorder,
+    EventType::kDuplicate, EventType::kBurstLoss, EventType::kPauseStorm,
+    EventType::kLinkFlap,
+};
+
+/// One random event intent over the full vocabulary. Every duration-like
+/// field is whole microseconds and every GE probability is a tenth, so the
+/// intent is exactly representable in the canonical YAML encoding.
+DataPacketEvent random_scenario_event(Rng& rng, int num_connections) {
+  DataPacketEvent ev;
+  ev.qpn = static_cast<int>(rng.next_in(1, num_connections));
+  ev.psn = static_cast<std::uint32_t>(rng.next_in(1, 6));
+  ev.iter = 1;
+  ev.type = kScenarioVocabulary[rng.next_below(
+      std::size(kScenarioVocabulary))];
+  switch (ev.type) {
+    case EventType::kDelay:
+      ev.delay = rng.next_in(5, 100) * kMicrosecond;
+      break;
+    case EventType::kBurstLoss:
+      ev.fault.ge_p = static_cast<double>(rng.next_in(1, 6)) / 10.0;
+      ev.fault.ge_r = static_cast<double>(rng.next_in(2, 8)) / 10.0;
+      ev.fault.duration = rng.next_in(0, 50) * kMicrosecond;
+      break;
+    case EventType::kPauseStorm:
+      ev.fault.priority = 0;  // QPs default to traffic class 0
+      ev.fault.duration = rng.next_in(20, 200) * kMicrosecond;
+      break;
+    case EventType::kLinkFlap:
+      ev.fault.duration = rng.next_in(1, 30) * kMicrosecond;
+      ev.fault.flap_drops_queued = rng.next_bool(0.5);
+      break;
+    default:
+      break;
+  }
+  return ev;
+}
+
+}  // namespace
+
+FuzzTarget make_scenario_target(NicType nic, int num_hosts) {
+  FuzzTarget target;
+  const int hosts = std::max(num_hosts, 2);
+
+  target.make_initial = [nic, hosts](Rng& rng) {
+    TestConfig cfg;
+    for (int h = 0; h < hosts; ++h) {
+      cfg.host_at(static_cast<std::size_t>(h)).nic_type = nic;
+    }
+    // Incast: every non-victim host drives one flow at host 0.
+    for (int h = 1; h < hosts; ++h) {
+      cfg.connections.push_back(ConnectionSpec{h, 0});
+    }
+    cfg.traffic.num_connections = hosts - 1;
+    cfg.traffic.verb = RdmaVerb::kWrite;
+    cfg.traffic.mtu = 1024;
+    cfg.traffic.num_msgs_per_qp = static_cast<int>(rng.next_in(2, 6));
+    cfg.traffic.message_size =
+        static_cast<std::uint64_t>(rng.next_in(4, 32)) * 1024;
+    const int events = static_cast<int>(rng.next_in(1, 3));
+    for (int i = 0; i < events; ++i) {
+      cfg.traffic.data_pkt_events.push_back(
+          random_scenario_event(rng, cfg.traffic.num_connections));
+    }
+    return cfg;
+  };
+
+  target.mutate = [](TestConfig& cfg, Rng& rng) {
+    auto& events = cfg.traffic.data_pkt_events;
+    switch (rng.next_below(5)) {
+      case 0:
+        cfg.traffic.message_size =
+            static_cast<std::uint64_t>(rng.next_in(4, 64)) * 1024;
+        break;
+      case 1:
+        cfg.traffic.num_msgs_per_qp = static_cast<int>(rng.next_in(1, 8));
+        break;
+      case 2:  // replace one event wholesale
+        if (!events.empty()) {
+          events[rng.next_below(events.size())] =
+              random_scenario_event(rng, cfg.traffic.num_connections);
+          break;
+        }
+        [[fallthrough]];
+      case 3:  // grow the event list (capped)
+        if (events.size() < 4) {
+          events.push_back(
+              random_scenario_event(rng, cfg.traffic.num_connections));
+        }
+        break;
+      default:  // shrink, keeping at least one intent alive
+        if (events.size() > 1) {
+          events.erase(events.begin() +
+                       static_cast<std::ptrdiff_t>(
+                           rng.next_below(events.size())));
+        }
+        break;
+    }
+  };
+
+  target.score = make_fitness({
+      // Victim-side damage dominates; fault activity keeps gradient when
+      // MCTs plateau. All counter terms read 0 until the fault fires.
+      {"mct-mean", 1.0},
+      {"incomplete-messages", 500.0},
+      {"injector.dropped_by_event", 25.0},
+      {"injector.pause_frames_sent", 10.0},
+      {"injector.flap_queued_dropped", 25.0},
+      {"sum:.paused_ns", 1e-3},
+      {"sum:.retransmitted_packets", 5.0},
+  });
+
+  target.is_anomaly = [](const TestConfig&, const TestResult& result) {
+    bool aborted = false;
+    for (const auto& flow : result.flows) aborted = aborted || flow.aborted;
+    return !result.integrity.ok() || aborted;
+  };
+
+  return target;
+}
+
 std::optional<FuzzTarget> make_fuzz_target(const std::string& name,
-                                           NicType nic) {
+                                           NicType nic,
+                                           int scenario_hosts) {
   if (name == "noisy-neighbor") return make_noisy_neighbor_target(nic);
   if (name == "lossy-network") return make_lossy_network_target(nic);
   if (name == "crc-differential") return make_crc_differential_target(nic);
+  if (name == "scenario") return make_scenario_target(nic, scenario_hosts);
   return std::nullopt;
 }
 

@@ -45,10 +45,25 @@ CrcDifferentialOutcome run_crc_differential(std::uint64_t seed,
 /// divergence. The `nic` only parameterizes the carrier simulation.
 FuzzTarget make_crc_differential_target(NicType nic);
 
+/// Scenario-explosion target: an n-host incast (hosts 1..n-1 drive Writes
+/// at host 0 through the event injector) whose mutation space spans the
+/// FULL injected-event vocabulary — single-packet events (drop, ecn,
+/// corrupt, rewrite-migreq, delay, reorder, duplicate) and the stateful
+/// fault models (burst-loss, pause-storm, link-flap) with their
+/// parameters. Delays and durations are generated at whole-microsecond
+/// granularity so configurations survive the canonical YAML round trip
+/// the corpus checkpoint depends on. Score: report-driven fitness (MCT
+/// inflation + event/fault activity, fuzz/scorers.h); anomaly: a §3.5
+/// integrity failure or aborted traffic — the injected faults are designed
+/// to be survivable, so a run the analyzer cannot trust is a finding.
+FuzzTarget make_scenario_target(NicType nic, int num_hosts = 4);
+
 /// Looks a canned target up by its campaign-YAML name
-/// ("noisy-neighbor" | "lossy-network" | "crc-differential"). Empty on
-/// unknown names.
+/// ("noisy-neighbor" | "lossy-network" | "crc-differential" | "scenario").
+/// Empty on unknown names. `scenario_hosts` parameterizes only the
+/// scenario target's topology width.
 std::optional<FuzzTarget> make_fuzz_target(const std::string& name,
-                                           NicType nic);
+                                           NicType nic,
+                                           int scenario_hosts = 4);
 
 }  // namespace lumina

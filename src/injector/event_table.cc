@@ -34,7 +34,7 @@ std::uint32_t IterTracker::iter(const FlowKey& flow) const {
 
 void EventTable::install(const EventRule& rule) {
   rules_[RuleKey{rule.flow, rule.psn, rule.iter}] =
-      EventAction{rule.action, rule.delay};
+      EventAction{rule.action, rule.delay, rule.fault};
 }
 
 void EventTable::clear() { rules_.clear(); }

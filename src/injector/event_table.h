@@ -45,12 +45,15 @@ struct EventRule {
   EventType action = EventType::kDrop;
   /// kDelay: how long the packet is held before forwarding.
   Tick delay = 0;
+  /// Stateful fault parameters (burst loss / pause storm / link flap).
+  FaultParams fault;
 };
 
 /// The action half of a matched rule.
 struct EventAction {
   EventType type = EventType::kNone;
   Tick delay = 0;
+  FaultParams fault;
 };
 
 /// Tracks the (re)transmission round per connection (Fig. 3): ITER starts

@@ -1,5 +1,7 @@
 #include "injector/switch.h"
 
+#include <algorithm>
+
 #include "packet/packet_arena.h"
 #include "util/logging.h"
 
@@ -62,7 +64,6 @@ void EventInjectorSwitch::attach_telemetry(telemetry::Telemetry* t) {
 }
 
 void EventInjectorSwitch::handle_packet(int in_port, Packet pkt) {
-  (void)in_port;
   // Forward/mirror/reorder paths move the frame onward (leaving the guard
   // nothing to do); the enforced-drop path lets it die here — recycle it.
   ScopedPacketReclaim reclaim_guard(pkt);
@@ -82,6 +83,7 @@ void EventInjectorSwitch::handle_packet(int in_port, Packet pkt) {
   Tick pipeline_latency = options_.l2_pipeline_latency;
   EventType event = EventType::kNone;
   Tick event_delay = 0;
+  bool burst_dropped = false;
 
   if (options_.enable_event_injection) {
     pipeline_latency += options_.event_stage_latency;
@@ -103,6 +105,7 @@ void EventInjectorSwitch::handle_packet(int in_port, Packet pkt) {
           rule.iter = rel.iter;
           rule.action = rel.action;
           rule.delay = rel.delay;
+          rule.fault = rel.fault;
           table_.install(rule);
         }
       }
@@ -115,9 +118,28 @@ void EventInjectorSwitch::handle_packet(int in_port, Packet pkt) {
         telemetry::trace_instant(trace_, "injector", "event_applied",
                                  ingress_ts, telemetry::kTrackInjector,
                                  view->bth.psn);
+        // Stateful fault activations: the matched packet arms the fault;
+        // its ongoing effects then compose with any further rules.
+        switch (event) {
+          case EventType::kBurstLoss:
+            start_burst_channel(flow, action->fault);
+            break;
+          case EventType::kPauseStorm:
+            start_pause_storm(in_port, action->fault);
+            break;
+          case EventType::kLinkFlap:
+            apply_link_flap(view->dst_ip, action->fault);
+            break;
+          default:
+            break;
+        }
       } else {
         telemetry::inc(m_table_miss_);
       }
+      // An armed Gilbert–Elliott channel judges every data packet of its
+      // flow — including the one that just armed it (the channel starts in
+      // the Bad state, so the trigger is the burst's first casualty).
+      burst_dropped = burst_channel_drops(flow);
     }
   }
 
@@ -138,9 +160,14 @@ void EventInjectorSwitch::handle_packet(int in_port, Packet pkt) {
     set_mig_req(pkt, true);
   }
 
-  // Ingress mirror: always before the MMU can drop anything (§3.4).
+  // Ingress mirror: always before the MMU can drop anything (§3.4). A
+  // packet lost to an armed burst channel (no table match of its own) is
+  // mirrored with kBurstLoss so the trace explains why it vanished.
   if (options_.enable_mirroring && mirror_.has_targets()) {
-    auto mirrored = mirror_.mirror(pkt, event, ingress_ts);
+    const EventType mirror_event =
+        burst_dropped && event == EventType::kNone ? EventType::kBurstLoss
+                                                   : event;
+    auto mirrored = mirror_.mirror(pkt, mirror_event, ingress_ts);
     ++counters_.mirrored;
     sim_->schedule_after(
         pipeline_latency,
@@ -154,8 +181,10 @@ void EventInjectorSwitch::handle_packet(int in_port, Packet pkt) {
                        options_.event_stage_latency + event_delay);
   }
 
-  if (event == EventType::kDrop && options_.enforce_drops) {
+  if ((event == EventType::kDrop || burst_dropped) &&
+      options_.enforce_drops) {
     ++counters_.dropped_by_event;
+    if (burst_dropped) ++fault_stats_.burst_loss_dropped;
     telemetry::trace_instant(trace_, "injector", "drop_enforced", ingress_ts,
                              telemetry::kTrackInjector, view->bth.psn);
     return;
@@ -178,6 +207,16 @@ void EventInjectorSwitch::handle_packet(int in_port, Packet pkt) {
   const Tick depart = pipeline_latency + event_delay;
   const bool is_data = is_data_opcode(view->bth.opcode);
   const FlowKey flow{view->src_ip, view->dst_ip, view->bth.dest_qpn};
+  // Duplication: a byte-identical clone chases the original one tick
+  // behind — the receiver sees the same PSN twice back to back.
+  if (event == EventType::kDuplicate) {
+    Packet clone = pkt;
+    ++counters_.roce_tx;
+    ++fault_stats_.duplicates_emitted;
+    sim_->schedule_after(depart + 1, [this, p = std::move(clone)]() mutable {
+      forward(std::move(p));
+    });
+  }
   sim_->schedule_after(depart, [this, p = std::move(pkt)]() mutable {
     forward(std::move(p));
   });
@@ -194,6 +233,84 @@ void EventInjectorSwitch::handle_packet(int in_port, Packet pkt) {
       });
     }
   }
+}
+
+void EventInjectorSwitch::start_burst_channel(const FlowKey& flow,
+                                              const FaultParams& fault) {
+  ++fault_stats_.burst_channels_started;
+  // Seed derived from the switch seed and the flow identity, so channels
+  // are independent per flow yet byte-deterministic for a fixed run seed.
+  const std::uint64_t seed =
+      options_.rng_seed ^
+      (static_cast<std::uint64_t>(FlowKeyHash{}(flow)) * 0x100000001b3ULL);
+  BurstChannelSlot slot{
+      GilbertElliottChannel(fault.ge_p, fault.ge_r, seed, /*start_bad=*/true),
+      fault.duration > 0 ? sim_->now() + fault.duration : 0};
+  burst_channels_.insert_or_assign(flow, std::move(slot));
+}
+
+bool EventInjectorSwitch::burst_channel_drops(const FlowKey& flow) {
+  if (burst_channels_.empty()) return false;
+  const auto it = burst_channels_.find(flow);
+  if (it == burst_channels_.end()) return false;
+  if (it->second.expires != 0 && sim_->now() >= it->second.expires) {
+    burst_channels_.erase(it);
+    return false;
+  }
+  return it->second.channel.drop_next();
+}
+
+void EventInjectorSwitch::start_pause_storm(int in_port,
+                                            const FaultParams& fault) {
+  ++fault_stats_.pause_storms;
+  const Tick refresh = std::max<Tick>(1, options_.pause_refresh_interval);
+  const Tick duration = fault.duration > 0 ? fault.duration : refresh;
+  const double gbps = port(in_port).link().gbps;
+  // Each frame names ~2 refresh intervals of pause so coverage overlaps;
+  // one quantum is 512 bit-times at the victim's link rate.
+  const std::int64_t want_quanta =
+      2 * refresh * static_cast<std::int64_t>(gbps) / kPfcBitTimesPerQuantum;
+  const auto quanta = static_cast<std::uint16_t>(
+      std::clamp<std::int64_t>(want_quanta, 1, 0xFFFF));
+  const int priority = fault.priority;
+  for (Tick at = 0; at < duration; at += refresh) {
+    sim_->schedule_after(at, [this, in_port, priority, quanta] {
+      send_pause_frame(in_port, priority, quanta);
+    });
+  }
+  // Storm over: an explicit resume (0 quanta) reopens the priority.
+  sim_->schedule_after(duration, [this, in_port, priority] {
+    send_pause_frame(in_port, priority, 0);
+  });
+}
+
+void EventInjectorSwitch::send_pause_frame(int port_index, int priority,
+                                           std::uint16_t quanta) {
+  PfcFrame frame;
+  const int pri = std::clamp(priority, 0, 7);
+  frame.class_enable = static_cast<std::uint16_t>(1u << pri);
+  frame.quanta[static_cast<std::size_t>(pri)] = quanta;
+  // Locally administered source MAC naming the emitting switch port.
+  Packet pkt = build_pfc_frame(
+      MacAddress::from_u48(0x02AA00000000ULL |
+                           static_cast<std::uint64_t>(port_index)),
+      frame);
+  ++fault_stats_.pause_frames_sent;
+  port(port_index).send(std::move(pkt));
+}
+
+void EventInjectorSwitch::apply_link_flap(Ipv4Address dst_ip,
+                                          const FaultParams& fault) {
+  const auto it = routes_.find(dst_ip);
+  if (it == routes_.end()) return;
+  ++fault_stats_.link_flaps;
+  Port& egress = port(it->second);
+  fault_stats_.flap_queued_dropped +=
+      egress.set_link_down(fault.flap_drops_queued);
+  const Tick duration = fault.duration > 0 ? fault.duration : kMicrosecond;
+  const int port_index = it->second;
+  sim_->schedule_after(duration,
+                       [this, port_index] { port(port_index).set_link_up(); });
 }
 
 void EventInjectorSwitch::flush_reorder(const FlowKey& flow) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "injector/event_table.h"
+#include "injector/fault_models.h"
 #include "injector/mirror.h"
 #include "net/node.h"
 #include "sim/simulator.h"
@@ -32,6 +33,21 @@ struct SwitchRoceCounters {
   std::uint64_t events_applied = 0; ///< non-none events applied
   std::uint64_t dropped_by_event = 0;
   std::uint64_t ecn_marked_by_queue = 0;  ///< congestion-driven CE marks
+};
+
+/// Statistics of the stateful fault models (burst loss, duplication, pause
+/// storms, link flaps). Kept apart from SwitchRoceCounters so the artifact
+/// files keep their exact shape; the orchestrator scrapes these into
+/// telemetry only when nonzero, so runs that never configure the new event
+/// types keep a byte-identical report.json metric set.
+struct SwitchFaultStats {
+  std::uint64_t burst_channels_started = 0;
+  std::uint64_t burst_loss_dropped = 0;
+  std::uint64_t duplicates_emitted = 0;
+  std::uint64_t pause_storms = 0;
+  std::uint64_t pause_frames_sent = 0;
+  std::uint64_t link_flaps = 0;
+  std::uint64_t flap_queued_dropped = 0;
 };
 
 class EventInjectorSwitch : public Node {
@@ -56,6 +72,10 @@ class EventInjectorSwitch : public Node {
     /// disables (the stock tool only marks via injected events). Enables
     /// genuine closed-loop DCQCN experiments with mixed link speeds.
     std::size_t ecn_marking_threshold_bytes = 0;
+    /// kPauseStorm: interval at which the storm refreshes pause frames.
+    /// Each frame names ~2 intervals of pause quanta so coverage overlaps
+    /// even if a refresh frame queues behind reverse-direction traffic.
+    Tick pause_refresh_interval = 10 * kMicrosecond;
     std::uint64_t rng_seed = 0x1u;
   };
 
@@ -90,6 +110,7 @@ class EventInjectorSwitch : public Node {
     std::uint32_t iter = 1;
     EventType action = EventType::kDrop;
     Tick delay = 0;
+    FaultParams fault;
   };
   void install_relative_rule(const RelativeEventRule& rule);
   int discovered_flows() const { return discovered_; }
@@ -102,9 +123,13 @@ class EventInjectorSwitch : public Node {
   void attach_telemetry(telemetry::Telemetry* telemetry);
 
   const SwitchRoceCounters& roce_counters() const { return counters_; }
+  const SwitchFaultStats& fault_stats() const { return fault_stats_; }
   const EventTable& event_table() const { return table_; }
   const IterTracker& iter_tracker() const { return iter_tracker_; }
   MirrorEngine& mirror_engine() { return mirror_; }
+
+  /// Active Gilbert–Elliott channels (one per flow with a live burst).
+  std::size_t active_burst_channels() const { return burst_channels_.size(); }
 
   // -- data plane ----------------------------------------------------------
   void handle_packet(int in_port, Packet pkt) override;
@@ -114,9 +139,21 @@ class EventInjectorSwitch : public Node {
   void forward(Packet pkt);
   void flush_reorder(const FlowKey& flow);
 
+  // Stateful fault models (docs/fuzzing.md).
+  void start_burst_channel(const FlowKey& flow, const FaultParams& fault);
+  bool burst_channel_drops(const FlowKey& flow);
+  void start_pause_storm(int in_port, const FaultParams& fault);
+  void send_pause_frame(int port_index, int priority, std::uint16_t quanta);
+  void apply_link_flap(Ipv4Address dst_ip, const FaultParams& fault);
+
   struct ReorderSlot {
     Packet pkt;
     std::uint64_t flush_event = 0;
+  };
+
+  struct BurstChannelSlot {
+    GilbertElliottChannel channel;
+    Tick expires = 0;  ///< 0 = lives for the rest of the run.
   };
 
   Simulator* sim_;
@@ -134,6 +171,8 @@ class EventInjectorSwitch : public Node {
   telemetry::Counter* m_table_miss_ = nullptr;
   telemetry::Histogram* m_added_latency_ = nullptr;
   std::unordered_map<FlowKey, ReorderSlot, FlowKeyHash> reorder_slots_;
+  std::unordered_map<FlowKey, BurstChannelSlot, FlowKeyHash> burst_channels_;
+  SwitchFaultStats fault_stats_;
 
   // Stateful-discovery ablation state.
   std::vector<RelativeEventRule> relative_rules_;

@@ -18,10 +18,33 @@ void Port::send(Packet pkt) {
   counters_.max_queued_bytes =
       std::max(counters_.max_queued_bytes, queued_bytes_);
   queue_.push_back(std::move(pkt));
-  if (!transmitting_) start_transmission();
+  if (!transmitting_ && link_up_) start_transmission();
+}
+
+std::size_t Port::set_link_down(bool drop_queued) {
+  link_up_ = false;
+  if (!drop_queued) return 0;
+  const std::size_t dropped = queue_.size();
+  counters_.drops += dropped;
+  for (auto& pkt : queue_) PacketArena::reclaim(std::move(pkt));
+  queue_.clear();
+  queued_bytes_ = 0;
+  return dropped;
+}
+
+void Port::set_link_up() {
+  if (link_up_) return;
+  link_up_ = true;
+  // A frame serializing at flap time still owns the wire; its completion
+  // continuation restarts the queue. Otherwise kick it here.
+  if (!transmitting_ && !queue_.empty()) start_transmission();
 }
 
 void Port::start_transmission() {
+  if (!link_up_) {
+    transmitting_ = false;
+    return;
+  }
   if (queue_.empty()) {
     transmitting_ = false;
     if (drained_cb_) drained_cb_();

@@ -80,6 +80,18 @@ class Port {
   void set_queue_byte_cap(std::size_t cap) { queue_byte_cap_ = cap; }
   std::size_t queued_bytes() const { return queued_bytes_; }
 
+  /// Takes the link down (the injector's link-flap event). New sends still
+  /// enqueue — subject to the byte cap, so a long outage tail-drops — but
+  /// nothing transmits until set_link_up(). A frame already serializing
+  /// finishes (the wire holds it). With `drop_queued` the egress FIFO is
+  /// emptied on the way down (counted in counters().drops); returns how
+  /// many packets that discarded.
+  std::size_t set_link_down(bool drop_queued);
+
+  /// Brings the link back up and resumes transmission of anything queued.
+  void set_link_up();
+  bool link_up() const { return link_up_; }
+
   const PortCounters& counters() const { return counters_; }
   const LinkParams& link() const { return params_; }
   int index() const { return index_; }
@@ -106,6 +118,7 @@ class Port {
   std::size_t queued_bytes_ = 0;
   std::size_t queue_byte_cap_ = 4 * 1024 * 1024;
   bool transmitting_ = false;
+  bool link_up_ = true;
   Tick busy_until_ = 0;
   PortCounters counters_;
   std::function<void()> drained_cb_;

@@ -77,6 +77,7 @@ EventRule Orchestrator::translate_intent(const DataPacketEvent& intent) const {
   rule.iter = intent.iter;
   rule.action = intent.type;
   rule.delay = intent.delay;
+  rule.fault = intent.fault;
   return rule;
 }
 
@@ -86,8 +87,9 @@ void Orchestrator::program_injector() {
     // QPs and materializes rules itself. No metadata is shared.
     for (const auto& intent : config_.traffic.data_pkt_events) {
       testbed_->injector().install_relative_rule(
-          EventInjectorSwitch::RelativeEventRule{
-              intent.qpn, intent.psn, intent.iter, intent.type, intent.delay});
+          EventInjectorSwitch::RelativeEventRule{intent.qpn, intent.psn,
+                                                 intent.iter, intent.type,
+                                                 intent.delay, intent.fault});
     }
     return;
   }
@@ -209,6 +211,28 @@ void Orchestrator::scrape_telemetry() {
   reg.counter("injector.events_applied").inc(sw.events_applied);
   reg.counter("injector.dropped_by_event").inc(sw.dropped_by_event);
   reg.counter("injector.ecn_marked_by_queue").inc(sw.ecn_marked_by_queue);
+  // Stateful-fault metrics register only when the fault actually fired:
+  // runs without the new event vocabulary keep a byte-identical metric set
+  // (the campaign baseline contract, docs/fuzzing.md).
+  const SwitchFaultStats& fs = injector.fault_stats();
+  if (fs.burst_channels_started != 0) {
+    reg.counter("injector.burst_channels_started")
+        .inc(fs.burst_channels_started);
+  }
+  if (fs.burst_loss_dropped != 0) {
+    reg.counter("injector.burst_loss_dropped").inc(fs.burst_loss_dropped);
+  }
+  if (fs.duplicates_emitted != 0) {
+    reg.counter("injector.duplicates_emitted").inc(fs.duplicates_emitted);
+  }
+  if (fs.pause_storms != 0) {
+    reg.counter("injector.pause_storms").inc(fs.pause_storms);
+    reg.counter("injector.pause_frames_sent").inc(fs.pause_frames_sent);
+  }
+  if (fs.link_flaps != 0) {
+    reg.counter("injector.link_flaps").inc(fs.link_flaps);
+    reg.counter("injector.flap_queued_dropped").inc(fs.flap_queued_dropped);
+  }
   for (int p = 0; p < injector.num_ports(); ++p) {
     const PortCounters& pc = injector.port(p).counters();
     const std::string prefix = "injector.port" + std::to_string(p) + ".";
@@ -222,6 +246,14 @@ void Orchestrator::scrape_telemetry() {
     const std::string prefix = "rnic." + nic.name() + ".";
     for (const auto& [counter, value] : nic.counters().entries()) {
       reg.counter(prefix + counter).inc(value);
+    }
+    // PFC pause metrics exist only in runs where pause frames flowed, so
+    // storm-free runs keep a byte-identical metric set.
+    const RnicPauseStats& ps = nic.pause_stats();
+    if (ps.pause_frames_rx != 0 || ps.pause_resumes_rx != 0) {
+      reg.counter(prefix + "pause_frames_rx").inc(ps.pause_frames_rx);
+      reg.counter(prefix + "pause_resumes_rx").inc(ps.pause_resumes_rx);
+      reg.counter(prefix + "paused_ns").inc(ps.paused_ns);
     }
   }
 

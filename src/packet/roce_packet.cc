@@ -159,6 +159,10 @@ std::string to_string(EventType t) {
     case EventType::kRewriteMigReq: return "rewrite-migreq";
     case EventType::kDelay: return "delay";
     case EventType::kReorder: return "reorder";
+    case EventType::kDuplicate: return "duplicate";
+    case EventType::kBurstLoss: return "burst-loss";
+    case EventType::kPauseStorm: return "pause-storm";
+    case EventType::kLinkFlap: return "link-flap";
   }
   return "unknown";
 }

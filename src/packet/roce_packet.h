@@ -26,7 +26,10 @@ namespace lumina {
 /// Event kinds the injector can apply; the mirror engine embeds the value
 /// in the TTL field of mirrored copies (§3.4 "Indicating events").
 /// kDelay and kReorder implement the §7 extension ("quantitatively adding
-/// delay and packet reordering ... as part of our future work").
+/// delay and packet reordering ... as part of our future work"); the
+/// stateful fault models after them (duplication, Gilbert–Elliott burst
+/// loss, PFC pause storms, link flaps) widen the fuzzing vocabulary per
+/// ROADMAP "Scenario explosion".
 enum class EventType : std::uint8_t {
   kNone = 0,
   kEcn = 1,
@@ -35,9 +38,44 @@ enum class EventType : std::uint8_t {
   kRewriteMigReq = 4,
   kDelay = 5,
   kReorder = 6,
+  kDuplicate = 7,
+  kBurstLoss = 8,
+  kPauseStorm = 9,
+  kLinkFlap = 10,
 };
 
+/// Number of EventType values. Keep in sync with the enum: the round-trip
+/// test in tests/unit/config_test.cc walks [0, kNumEventTypes) through
+/// to_string()/parse_event_type() and asserts kNumEventTypes itself formats
+/// as "unknown", so growing the enum without bumping this (and both string
+/// maps) fails a test instead of silently defaulting.
+inline constexpr int kNumEventTypes = 11;
+
 std::string to_string(EventType t);
+
+/// Parameters of the stateful fault models. Plain data shared by the config
+/// schema (DataPacketEvent), the injector's match-action table (EventRule /
+/// EventAction), and the fuzzer's mutation vocabulary. Only the fields of
+/// the matching EventType are meaningful; defaults keep unrelated events
+/// byte-identical to their pre-fault-vocabulary encoding.
+struct FaultParams {
+  /// kBurstLoss: Gilbert–Elliott transition probabilities — Good→Bad on
+  /// `ge_p`, Bad→Good on `ge_r` (stationary loss rate p/(p+r), mean burst
+  /// length 1/r packets).
+  double ge_p = 0.05;
+  double ge_r = 0.25;
+  /// kPauseStorm / kLinkFlap: how long the storm / outage lasts, in ns.
+  /// kBurstLoss: channel lifetime after activation (0 = rest of the run).
+  std::int64_t duration = 0;
+  /// kPauseStorm: 802.1Qbb priority class the pause frames name.
+  int priority = 0;
+  /// kLinkFlap: disposition of packets queued on the port when it goes
+  /// down — true drops them (ports lose their FIFOs), false holds them
+  /// for retransmission-free recovery once the link returns.
+  bool flap_drops_queued = true;
+
+  bool operator==(const FaultParams&) const = default;
+};
 
 /// Parsed view of a RoCEv2 frame. Header structs are copies; offsets allow
 /// callers to patch the original bytes.

@@ -180,6 +180,13 @@ void Rnic::handle_packet(int in_port, Packet pkt) {
   // Every path below consumes the frame (the dispatch lambda captures a
   // parsed copy, not the bytes): recycle the buffer on exit.
   ScopedPacketReclaim reclaim_guard(pkt);
+  // 802.1Qbb pause: MAC-layer flow control, honored ahead of the RoCE RX
+  // pipeline (and regardless of any pipeline stall). Kept out of the
+  // generic rx counters — real NICs account pause frames separately.
+  if (is_pfc_frame(pkt)) {
+    if (const auto frame = parse_pfc_frame(pkt)) on_pause_frame(*frame);
+    return;
+  }
   const Tick now = sim_->now();
   ++counters_.rx_packets;
   counters_.rx_bytes += pkt.size();
@@ -259,6 +266,38 @@ void Rnic::handle_packet(int in_port, Packet pkt) {
   });
 }
 
+void Rnic::on_pause_frame(const PfcFrame& frame) {
+  const Tick now = sim_->now();
+  const double gbps = port_->link().gbps;
+  bool resumed = false;
+  for (std::size_t pri = 0; pri < pause_until_.size(); ++pri) {
+    if ((frame.class_enable >> pri & 1u) == 0) continue;
+    const Tick pause = pfc_quanta_to_ns(frame.quanta[pri], gbps);
+    Tick& until = pause_until_[pri];
+    if (pause == 0) {
+      // Explicit resume: reopen the priority and credit back the unserved
+      // remainder of the pause.
+      ++pause_stats_.pause_resumes_rx;
+      if (until > now) {
+        pause_stats_.paused_ns -= static_cast<std::uint64_t>(until - now);
+        until = now;
+        resumed = true;
+      }
+    } else {
+      ++pause_stats_.pause_frames_rx;
+      const Tick new_until = now + pause;
+      if (new_until > until) {
+        pause_stats_.paused_ns +=
+            static_cast<std::uint64_t>(new_until - std::max(until, now));
+        until = new_until;
+      }
+    }
+  }
+  telemetry::trace_instant(tele_.trace, "rnic", "pfc_pause", now, tele_.track,
+                           frame.class_enable);
+  if (resumed) notify_tx_ready();
+}
+
 void Rnic::notify_out_of_order(QueuePair& qp) {
   if (!profile_.cnp_on_out_of_order || !roce_.dcqcn_np_enable) return;
   maybe_send_cnp(qp);
@@ -312,6 +351,12 @@ void Rnic::pump() {
   for (std::size_t tc = 0; tc < ntc; ++tc) {
     const auto& qps = qps_by_tc_[tc];
     if (qps.empty()) continue;
+    // PFC gate: a paused priority's class sits out; it re-arms the pump
+    // for the moment the pause quanta expire.
+    if (tc < pause_until_.size() && pause_until_[tc] > now) {
+      earliest = std::min(earliest, pause_until_[tc]);
+      continue;
+    }
     const std::size_t n = qps.size();
     for (std::size_t k = 0; k < n; ++k) {
       QueuePair* qp = qps[(tc_cursor_[tc] + k) % n];

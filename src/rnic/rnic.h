@@ -4,6 +4,7 @@
 // MigReq slow path §6.2.3, counter bugs §6.2.4).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "net/node.h"
+#include "packet/pfc.h"
 #include "rnic/counters.h"
 #include "rnic/dcqcn.h"
 #include "rnic/device_profile.h"
@@ -34,6 +36,18 @@ struct RnicTelemetryHooks {
   telemetry::Histogram* cnp_interval = nullptr;      ///< gap between CNPs.
   telemetry::Histogram* rto_fired_after = nullptr;   ///< arm -> expiry.
   std::uint32_t track = telemetry::kTrackRequester;
+};
+
+/// 802.1Qbb pause statistics. Kept apart from RnicCounters so the
+/// counters.txt artifact keeps its exact shape; the orchestrator scrapes
+/// these into telemetry only when nonzero (pause frames exist only in runs
+/// that configure the pause-storm event).
+struct RnicPauseStats {
+  std::uint64_t pause_frames_rx = 0;
+  std::uint64_t pause_resumes_rx = 0;
+  /// Total egress pause time accumulated across priorities. A pause cut
+  /// short by an explicit resume is credited back.
+  std::uint64_t paused_ns = 0;
 };
 
 class Rnic : public Node {
@@ -64,6 +78,11 @@ class Rnic : public Node {
   const RoceParameters& roce() const { return roce_; }
   RnicCounters& counters() { return counters_; }
   const RnicCounters& counters() const { return counters_; }
+  const RnicPauseStats& pause_stats() const { return pause_stats_; }
+  /// Egress pause deadline of `priority` (its traffic class maps 1:1).
+  Tick paused_until(int priority) const {
+    return pause_until_[static_cast<std::size_t>(priority & 7)];
+  }
   Simulator* sim() { return sim_; }
 
   /// Resolved minimum CNP interval: the configured value when the device
@@ -101,6 +120,7 @@ class Rnic : public Node {
   void pump();
   void schedule_pump(Tick when);
   void maybe_send_cnp(QueuePair& qp);
+  void on_pause_frame(const PfcFrame& frame);
 
   Simulator* sim_;
   std::string name_;
@@ -133,6 +153,12 @@ class Rnic : public Node {
 
   RnicTelemetryHooks tele_;
   Tick last_cnp_sent_at_ = -1;
+
+  // 802.1Qbb reaction point: per-priority egress pause deadlines (traffic
+  // class i honors priority i). Control packets (ACK/NAK/CNP) ride the
+  // strict-priority control queue, which pause storms do not gate.
+  std::array<Tick, 8> pause_until_{};
+  RnicPauseStats pause_stats_;
 
   // §6.2.2 noisy neighbor: RX pipeline stall.
   int active_read_episodes_ = 0;

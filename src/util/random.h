@@ -64,6 +64,12 @@ class Rng {
   /// Bernoulli trial with probability `p`.
   bool next_bool(double p) { return next_double() < p; }
 
+  /// The raw 256-bit generator state, for checkpointing. A generator
+  /// restored with set_state() continues the exact same sequence, which is
+  /// what lets a fuzz corpus checkpoint resume byte-deterministically.
+  std::array<std::uint64_t, 4> state() const { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& s) { state_ = s; }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

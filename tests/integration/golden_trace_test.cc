@@ -107,6 +107,34 @@ Orchestrator::Options incast_options() {
   return options;
 }
 
+/// The examples/configs/pause_storm_incast.yaml scenario: a 3:1 incast
+/// where the switch storms the first sender's ingress with 802.1Qbb pause
+/// frames for 150 us mid-transfer, then resumes it — the golden pins the
+/// victim's pause accounting and the recovery.
+TestConfig pause_storm_incast_config() {
+  TestConfig cfg;
+  cfg.hosts.clear();
+  for (int i = 0; i < 3; ++i) {
+    HostConfig sender;
+    sender.nic_type = NicType::kCx6Dx;
+    cfg.hosts.push_back(sender);
+  }
+  HostConfig sink;
+  sink.nic_type = NicType::kCx6Dx;
+  cfg.hosts.push_back(sink);
+  for (int i = 0; i < 3; ++i) {
+    cfg.connections.push_back(ConnectionSpec{i, 3});
+  }
+  cfg.traffic.verb = RdmaVerb::kWrite;
+  cfg.traffic.num_msgs_per_qp = 3;
+  cfg.traffic.message_size = 16 * 1024;
+  cfg.traffic.mtu = 1024;
+  DataPacketEvent storm{1, 4, EventType::kPauseStorm, 1};
+  storm.fault.duration = 150 * kMicrosecond;
+  cfg.traffic.data_pkt_events.push_back(storm);
+  return cfg;
+}
+
 /// Runs the experiment and compares every artifact against the golden
 /// directory, or rewrites the goldens when LUMINA_REGEN_GOLDEN is set.
 void check_against_golden(const std::string& scenario, const TestConfig& cfg,
@@ -195,6 +223,10 @@ TEST(GoldenTrace, Incast4HostMatchesGolden) {
   }
 }
 
+TEST(GoldenTrace, PauseStormIncastMatchesGolden) {
+  check_against_golden("pause_storm_incast", pause_storm_incast_config());
+}
+
 // Semantic guards alongside the byte-level goldens, so a regen can't
 // silently bless a trace that lost the behavior under test.
 TEST(GoldenTrace, GoBackNGoldenContainsRetransmission) {
@@ -233,6 +265,42 @@ TEST(GoldenTrace, IncastGoldenContainsCongestionFeedback) {
     if (packet.view.is_cnp()) ++cnps;
   }
   EXPECT_GT(cnps, 0u) << "incast produced no CNPs";
+}
+
+TEST(GoldenTrace, PauseStormGoldenShowsCollapseAndRecovery) {
+  const TestResult result = Orchestrator(pause_storm_incast_config()).run();
+  // Recovery: the resume frame reopens the priority and the whole incast
+  // still completes with intact integrity.
+  ASSERT_TRUE(result.finished);
+  ASSERT_TRUE(result.integrity.ok()) << result.integrity.to_string();
+  // The victim (connection 1's sender = host 0, "requester") received the
+  // storm and actually gated its egress.
+  EXPECT_EQ(result.telemetry.counters.at("injector.pause_storms"), 1u);
+  EXPECT_GT(result.telemetry.counters.at("rnic.requester.pause_frames_rx"),
+            0u);
+  EXPECT_GT(result.telemetry.counters.at("rnic.requester.pause_resumes_rx"),
+            0u);
+  EXPECT_GT(result.telemetry.counters.at("rnic.requester.paused_ns"), 0u);
+
+  // Goodput collapse: against a storm-free run of the same incast, the
+  // stormed sender's flow is measurably slower.
+  const TestConfig clean = [] {
+    TestConfig cfg = pause_storm_incast_config();
+    cfg.traffic.data_pkt_events.clear();
+    return cfg;
+  }();
+  const TestResult baseline = Orchestrator(clean).run();
+  ASSERT_EQ(result.flows.size(), 3u);
+  ASSERT_EQ(baseline.flows.size(), 3u);
+  EXPECT_LT(result.flows[0].goodput_gbps(),
+            baseline.flows[0].goodput_gbps());
+  EXPECT_GT(result.flows[0].avg_mct_us(), baseline.flows[0].avg_mct_us());
+  // And the baseline's metric set has no pause counters at all — the
+  // dormant-fault byte-identity contract.
+  EXPECT_EQ(baseline.telemetry.counters.count("injector.pause_storms"), 0u);
+  EXPECT_EQ(
+      baseline.telemetry.counters.count("rnic.requester.pause_frames_rx"),
+      0u);
 }
 
 }  // namespace

@@ -1,7 +1,11 @@
-// Unit tests for the genetic fuzzer (§4, Algorithm 1).
+// Unit tests for the genetic fuzzer (§4, Algorithm 1), its corpus
+// checkpointing, and the report-driven fitness terms.
 #include <gtest/gtest.h>
 
+#include "config/yaml_lite.h"
+#include "fuzz/corpus.h"
 #include "fuzz/fuzzer.h"
+#include "fuzz/scorers.h"
 #include "fuzz/targets.h"
 
 namespace lumina {
@@ -137,6 +141,180 @@ TEST(Fuzzer, LossyTargetScoresCounterBugsHigh) {
   const double good_score = target.score(good_cfg, good.run());
   EXPECT_FALSE(target.is_anomaly(good_cfg, good.result()));
   EXPECT_GT(bad_score, good_score);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / resume and the corpus on-disk form (docs/fuzzing.md)
+// ---------------------------------------------------------------------------
+
+FuzzTarget no_anomaly_target() {
+  FuzzTarget target = synthetic_target();
+  target.is_anomaly = [](const TestConfig&, const TestResult&) {
+    return false;
+  };
+  return target;
+}
+
+GeneticFuzzer::Options exhaustive_options() {
+  GeneticFuzzer::Options options;
+  options.pool_size = 3;
+  options.max_iterations = 9;
+  options.seed = 99;
+  return options;
+}
+
+TEST(FuzzerCheckpoint, StepBudgetCoversOnlyTheCurrentCall) {
+  GeneticFuzzer fuzzer(no_anomaly_target(), exhaustive_options());
+  const FuzzOutcome first = fuzzer.run(4);
+  EXPECT_EQ(first.iterations, 4);
+  EXPECT_EQ(fuzzer.state().steps_done, 4);
+  EXPECT_FALSE(fuzzer.state().done);
+  // The second call reports only its own steps; lifetime totals live in
+  // state(). 3 + 9 = 12 total, so 8 remain.
+  const FuzzOutcome rest = fuzzer.run(0);
+  EXPECT_EQ(rest.iterations, 8);
+  EXPECT_EQ(fuzzer.state().steps_done, 12);
+  EXPECT_TRUE(fuzzer.state().done);
+}
+
+TEST(FuzzerCheckpoint, ResumedHuntMatchesUninterrupted) {
+  const FuzzTarget target = no_anomaly_target();
+  const GeneticFuzzer::Options options = exhaustive_options();
+  GeneticFuzzer uninterrupted(target, options);
+  uninterrupted.run();
+  const std::string expected = serialize_corpus(uninterrupted.checkpoint());
+
+  // Interrupt after 4 steps, round the checkpoint through its on-disk
+  // text form, and finish the hunt in a brand-new fuzzer.
+  GeneticFuzzer first_half(target, options);
+  first_half.run(4);
+  const std::string mid = serialize_corpus(first_half.checkpoint());
+  GeneticFuzzer second_half(target, options);
+  second_half.restore(parse_corpus(mid));
+  second_half.run();
+  EXPECT_EQ(serialize_corpus(second_half.checkpoint()), expected);
+}
+
+TEST(Corpus, SerializationIsAFixpoint) {
+  GeneticFuzzer fuzzer(no_anomaly_target(), exhaustive_options());
+  fuzzer.run(5);
+  const std::string bytes = serialize_corpus(fuzzer.checkpoint());
+  const FuzzCorpusState parsed = parse_corpus(bytes);
+  EXPECT_EQ(parsed.steps_done, 5);
+  EXPECT_EQ(parsed.pool.size(), fuzzer.state().pool.size());
+  EXPECT_EQ(serialize_corpus(parsed), bytes);
+  EXPECT_EQ(corpus_digest(bytes), corpus_digest(serialize_corpus(parsed)));
+}
+
+TEST(Corpus, AnomalyBlockRoundTrips) {
+  GeneticFuzzer::Options options;
+  options.pool_size = 4;
+  options.max_iterations = 120;
+  options.seed = 7;
+  GeneticFuzzer fuzzer(synthetic_target(), options);
+  fuzzer.run();
+  ASSERT_TRUE(fuzzer.state().anomaly.has_value());
+  const std::string bytes = serialize_corpus(fuzzer.checkpoint());
+  const FuzzCorpusState parsed = parse_corpus(bytes);
+  EXPECT_TRUE(parsed.done);
+  ASSERT_TRUE(parsed.anomaly.has_value());
+  EXPECT_EQ(parsed.anomaly->config.traffic.message_size,
+            fuzzer.state().anomaly->config.traffic.message_size);
+  EXPECT_EQ(serialize_corpus(parsed), bytes);
+}
+
+TEST(Corpus, MalformedTextThrows) {
+  EXPECT_THROW(parse_corpus("not a corpus"), YamlError);
+  EXPECT_THROW(parse_corpus("# lumina fuzz corpus v1\nsteps-done: x\n"),
+               YamlError);
+}
+
+TEST(Corpus, MissingFileIsNullopt) {
+  EXPECT_FALSE(
+      load_corpus_file("/nonexistent/dir/corpus.yaml").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// The scenario target (multi-host incast + full fault vocabulary)
+// ---------------------------------------------------------------------------
+
+TEST(Fuzzer, ScenarioTargetConfigsRoundTripCanonically) {
+  // Everything the target generates must survive the corpus round trip
+  // byte-exactly: serialize -> parse -> serialize is a fixpoint.
+  Rng rng(3);
+  const FuzzTarget target = make_scenario_target(NicType::kCx5, 4);
+  for (int i = 0; i < 15; ++i) {
+    TestConfig cfg = target.make_initial(rng);
+    EXPECT_EQ(cfg.hosts.size(), 4u);
+    for (int m = 0; m < 4; ++m) {
+      target.mutate(cfg, rng);
+      EXPECT_GE(cfg.traffic.data_pkt_events.size(), 1u);
+      EXPECT_LE(cfg.traffic.data_pkt_events.size(), 4u);
+      for (const auto& ev : cfg.traffic.data_pkt_events) {
+        EXPECT_GE(ev.qpn, 1);
+        EXPECT_LE(ev.qpn, cfg.traffic.num_connections);
+      }
+      const std::string text = serialize_test_config(cfg);
+      const TestConfig reparsed = load_test_config(parse_yaml(text));
+      EXPECT_EQ(serialize_test_config(reparsed), text);
+      EXPECT_EQ(reparsed.traffic.data_pkt_events,
+                cfg.traffic.data_pkt_events);
+    }
+  }
+}
+
+TEST(Fuzzer, ScenarioTargetRegistered) {
+  EXPECT_TRUE(
+      make_fuzz_target("scenario", NicType::kCx5, 3).has_value());
+  EXPECT_FALSE(make_fuzz_target("no-such-target", NicType::kCx5).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Report-driven fitness terms
+// ---------------------------------------------------------------------------
+
+TEST(Scorers, UnknownMetricThrowsAtCompositionTime) {
+  EXPECT_THROW(make_fitness({FitnessTerm{"bogus", 1.0}}), YamlError);
+  EXPECT_THROW(make_fitness({}), YamlError);
+  TestConfig cfg;
+  TestResult result;
+  EXPECT_THROW(eval_fitness_metric("bogus", cfg, result), YamlError);
+}
+
+TEST(Scorers, CountersSumsAndBuiltinsCompose) {
+  TestConfig cfg;
+  cfg.traffic.num_msgs_per_qp = 2;
+  TestResult result;
+  result.finished = false;
+  result.telemetry.counters["injector.dropped_by_event"] = 3;
+  result.telemetry.counters["rnic.requester.retransmitted_packets"] = 2;
+  result.telemetry.counters["rnic.responder.retransmitted_packets"] = 5;
+  EXPECT_EQ(eval_fitness_metric("injector.dropped_by_event", cfg, result),
+            3.0);
+  EXPECT_EQ(
+      eval_fitness_metric("sum:.retransmitted_packets", cfg, result), 7.0);
+  EXPECT_EQ(eval_fitness_metric("unfinished", cfg, result), 1.0);
+  // Absent counter paths read 0: the dormant-fault contract.
+  EXPECT_EQ(eval_fitness_metric("injector.pause_storms", cfg, result), 0.0);
+  const auto fitness = make_fitness(
+      {FitnessTerm{"injector.dropped_by_event", 2.0},
+       FitnessTerm{"unfinished", 10.0}});
+  EXPECT_EQ(fitness(cfg, result), 16.0);
+}
+
+TEST(Scorers, LoadFitnessParsesMapsAndScalars) {
+  const YamlNode root = parse_yaml(
+      "fitness:\n"
+      "  - {metric: mct-mean, weight: 2.5}\n"
+      "  - injector.dropped_by_event\n");
+  const auto terms = load_fitness(root["fitness"]);
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0].metric, "mct-mean");
+  EXPECT_EQ(terms[0].weight, 2.5);
+  EXPECT_EQ(terms[1].metric, "injector.dropped_by_event");
+  EXPECT_EQ(terms[1].weight, 1.0);
+  EXPECT_THROW(load_fitness(parse_yaml("fitness:\n  - nonsense\n")["fitness"]),
+               YamlError);
 }
 
 TEST(CrcDifferential, CleanAcrossSeeds) {

@@ -6,6 +6,10 @@
 #include <map>
 
 #include "injector/event_table.h"
+#include "injector/fault_models.h"
+#include "orchestrator/orchestrator.h"
+#include "packet/pfc.h"
+#include "telemetry/report.h"
 #include "util/random.h"
 #include "injector/mirror.h"
 #include "injector/switch.h"
@@ -396,6 +400,262 @@ TEST_F(SwitchTest, UnroutableDestinationIsDropped) {
   EXPECT_TRUE(host_b.packets.empty());
   EXPECT_EQ(sw.roce_counters().mirrored, 1u);  // still mirrored at ingress
 }
+
+// ---------------------------------------------------------------------------
+// Gilbert–Elliott burst-loss channel
+// ---------------------------------------------------------------------------
+
+TEST(GilbertElliott, LossRateAndBurstLengthMatchParameters) {
+  // Stationary loss rate of the two-state chain is p/(p+r); the mean
+  // sojourn in Bad (mean burst length) is 1/r. Empirical estimates over a
+  // long seeded run must land near both closed forms.
+  const double p = 0.05;
+  const double r = 0.25;
+  GilbertElliottChannel channel(p, r, /*seed=*/0xB0B0);
+  const int decisions = 200'000;
+  int losses = 0;
+  int bursts = 0;
+  bool in_burst = false;
+  for (int i = 0; i < decisions; ++i) {
+    if (channel.drop_next()) {
+      ++losses;
+      if (!in_burst) ++bursts;
+      in_burst = true;
+    } else {
+      in_burst = false;
+    }
+  }
+  const double loss_rate = static_cast<double>(losses) / decisions;
+  EXPECT_NEAR(loss_rate, p / (p + r), 0.02);
+  ASSERT_GT(bursts, 0);
+  const double mean_burst = static_cast<double>(losses) / bursts;
+  EXPECT_NEAR(mean_burst, 1.0 / r, 0.4);
+  EXPECT_EQ(channel.decisions(), static_cast<std::uint64_t>(decisions));
+}
+
+TEST(GilbertElliott, DeterministicForSameSeed) {
+  GilbertElliottChannel a(0.1, 0.3, 42);
+  GilbertElliottChannel b(0.1, 0.3, 42);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_EQ(a.drop_next(), b.drop_next()) << "diverged at decision " << i;
+  }
+  // A different seed must (overwhelmingly) produce a different sequence.
+  GilbertElliottChannel c(0.1, 0.3, 43);
+  GilbertElliottChannel d(0.1, 0.3, 42);
+  int agreements = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    agreements += c.drop_next() == d.drop_next() ? 1 : 0;
+  }
+  EXPECT_LT(agreements, 10'000);
+}
+
+TEST(GilbertElliott, StartBadLosesTriggerPacket) {
+  // The injector arms channels in Bad so the matched packet is the first
+  // casualty; with r = 0 the burst never ends.
+  GilbertElliottChannel channel(0.0, 0.0, 7, /*start_bad=*/true);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(channel.drop_next());
+}
+
+// ---------------------------------------------------------------------------
+// The stateful fault models on the switch data plane
+// ---------------------------------------------------------------------------
+
+Packet psn_packet(std::uint32_t psn) {
+  RocePacketSpec spec;
+  spec.src_ip = kFlow.src_ip;
+  spec.dst_ip = kFlow.dst_ip;
+  spec.opcode = IbOpcode::kWriteOnly;
+  spec.reth = Reth{0, 0, 512};
+  spec.payload_len = 512;
+  spec.dest_qpn = kFlow.dst_qpn;
+  spec.psn = psn;
+  return build_roce_packet(spec);
+}
+
+TEST_F(SwitchTest, DuplicateRuleEmitsOneClone) {
+  sw.register_flow(kFlow, 42);
+  sw.install_rule(EventRule{kFlow, 42, 1, EventType::kDuplicate});
+  host_a.port().send(sample_packet());
+  sim.run();
+  EXPECT_EQ(host_b.packets.size(), 2u);  // original + clone
+  EXPECT_EQ(sw.fault_stats().duplicates_emitted, 1u);
+  EXPECT_EQ(sw.roce_counters().roce_tx, 2u);
+  // Mirrored once: the clone is an egress artifact, not new ingress.
+  EXPECT_EQ(sw.roce_counters().mirrored, 1u);
+}
+
+TEST_F(SwitchTest, BurstLossChannelDropsArmedFlow) {
+  sw.register_flow(kFlow, 42);
+  EventRule rule{kFlow, 42, 1, EventType::kBurstLoss};
+  rule.fault.ge_p = 0.0;  // never leaves Bad once armed...
+  rule.fault.ge_r = 0.0;
+  rule.fault.duration = 0;  // ...for the rest of the run
+  sw.install_rule(rule);
+  host_a.port().send(psn_packet(42));
+  host_a.port().send(psn_packet(43));
+  host_a.port().send(psn_packet(44));
+  sim.run();
+  // The arming packet and every successor of the flow are casualties, but
+  // all of them are still mirrored first (§3.4/§3.5 integrity).
+  EXPECT_TRUE(host_b.packets.empty());
+  EXPECT_EQ(dumper.packets.size(), 3u);
+  EXPECT_EQ(sw.fault_stats().burst_channels_started, 1u);
+  EXPECT_EQ(sw.fault_stats().burst_loss_dropped, 3u);
+  EXPECT_EQ(sw.roce_counters().dropped_by_event, 3u);
+}
+
+TEST_F(SwitchTest, BurstLossChannelExpires) {
+  sw.register_flow(kFlow, 42);
+  EventRule rule{kFlow, 42, 1, EventType::kBurstLoss};
+  rule.fault.ge_p = 0.0;
+  rule.fault.ge_r = 0.0;
+  rule.fault.duration = 5 * kMicrosecond;
+  sw.install_rule(rule);
+  host_a.port().send(psn_packet(42));
+  sim.run();
+  EXPECT_TRUE(host_b.packets.empty());  // armed packet lost
+  // Past the channel lifetime the same flow forwards cleanly again.
+  sim.schedule_after(10 * kMicrosecond,
+                     [this] { host_a.port().send(psn_packet(43)); });
+  sim.run();
+  EXPECT_EQ(host_b.packets.size(), 1u);
+  EXPECT_EQ(sw.active_burst_channels(), 0u);
+}
+
+TEST_F(SwitchTest, PauseStormSendsPfcTowardSender) {
+  sw.register_flow(kFlow, 42);
+  EventRule rule{kFlow, 42, 1, EventType::kPauseStorm};
+  rule.fault.priority = 2;
+  rule.fault.duration = 25 * kMicrosecond;
+  sw.install_rule(rule);
+  host_a.port().send(sample_packet());
+  sim.run();
+  // Frames at t=0/10us/20us into the storm plus the closing resume, all
+  // delivered to the matched packet's ingress port (the sender).
+  std::size_t pfc = 0;
+  std::optional<PfcFrame> last;
+  for (const auto& pkt : host_a.packets) {
+    if (is_pfc_frame(pkt)) {
+      ++pfc;
+      last = parse_pfc_frame(pkt);
+    }
+  }
+  EXPECT_EQ(pfc, 4u);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->class_enable, 1u << 2);
+  EXPECT_EQ(last->quanta[2], 0u);  // storm ends with an explicit resume
+  EXPECT_EQ(sw.fault_stats().pause_storms, 1u);
+  EXPECT_EQ(sw.fault_stats().pause_frames_sent, 4u);
+  // The data packet itself still forwards: a pause storm gates the
+  // receiver's egress, not the switch path.
+  EXPECT_EQ(host_b.packets.size(), 1u);
+}
+
+TEST_F(SwitchTest, LinkFlapDropsQueuedAndRecovers) {
+  // Slow egress toward host_b so a queue exists when the flap fires.
+  // (Rebuild the topology with a 1 Gbps sink link.)
+  Simulator slow_sim;
+  EventInjectorSwitch slow_sw(&slow_sim, 4, EventInjectorSwitch::Options{});
+  CaptureNode a(&slow_sim, "a"), b(&slow_sim, "b");
+  connect(a.port(), slow_sw.port(0), LinkParams{100.0, 10});
+  connect(b.port(), slow_sw.port(1), LinkParams{1.0, 10});
+  slow_sw.add_route(kFlow.src_ip, 0);
+  slow_sw.add_route(kFlow.dst_ip, 1);
+  slow_sw.register_flow(kFlow, 42);
+  EventRule rule{kFlow, 44, 1, EventType::kLinkFlap};
+  rule.fault.duration = 10 * kMicrosecond;
+  rule.fault.flap_drops_queued = true;
+  slow_sw.install_rule(rule);
+  // #1 is serializing onto the slow link when #3 (the match, sent once the
+  // first two have cleared the ingress pipeline) flaps the port — #2 sits
+  // in the egress queue and is shed, the in-flight #1 completes, and #3
+  // (enqueued while the port is down) is held and delivered once the port
+  // comes back.
+  a.port().send(psn_packet(42));
+  a.port().send(psn_packet(43));
+  slow_sim.schedule_after(2 * kMicrosecond,
+                          [&a] { a.port().send(psn_packet(44)); });
+  slow_sim.run();
+  EXPECT_EQ(slow_sw.fault_stats().link_flaps, 1u);
+  EXPECT_EQ(slow_sw.fault_stats().flap_queued_dropped, 1u);
+  EXPECT_EQ(b.packets.size(), 2u);
+  EXPECT_TRUE(slow_sw.port(1).link_up());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism of every stateful fault (same config + seed =>
+// byte-identical deterministic telemetry), plus the per-type activity
+// counters the report surfaces.
+// ---------------------------------------------------------------------------
+
+struct FaultCase {
+  const char* name;
+  DataPacketEvent event;
+  const char* expected_counter;  ///< must be nonzero in telemetry
+};
+
+class FaultDeterminismTest : public ::testing::TestWithParam<FaultCase> {};
+
+TEST_P(FaultDeterminismTest, RunsAreByteIdenticalAndCounterFires) {
+  const FaultCase& fault = GetParam();
+  TestConfig cfg;
+  cfg.traffic.num_connections = 1;
+  cfg.traffic.num_msgs_per_qp = 4;
+  cfg.traffic.message_size = 10240;
+  cfg.traffic.mtu = 1024;
+  cfg.traffic.data_pkt_events.push_back(fault.event);
+
+  const TestResult first = Orchestrator(cfg).run();
+  const TestResult second = Orchestrator(cfg).run();
+  EXPECT_TRUE(first.finished) << fault.name;
+  EXPECT_TRUE(first.integrity.ok()) << fault.name << ": "
+                                    << first.integrity.to_string();
+  EXPECT_EQ(telemetry::serialize_deterministic(first.telemetry),
+            telemetry::serialize_deterministic(second.telemetry))
+      << fault.name << ": same config+seed diverged";
+  const auto it = first.telemetry.counters.find(fault.expected_counter);
+  ASSERT_NE(it, first.telemetry.counters.end())
+      << fault.name << ": " << fault.expected_counter << " not scraped";
+  EXPECT_GT(it->second, 0u) << fault.name;
+}
+
+FaultCase fault_cases[] = {
+    {"duplicate", DataPacketEvent{1, 3, EventType::kDuplicate, 1},
+     "injector.duplicates_emitted"},
+    {"burst-loss",
+     [] {
+       DataPacketEvent ev{1, 3, EventType::kBurstLoss, 1};
+       ev.fault.ge_p = 0.3;
+       ev.fault.ge_r = 0.5;
+       ev.fault.duration = 20 * kMicrosecond;
+       return ev;
+     }(),
+     "injector.burst_channels_started"},
+    {"pause-storm",
+     [] {
+       DataPacketEvent ev{1, 3, EventType::kPauseStorm, 1};
+       ev.fault.duration = 50 * kMicrosecond;
+       return ev;
+     }(),
+     "rnic.requester.pause_frames_rx"},
+    {"link-flap",
+     [] {
+       DataPacketEvent ev{1, 3, EventType::kLinkFlap, 1};
+       ev.fault.duration = 10 * kMicrosecond;
+       return ev;
+     }(),
+     "injector.link_flaps"},
+};
+
+INSTANTIATE_TEST_SUITE_P(AllFaults, FaultDeterminismTest,
+                         ::testing::ValuesIn(fault_cases),
+                         [](const auto& info) {
+                           std::string name = info.param.name;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
 
 TEST_F(SwitchTest, ControlPacketsAreNotInjectable) {
   // ACKs match no event rules even if one is installed for their PSN.

@@ -5,6 +5,9 @@
 //   lumina_run --screen <cx4|cx5|cx6|e810> [--jobs N] [--report f]
 //   lumina_run --campaign <campaign.yaml> [--jobs N] [--seed S] [--out dir]
 //              [--report f]
+//   lumina_run --fuzz-campaign <fuzz.yaml> [--jobs N] [--seed S] [--out dir]
+//              [--report f] [--budget N] [--resume]
+//   lumina_run --fuzz-target <name> [--nic t] [--seed S] [--steps N]
 //
 // The first form runs one configured experiment on the simulated testbed,
 // prints a human-readable report (integrity, per-connection metrics,
@@ -13,6 +16,9 @@
 // results directory is given. --screen fans the Table 2 bug suite across
 // worker threads; --campaign executes a whole run matrix (see
 // docs/campaigns.md) with deterministic, jobs-independent artifacts.
+// --fuzz-campaign runs a sharded Algorithm 1 hunt with corpus
+// checkpointing (docs/fuzzing.md); --fuzz-target is the short-budget
+// smoke form CI registers per target (ctest -R fuzz).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +33,8 @@
 #include "analyzers/trace_stats.h"
 #include "campaign/campaign.h"
 #include "campaign/campaign_config.h"
+#include "fuzz/fuzz_campaign.h"
+#include "fuzz/targets.h"
 #include "orchestrator/orchestrator.h"
 #include "orchestrator/results_io.h"
 #include "suite/bug_detectors.h"
@@ -45,6 +53,11 @@ void usage(const char* argv0) {
                "[--report file]\n"
                "       %s --campaign <campaign.yaml> [--jobs N] [--seed S] "
                "[--out dir] [--report file]\n"
+               "       %s --fuzz-campaign <fuzz.yaml> [--jobs N] [--seed S] "
+               "[--out dir] [--report file]\n"
+               "                      [--budget N] [--resume]\n"
+               "       %s --fuzz-target <name> [--nic t] [--seed S] "
+               "[--steps N]\n"
                "\n"
                "Runs a Lumina test described by a YAML configuration "
                "(Listing 1 + Listing 2 format)\n"
@@ -55,11 +68,17 @@ void usage(const char* argv0) {
                "--jobs worker threads;\n"
                "aggregated artifacts are byte-identical for any --jobs "
                "value (docs/campaigns.md).\n"
+               "--fuzz-campaign runs a sharded genetic hunt with corpus "
+               "checkpointing under\n"
+               "--out/<corpus-dir> (docs/fuzzing.md); --fuzz-target runs a "
+               "short smoke hunt of\n"
+               "one named target (scenario, lossy-network, noisy-neighbor, "
+               "crc-differential).\n"
                "--report writes the telemetry report.json and --trace-out "
                "the Chrome trace\n"
                "(chrome://tracing / Perfetto) to the given paths "
                "(docs/telemetry.md).\n",
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0);
 }
 
 /// Writes `report` to `path`, logging the result. Returns false on I/O
@@ -198,6 +217,184 @@ int run_campaign_mode(int argc, char** argv) {
   return report.ok_count() == report.runs.size() ? 0 : 2;
 }
 
+int run_fuzz_campaign_mode(int argc, char** argv) {
+  if (argc < 3) {
+    usage(argv[0]);
+    return 1;
+  }
+  FuzzCampaignSpec spec;
+  try {
+    spec = load_fuzz_campaign_file(argv[2]);
+  } catch (const YamlError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+
+  CampaignOptions options;
+  options.seed = spec.seed;  // the file's seed; --seed overrides
+  std::string out_dir;
+  std::string report_path;
+  bool resume = false;
+  for (int i = 3; i < argc; ++i) {
+    const auto need_value = [&](const char* flag) {
+      if (i + 1 < argc) return true;
+      std::fprintf(stderr, "error: %s needs a value\n", flag);
+      return false;
+    };
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (!need_value("--jobs")) return 1;
+      options.jobs = std::atoi(argv[++i]);
+      if (options.jobs < 1) {
+        std::fprintf(stderr, "error: --jobs must be >= 1\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      if (!need_value("--seed")) return 1;
+      options.seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      if (!need_value("--out")) return 1;
+      out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--report") == 0) {
+      if (!need_value("--report")) return 1;
+      report_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--budget") == 0) {
+      if (!need_value("--budget")) return 1;
+      spec.step_budget = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+      return 1;
+    }
+  }
+  if (resume && out_dir.empty()) {
+    std::fprintf(stderr, "error: --resume needs --out (the corpus lives "
+                         "under <out>/%s)\n",
+                 spec.corpus_dir.c_str());
+    return 1;
+  }
+  const std::string corpus_dir =
+      out_dir.empty() ? std::string() : out_dir + "/" + spec.corpus_dir;
+
+  std::printf("== Fuzz campaign '%s': target %s, %d shard%s, %d job%s, "
+              "seed 0x%llx%s\n",
+              spec.name.c_str(), spec.target.c_str(), spec.shards,
+              spec.shards == 1 ? "" : "s", options.jobs,
+              options.jobs == 1 ? "" : "s",
+              static_cast<unsigned long long>(options.seed),
+              resume ? " (resuming)" : "");
+
+  std::vector<std::optional<FuzzCorpusState>> prior;
+  if (resume) {
+    try {
+      prior = load_fuzz_corpora(corpus_dir, spec.shards);
+    } catch (const YamlError& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      return 1;
+    }
+  }
+
+  FuzzCampaignRunReport report;
+  try {
+    report = run_fuzz_campaign_spec(spec, options, prior);
+  } catch (const YamlError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+
+  for (std::size_t i = 0; i < report.shards.size(); ++i) {
+    const FuzzShardOutcome& shard = report.shards[i];
+    std::printf("  [%3zu] steps %3d/%d  pool %3zu  %s%s\n", i,
+                shard.state.steps_done,
+                spec.fuzzer.pool_size + spec.fuzzer.max_iterations,
+                shard.state.pool.size(),
+                shard.state.anomaly.has_value() ? "ANOMALY"
+                : shard.state.done              ? "exhausted"
+                                                : "paused",
+                shard.resumed ? " (resumed)" : "");
+  }
+  std::printf("%d total steps across %zu shards; %s\n", report.total_steps(),
+              report.shards.size(),
+              report.anomaly_shard >= 0
+                  ? ("first anomaly in shard " +
+                     std::to_string(report.anomaly_shard))
+                        .c_str()
+                  : report.all_done() ? "no anomaly found"
+                                      : "hunt paused (resume with --resume)");
+
+  if (!corpus_dir.empty()) {
+    std::string failed_path;
+    if (!write_fuzz_corpora(report, corpus_dir, &failed_path)) {
+      std::fprintf(stderr, "error: failed to write %s\n",
+                   failed_path.c_str());
+      return 1;
+    }
+    std::printf("corpus checkpoints written to %s/\n", corpus_dir.c_str());
+  }
+  if (!report_path.empty() &&
+      !emit_report(fuzz_campaign_report_json(report), report_path)) {
+    return 1;
+  }
+  return 0;
+}
+
+int run_fuzz_target_mode(int argc, char** argv) {
+  if (argc < 3) {
+    usage(argv[0]);
+    return 1;
+  }
+  const std::string name = argv[2];
+  NicType nic = NicType::kCx5;
+  GeneticFuzzer::Options options;
+  options.pool_size = 2;
+  options.max_iterations = 3;
+  options.seed = 0xF0CCAC1Au;
+  for (int i = 3; i < argc; ++i) {
+    const auto need_value = [&](const char* flag) {
+      if (i + 1 < argc) return true;
+      std::fprintf(stderr, "error: %s needs a value\n", flag);
+      return false;
+    };
+    if (std::strcmp(argv[i], "--nic") == 0) {
+      if (!need_value("--nic")) return 1;
+      const auto parsed = parse_nic_type(argv[++i]);
+      if (!parsed) {
+        std::fprintf(stderr, "error: unknown NIC type '%s'\n", argv[i]);
+        return 1;
+      }
+      nic = *parsed;
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      if (!need_value("--seed")) return 1;
+      options.seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--steps") == 0) {
+      if (!need_value("--steps")) return 1;
+      options.max_iterations = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+      return 1;
+    }
+  }
+  auto target = make_fuzz_target(name, nic);
+  if (!target) {
+    std::fprintf(stderr, "error: unknown fuzz target '%s'\n", name.c_str());
+    return 1;
+  }
+  std::printf("== Fuzz smoke: target %s, pool %d + %d iterations, seed "
+              "0x%llx\n",
+              name.c_str(), options.pool_size, options.max_iterations,
+              static_cast<unsigned long long>(options.seed));
+  GeneticFuzzer fuzzer(std::move(*target), options);
+  const FuzzOutcome outcome = fuzzer.run();
+  std::printf("%d iterations, pool %zu, %s\n", outcome.iterations,
+              fuzzer.state().pool.size(),
+              outcome.anomaly.has_value() ? "anomaly found"
+                                          : "no anomaly");
+  // Differential targets must run clean — a divergence is a regression in
+  // the fast paths, not a fuzzing success.
+  if (name == "crc-differential" && outcome.anomaly.has_value()) return 2;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -214,6 +411,12 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "--campaign") == 0) {
     return run_campaign_mode(argc, argv);
+  }
+  if (std::strcmp(argv[1], "--fuzz-campaign") == 0) {
+    return run_fuzz_campaign_mode(argc, argv);
+  }
+  if (std::strcmp(argv[1], "--fuzz-target") == 0) {
+    return run_fuzz_target_mode(argc, argv);
   }
   if (argv[1][0] == '-') {
     // A flag in mode position (e.g. "--seed 7 --campaign f.yaml"): the
