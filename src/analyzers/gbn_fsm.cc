@@ -1,7 +1,9 @@
 #include "analyzers/gbn_fsm.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <limits>
+#include <numeric>
 
 namespace lumina {
 namespace {
@@ -13,6 +15,12 @@ struct FsmState {
   bool episode = false;            // a gap is outstanding
   int naks_in_episode = 0;
   std::size_t episodes = 0;
+  // A delay-released packet can heal an episode while that episode's NAK
+  // is still in the receiver's (slow, §6 Fig. 8) NACK-generation pipeline:
+  // the NAK then lands after the gap closed. One such stale NAK, carrying
+  // exactly the healed gap's PSN, is legitimate.
+  bool stale_nak_pending = false;
+  std::uint32_t stale_nak_psn = 0;
 };
 
 void add_violation(GbnReport& report, const char* rule,
@@ -47,7 +55,25 @@ GbnReport check_gbn_compliance(const PacketTrace& trace, RdmaVerb verb) {
     return best;
   };
 
-  for (const auto& p : trace) {
+  // Replay in receiver order, not mirror order: a packet held by a `delay`
+  // event is mirrored at ingress but reaches the receiver at its release
+  // time — possibly behind successors that were mirrored after it. The FSM
+  // must see the out-of-order episode the receiver actually NAKed, so the
+  // trace is walked through a permutation sorted by (effective_time,
+  // mirror_seq). On delay-free traces every effective time is the ingress
+  // timestamp and the permutation is the identity.
+  std::vector<std::size_t> order(trace.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&trace](std::size_t a, std::size_t b) {
+                     if (trace[a].effective_time() != trace[b].effective_time())
+                       return trace[a].effective_time() <
+                              trace[b].effective_time();
+                     return trace[a].meta.mirror_seq < trace[b].meta.mirror_seq;
+                   });
+
+  for (const std::size_t index : order) {
+    const TracePacket& p = trace[index];
     const std::uint32_t psn = p.view.bth.psn;
 
     if (p.is_data()) {
@@ -82,6 +108,12 @@ GbnReport check_gbn_compliance(const PacketTrace& trace, RdmaVerb verb) {
         continue;
       }
       if (psn == st.expected) {
+        if (st.episode && p.released_at > 0 && st.naks_in_episode == 0) {
+          // A delayed original closed the gap before the receiver's NAK
+          // made it to the wire; grant that in-flight NAK its grace.
+          st.stale_nak_pending = true;
+          st.stale_nak_psn = psn;
+        }
         st.expected = psn_add(st.expected, 1);
         if (st.episode) {
           st.episode = false;  // gap healed
@@ -103,6 +135,12 @@ GbnReport check_gbn_compliance(const PacketTrace& trace, RdmaVerb verb) {
       // A pipelined read request for a future message is not a NAK.
       if (verb == RdmaVerb::kRead && psn_gt(psn, st->expected)) continue;
       if (!st->episode) {
+        // The one sanctioned exception: the stale NAK of an episode a
+        // delayed original already healed (see stale_nak_pending).
+        if (st->stale_nak_pending && psn == st->stale_nak_psn) {
+          st->stale_nak_pending = false;
+          continue;
+        }
         // Read: an ordinary (non-recovery) request; Write/Send: NAK with
         // no outstanding gap is a violation.
         if (verb != RdmaVerb::kRead) {

@@ -17,7 +17,11 @@ TrafficGenerator::TrafficGenerator(Simulator* sim, std::vector<Rnic*> nics,
       conn_specs_(std::move(connections)),
       traffic_(std::move(traffic)),
       ets_(std::move(ets)),
-      rng_(seed) {
+      rng_(seed),
+      cq_(sim) {
+  cq_.set_handler([this](std::uint64_t user_data, const WorkCompletion& wc) {
+    on_completion(static_cast<int>(user_data), wc);
+  });
   if (conn_specs_.empty()) {
     conn_specs_.assign(
         static_cast<std::size_t>(std::max(1, traffic_.num_connections)),
@@ -106,8 +110,7 @@ void TrafficGenerator::setup() {
     req_qp->connect(meta.requester, meta.responder);
     resp_qp->connect(meta.responder, meta.requester);
 
-    req_qp->set_completion_callback(
-        [this, i](const WorkCompletion& wc) { on_completion(i, wc); });
+    req_qp->bind_cq(&cq_, static_cast<std::uint64_t>(i));
 
     if (traffic_.verb == RdmaVerb::kSendRecv ||
         traffic_.secondary_verb == RdmaVerb::kSendRecv) {
@@ -126,9 +129,22 @@ void TrafficGenerator::setup() {
 void TrafficGenerator::start() {
   started_ = true;
   barrier_round_ = 0;
+  post_burst_all();
+}
+
+void TrafficGenerator::post_burst_all() {
+  // One tx_depth-deep burst on every connection. With doorbell batching
+  // the whole burst rings each source NIC once instead of once per
+  // post_send — the egress pump sees all the work at end-of-burst.
   const int burst = std::max(1, traffic_.tx_depth);
+  if (doorbell_batching_) {
+    for (Rnic* nic : nics_) nic->doorbell_batch_begin();
+  }
   for (int i = 0; i < num_connections(); ++i) {
     for (int k = 0; k < burst; ++k) post_next(i);
+  }
+  if (doorbell_batching_) {
+    for (Rnic* nic : nics_) nic->doorbell_batch_end();
   }
 }
 
@@ -244,9 +260,7 @@ void TrafficGenerator::maybe_advance_barrier() {
     if (completed_[c] < std::min(target, traffic_.num_msgs_per_qp)) return;
   }
   ++barrier_round_;
-  for (int i = 0; i < num_connections(); ++i) {
-    for (int k = 0; k < burst; ++k) post_next(i);
-  }
+  post_burst_all();
 }
 
 double TrafficGenerator::avg_mct_us(const std::vector<int>& conns) const {

@@ -169,6 +169,14 @@ void EventInjectorSwitch::handle_packet(int in_port, Packet pkt) {
                                                    : event;
     auto mirrored = mirror_.mirror(pkt, mirror_event, ingress_ts);
     ++counters_.mirrored;
+    // The mirror slot records ingress order, but a delayed packet reaches
+    // the receiver event_delay later — possibly behind its successors.
+    // Remember the release time by mirror seq so the trace can be replayed
+    // in receiver order (delay_releases() doc).
+    if (event == EventType::kDelay && event_delay > 0) {
+      delay_releases_[mirror_.mirrored_count() - 1] = ingress_ts + event_delay;
+      ++fault_stats_.delays_applied;
+    }
     sim_->schedule_after(
         pipeline_latency,
         [this, m = std::move(mirrored)]() mutable {

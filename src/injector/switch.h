@@ -48,6 +48,7 @@ struct SwitchFaultStats {
   std::uint64_t pause_frames_sent = 0;
   std::uint64_t link_flaps = 0;
   std::uint64_t flap_queued_dropped = 0;
+  std::uint64_t delays_applied = 0;
 };
 
 class EventInjectorSwitch : public Node {
@@ -131,6 +132,16 @@ class EventInjectorSwitch : public Node {
   /// Active Gilbert–Elliott channels (one per flow with a live burst).
   std::size_t active_burst_channels() const { return burst_channels_.size(); }
 
+  /// Release times of packets held by a `delay` event, keyed by mirror
+  /// sequence number: ingress timestamp + injected hold (the constant
+  /// pipeline latency cancels out of cross-packet comparisons). The
+  /// orchestrator joins these onto the reconstructed trace so analyzers
+  /// can replay delayed packets at the instant the receiver actually saw
+  /// them (ROADMAP: the GBN FSM misses delay-induced episodes otherwise).
+  const std::unordered_map<std::uint64_t, Tick>& delay_releases() const {
+    return delay_releases_;
+  }
+
   // -- data plane ----------------------------------------------------------
   void handle_packet(int in_port, Packet pkt) override;
   std::string name() const override { return "event-injector"; }
@@ -173,6 +184,7 @@ class EventInjectorSwitch : public Node {
   std::unordered_map<FlowKey, ReorderSlot, FlowKeyHash> reorder_slots_;
   std::unordered_map<FlowKey, BurstChannelSlot, FlowKeyHash> burst_channels_;
   SwitchFaultStats fault_stats_;
+  std::unordered_map<std::uint64_t, Tick> delay_releases_;
 
   // Stateful-discovery ablation state.
   std::vector<RelativeEventRule> relative_rules_;

@@ -149,6 +149,17 @@ void Orchestrator::collect_results() {
             [](const TracePacket& a, const TracePacket& b) {
               return a.meta.mirror_seq < b.meta.mirror_seq;
             });
+  // Join the injector's delay-release log: analyzers that replay the trace
+  // in receiver order (gbn_fsm) need to know when a delay-held packet
+  // actually left the switch.
+  if (const auto& releases = injector.delay_releases(); !releases.empty()) {
+    for (auto& tp : packets) {
+      if (const auto it = releases.find(tp.meta.mirror_seq);
+          it != releases.end()) {
+        tp.released_at = it->second;
+      }
+    }
+  }
 
   IntegrityReport& integrity = result_.integrity;
   integrity.trace_packets = packets.size();
@@ -232,6 +243,9 @@ void Orchestrator::scrape_telemetry() {
   if (fs.link_flaps != 0) {
     reg.counter("injector.link_flaps").inc(fs.link_flaps);
     reg.counter("injector.flap_queued_dropped").inc(fs.flap_queued_dropped);
+  }
+  if (fs.delays_applied != 0) {
+    reg.counter("injector.delays_applied").inc(fs.delays_applied);
   }
   for (int p = 0; p < injector.num_ports(); ++p) {
     const PortCounters& pc = injector.port(p).counters();

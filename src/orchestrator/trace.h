@@ -22,8 +22,21 @@ struct TracePacket {
   RoceView view;   ///< Parsed headers.
   MirrorMeta meta; ///< mirror_seq / switch ingress timestamp / event type.
   std::size_t orig_len = 0;
+  /// Departure time of a packet a `delay` event held at the switch
+  /// (ingress timestamp + injected hold, stamped by the orchestrator from
+  /// the injector's release log); 0 for packets that left on the normal
+  /// pipeline schedule.
+  Tick released_at = 0;
 
   Tick time() const { return meta.ingress_timestamp; }
+  /// When the receiver actually saw this packet, modulo the constant
+  /// pipeline + link latency every packet shares: the release time for
+  /// delay-held packets, the ingress timestamp otherwise. Replaying a
+  /// trace in (effective_time, mirror_seq) order reproduces the receiver's
+  /// view — identical to mirror order on delay-free traces.
+  Tick effective_time() const {
+    return released_at > 0 ? released_at : meta.ingress_timestamp;
+  }
   bool is_data() const { return is_data_opcode(view.bth.opcode); }
   FlowKey flow() const {
     return FlowKey{view.src_ip, view.dst_ip, view.bth.dest_qpn};

@@ -1,0 +1,51 @@
+#include "rnic/cq.h"
+
+#include <algorithm>
+
+namespace lumina {
+
+void CompletionQueue::post(std::uint64_t user_data,
+                           const WorkCompletion& wc) {
+  ++posted_total_;
+  if (!batching_) {
+    if (handler_) handler_(user_data, wc);
+    return;
+  }
+  queue_.push_back(Entry{user_data, wc});
+  max_depth_ = std::max(max_depth_, depth());
+  if (!drain_scheduled_) {
+    drain_scheduled_ = true;
+    sim_->schedule_after(0, [this] {
+      drain_scheduled_ = false;
+      ++batches_dispatched_;
+      poll(depth());
+    });
+  }
+}
+
+std::size_t CompletionQueue::poll(std::size_t max_entries) {
+  std::size_t n = 0;
+  while (n < max_entries && head_ < queue_.size()) {
+    // Copy out before dispatch: the handler may post_send() and grow (or
+    // via a synchronous flush, append to) the queue.
+    const Entry entry = queue_[head_++];
+    ++n;
+    if (handler_) handler_(entry.user_data, entry.wc);
+  }
+  if (head_ == queue_.size()) {
+    queue_.clear();
+    head_ = 0;
+  } else if (batching_ && !drain_scheduled_) {
+    // Entries beyond max_entries (or posted mid-drain past the cap) get
+    // their own drain event rather than silently going stale.
+    drain_scheduled_ = true;
+    sim_->schedule_after(0, [this] {
+      drain_scheduled_ = false;
+      ++batches_dispatched_;
+      poll(depth());
+    });
+  }
+  return n;
+}
+
+}  // namespace lumina

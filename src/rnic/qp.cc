@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rnic/cq.h"
 #include "rnic/rnic.h"
 #include "util/logging.h"
 
@@ -46,9 +47,7 @@ void QueuePair::post_send(const WorkRequest& wr) {
       LUMINA_LOG(kWarn) << "post_send on unconnected QP 0x" << std::hex
                         << qpn_;
     }
-    if (completion_cb_) {
-      completion_cb_({wr.wr_id, WcStatus::kFlushed, rnic_->sim()->now()});
-    }
+    deliver_completion({wr.wr_id, WcStatus::kFlushed, rnic_->sim()->now()});
     return;
   }
   Wqe wqe;
@@ -56,6 +55,7 @@ void QueuePair::post_send(const WorkRequest& wr) {
   wqe.posted_at = rnic_->sim()->now();
   packetize(wqe);
   wqes_.push_back(wqe);
+  rnic_->mark_tx_work(*this);
   rnic_->notify_tx_ready();
 }
 
@@ -301,6 +301,9 @@ void QueuePair::start_rewind(std::uint32_t psn, Tick extra_hold) {
   snd_nxt_ = std::max(index, snd_una_);
   const Tick now = rnic_->sim()->now();
   tx_hold_until_ = std::max(tx_hold_until_, now + extra_hold);
+  // Mark at rewind time, not at hold expiry: pumps that run while the
+  // hold is pending must see this QP's hold deadline as `earliest`.
+  rnic_->mark_tx_work(*this);
   rnic_->sim()->schedule_at(tx_hold_until_,
                             [this] { rnic_->notify_tx_ready(); });
 }
@@ -424,6 +427,7 @@ void QueuePair::issue_read_rerequest(Tick hold) {
         tx_descs_.begin() + static_cast<std::ptrdiff_t>(snd_nxt_), desc);
     const Tick now = rnic_->sim()->now();
     tx_hold_until_ = std::max(tx_hold_until_, now + hold);
+    rnic_->mark_tx_work(*this);
     rnic_->notify_tx_ready();
     return;
   }
@@ -570,6 +574,7 @@ void QueuePair::responder_handle_read_request(const RoceView& view) {
     epsn_ = psn_add(epsn_, span);
     msn_ = (msn_ + 1) & kPsnMask;
     append_read_response_descs(psn, len);
+    rnic_->mark_tx_work(*this);
     rnic_->notify_tx_ready();
     return;
   }
@@ -592,6 +597,9 @@ void QueuePair::responder_handle_read_request(const RoceView& view) {
       const Tick now = rnic_->sim()->now();
       resp_hold_until_ = std::max(
           resp_hold_until_, now + rnic_->profile().nack_react_delay_read);
+      // As in start_rewind: the response stream has work from this instant
+      // (held), so intermediate pumps must account for its deadline.
+      rnic_->mark_tx_work(*this);
       rnic_->sim()->schedule_at(resp_hold_until_,
                                 [this] { rnic_->notify_tx_ready(); });
     }
@@ -766,7 +774,7 @@ void QueuePair::arm_rto() {
   if (rto_armed_ || !outstanding || error_) return;
   rto_armed_ = true;
   rto_armed_at_ = rnic_->sim()->now();
-  rto_event_ = rnic_->sim()->schedule_after(current_rto(), [this] {
+  rto_event_ = rnic_->sim()->schedule_timer_after(current_rto(), [this] {
     rto_armed_ = false;
     on_rto();
   });
@@ -820,6 +828,7 @@ void QueuePair::on_rto() {
   } else {
     // Go-Back-N: rewind to the oldest unacknowledged packet.
     snd_nxt_ = snd_una_;
+    rnic_->mark_tx_work(*this);
     rnic_->notify_tx_ready();
   }
   arm_rto();
@@ -840,9 +849,15 @@ void QueuePair::complete_wqe(std::size_t index, WcStatus status) {
   Wqe& wqe = wqes_[index];
   if (wqe.completed) return;
   wqe.completed = true;
-  if (completion_cb_) {
-    completion_cb_(
-        {wqe.wr.wr_id, status, rnic_->sim()->now(), wqe.atomic_original});
+  deliver_completion(
+      {wqe.wr.wr_id, status, rnic_->sim()->now(), wqe.atomic_original});
+}
+
+void QueuePair::deliver_completion(const WorkCompletion& wc) {
+  if (cq_ != nullptr) {
+    cq_->post(cq_user_data_, wc);
+  } else if (completion_cb_) {
+    completion_cb_(wc);
   }
 }
 

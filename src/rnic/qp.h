@@ -30,6 +30,7 @@
 namespace lumina {
 
 class Rnic;
+class CompletionQueue;
 
 class QueuePair {
  public:
@@ -43,6 +44,14 @@ class QueuePair {
 
   void set_completion_callback(CompletionCallback cb) {
     completion_cb_ = std::move(cb);
+  }
+
+  /// Routes completions to a shared CompletionQueue (rnic/cq.h) tagged
+  /// with `user_data`, instead of a per-QP callback closure. Takes
+  /// precedence over set_completion_callback when both are set.
+  void bind_cq(CompletionQueue* cq, std::uint64_t user_data) {
+    cq_ = cq;
+    cq_user_data_ = user_data;
   }
 
   /// Posts a work request (requester role). Packets enter the TX stream
@@ -94,8 +103,12 @@ class QueuePair {
   /// ready at `now`.
   std::optional<Packet> build_next_packet(Tick now);
 
-  // -- DCQCN pacing state managed by the Rnic --------------------------------
-  Tick pacing_next = 0;
+  // -- slab identity (rnic/qp_slab.h) ----------------------------------------
+  /// The QP's handle in the owning Rnic's slab; set once at creation.
+  /// Scheduler-hot fields (DCQCN pacing gate, TC membership) live in the
+  /// slab's QpHot row behind this index, not in the QueuePair itself.
+  void set_self_index(QpIndex index) { self_ = index; }
+  QpIndex self_index() const { return self_; }
 
  private:
   // One packet of the requester's PSN stream (data packet or read request).
@@ -131,6 +144,7 @@ class QueuePair {
   // ---- requester internals ----
   void packetize(Wqe& wqe);
   void complete_wqe(std::size_t index, WcStatus status);
+  void deliver_completion(const WorkCompletion& wc);
   void advance_snd_una(std::uint32_t acked_psn);
   void start_rewind(std::uint32_t psn, Tick extra_hold);
   void issue_read_rerequest(Tick hold);
@@ -160,6 +174,9 @@ class QueuePair {
   QpEndpointInfo local_;
   QpEndpointInfo remote_;
   CompletionCallback completion_cb_;
+  CompletionQueue* cq_ = nullptr;  ///< Preferred completion path when set.
+  std::uint64_t cq_user_data_ = 0;
+  QpIndex self_{};                 ///< This QP's slab handle.
   bool connected_ = false;
   bool error_ = false;
 

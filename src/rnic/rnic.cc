@@ -44,27 +44,70 @@ Rnic::~Rnic() = default;
 QueuePair* Rnic::create_qp(const QpConfig& config) {
   const std::uint32_t qpn = next_qpn_;
   next_qpn_ = (next_qpn_ + 0x11) & kPsnMask;
-  auto qp = std::make_unique<QueuePair>(this, qpn, config);
-  QueuePair* raw = qp.get();
-  qps_.push_back(std::move(qp));
-  qp_by_qpn_[qpn] = raw;
-
-  auto rp = std::make_unique<DcqcnRp>(sim_, profile_.dcqcn, profile_.link_gbps);
-  rp->set_enabled(roce_.dcqcn_rp_enable);
-  rp_by_qpn_[qpn] = std::move(rp);
+  const QpIndex index =
+      slab_.create(this, qpn, config, sim_, profile_.dcqcn,
+                   profile_.link_gbps, roce_.dcqcn_rp_enable);
+  QueuePair* raw = &slab_.qp_at(index.slot);
+  raw->set_self_index(index);
+  slot_by_qpn_[qpn] = index.slot;
 
   const auto tc = static_cast<std::size_t>(std::max(0, config.traffic_class));
-  if (tc >= qps_by_tc_.size()) {
-    qps_by_tc_.resize(tc + 1);
-    tc_cursor_.resize(tc + 1, 0);
-  }
-  qps_by_tc_[tc].push_back(raw);
+  if (tc >= tcs_.size()) tcs_.resize(tc + 1);
+  QpHot& hot = slab_.hot(index.slot);
+  hot.tc = static_cast<std::int32_t>(tc);
+  hot.tc_pos = static_cast<std::uint32_t>(tcs_[tc].members.size());
+  tcs_[tc].members.push_back(index.slot);
   return raw;
 }
 
 QueuePair* Rnic::find_qp(std::uint32_t qpn) {
-  const auto it = qp_by_qpn_.find(qpn);
-  return it == qp_by_qpn_.end() ? nullptr : it->second;
+  const auto it = slot_by_qpn_.find(qpn);
+  return it == slot_by_qpn_.end() ? nullptr : &slab_.qp_at(it->second);
+}
+
+void Rnic::destroy_qp(QpIndex index) {
+  QueuePair* qp = slab_.get(index);
+  if (qp == nullptr) return;
+  const QpHot& hot = slab_.hot(index.slot);
+  TcState& tc = tcs_[static_cast<std::size_t>(hot.tc)];
+  tc.members[hot.tc_pos] = QpIndex::kInvalidSlot;
+  ++tc.tombstones;
+  tc.work.erase(hot.tc_pos);
+  slot_by_qpn_.erase(qp->qpn());
+  slab_.destroy(index);
+  // Heavy create/destroy churn (the qp_scaling bench's recycling phase)
+  // would otherwise grow the member table without bound.
+  if (tc.tombstones >= 64 && tc.tombstones * 2 > tc.members.size()) {
+    compact_tc(tc);
+  }
+}
+
+void Rnic::compact_tc(TcState& tc) {
+  std::vector<std::uint32_t> members;
+  members.reserve(tc.members.size() - tc.tombstones);
+  std::size_t new_cursor = 0;
+  for (std::size_t pos = 0; pos < tc.members.size(); ++pos) {
+    const std::uint32_t slot = tc.members[pos];
+    if (slot == QpIndex::kInvalidSlot) continue;
+    if (pos < tc.cursor) ++new_cursor;
+    slab_.hot(slot).tc_pos = static_cast<std::uint32_t>(members.size());
+    members.push_back(slot);
+  }
+  std::set<std::uint32_t> work;
+  for (const std::uint32_t pos : tc.work) {
+    const std::uint32_t slot = tc.members[pos];
+    if (slot == QpIndex::kInvalidSlot) continue;
+    work.insert(slab_.hot(slot).tc_pos);
+  }
+  tc.members = std::move(members);
+  tc.work = std::move(work);
+  tc.cursor = tc.members.empty() ? 0 : new_cursor % tc.members.size();
+  tc.tombstones = 0;
+}
+
+void Rnic::reserve_qps(std::size_t n) {
+  slab_.reserve(n);
+  slot_by_qpn_.reserve(n);
 }
 
 void Rnic::configure_ets(const std::vector<int>& weights) {
@@ -73,10 +116,7 @@ void Rnic::configure_ets(const std::vector<int>& weights) {
   const bool work_conserving =
       !profile_.bug_nonwork_conserving_ets || weights.size() <= 1;
   ets_.configure(weights, profile_.link_gbps, work_conserving);
-  if (qps_by_tc_.size() < weights.size()) {
-    qps_by_tc_.resize(weights.size());
-    tc_cursor_.resize(weights.size(), 0);
-  }
+  if (tcs_.size() < weights.size()) tcs_.resize(weights.size());
 }
 
 Tick Rnic::min_cnp_interval() const {
@@ -91,12 +131,14 @@ Tick Rnic::min_cnp_interval() const {
 }
 
 DcqcnRp& Rnic::rp_for(std::uint32_t qpn) {
-  auto it = rp_by_qpn_.find(qpn);
-  if (it == rp_by_qpn_.end()) {
+  const auto slot_it = slot_by_qpn_.find(qpn);
+  if (slot_it != slot_by_qpn_.end()) return slab_.rp_at(slot_it->second);
+  auto it = orphan_rps_.find(qpn);
+  if (it == orphan_rps_.end()) {
     auto rp =
         std::make_unique<DcqcnRp>(sim_, profile_.dcqcn, profile_.link_gbps);
     rp->set_enabled(roce_.dcqcn_rp_enable);
-    it = rp_by_qpn_.emplace(qpn, std::move(rp)).first;
+    it = orphan_rps_.emplace(qpn, std::move(rp)).first;
   }
   return *it->second;
 }
@@ -148,7 +190,25 @@ void Rnic::enqueue_control(Packet pkt) {
   pump();
 }
 
-void Rnic::notify_tx_ready() { pump(); }
+void Rnic::notify_tx_ready() {
+  if (doorbell_batch_depth_ > 0) {
+    doorbell_kick_pending_ = true;
+    return;
+  }
+  pump();
+}
+
+void Rnic::doorbell_batch_end() {
+  if (--doorbell_batch_depth_ == 0 && doorbell_kick_pending_) {
+    doorbell_kick_pending_ = false;
+    pump();
+  }
+}
+
+void Rnic::mark_tx_work(QueuePair& qp) {
+  const QpHot& hot = slab_.hot(qp.self_index().slot);
+  tcs_[static_cast<std::size_t>(hot.tc)].work.insert(hot.tc_pos);
+}
 
 void Rnic::read_slow_path_begin() {
   ++active_read_episodes_;
@@ -342,34 +402,55 @@ void Rnic::pump() {
     return;
   }
 
-  const std::size_t ntc = qps_by_tc_.size();
+  const std::size_t ntc = tcs_.size();
   std::vector<bool> active(ntc, false);
   std::vector<std::size_t> bytes(ntc, 0);
   std::vector<QueuePair*> chosen(ntc, nullptr);
+  std::vector<std::uint32_t> chosen_pos(ntc, 0);
   Tick earliest = std::numeric_limits<Tick>::max();
 
-  for (std::size_t tc = 0; tc < ntc; ++tc) {
-    const auto& qps = qps_by_tc_[tc];
-    if (qps.empty()) continue;
+  for (std::size_t t = 0; t < ntc; ++t) {
+    TcState& tc = tcs_[t];
+    if (tc.members.empty()) continue;
     // PFC gate: a paused priority's class sits out; it re-arms the pump
     // for the moment the pause quanta expire.
-    if (tc < pause_until_.size() && pause_until_[tc] > now) {
-      earliest = std::min(earliest, pause_until_[tc]);
+    if (t < pause_until_.size() && pause_until_[t] > now) {
+      earliest = std::min(earliest, pause_until_[t]);
       continue;
     }
-    const std::size_t n = qps.size();
-    for (std::size_t k = 0; k < n; ++k) {
-      QueuePair* qp = qps[(tc_cursor_[tc] + k) % n];
-      const Tick ready = qp->tx_ready_time();
-      if (ready == std::numeric_limits<Tick>::max()) continue;
-      const Tick t = std::max(ready, qp->pacing_next);
-      if (t <= now) {
-        active[tc] = true;
-        chosen[tc] = qp;
-        bytes[tc] = qp->next_packet_bytes() + Packet::kWireOverheadBytes;
-        break;
+    // Round-robin over the work set only: members that cannot have TX
+    // work were either never marked or get dropped here when a scan finds
+    // them exhausted. Same cyclic order and pick as scanning the whole
+    // member table — idle QPs contribute nothing to pick or earliest.
+    const auto scan = [&](std::set<std::uint32_t>::iterator it,
+                          std::set<std::uint32_t>::iterator end) {
+      while (it != end) {
+        const std::uint32_t pos = *it;
+        const std::uint32_t slot = tc.members[pos];
+        const Tick ready = slot == QpIndex::kInvalidSlot
+                               ? std::numeric_limits<Tick>::max()
+                               : slab_.qp_at(slot).tx_ready_time();
+        if (ready == std::numeric_limits<Tick>::max()) {
+          it = tc.work.erase(it);
+          continue;
+        }
+        const Tick tt = std::max(ready, slab_.hot(slot).pacing_next);
+        if (tt <= now) {
+          active[t] = true;
+          chosen[t] = &slab_.qp_at(slot);
+          chosen_pos[t] = pos;
+          bytes[t] = chosen[t]->next_packet_bytes() +
+                     Packet::kWireOverheadBytes;
+          return true;
+        }
+        earliest = std::min(earliest, tt);
+        ++it;
       }
-      earliest = std::min(earliest, t);
+      return false;
+    };
+    const auto cursor = static_cast<std::uint32_t>(tc.cursor);
+    if (!scan(tc.work.lower_bound(cursor), tc.work.end())) {
+      scan(tc.work.begin(), tc.work.lower_bound(cursor));
     }
   }
 
@@ -379,25 +460,21 @@ void Rnic::pump() {
   if (any_active) {
     const auto pick = ets_.pick(now, active, bytes);
     if (pick) {
-      const auto tc = static_cast<std::size_t>(*pick);
-      QueuePair* qp = chosen[tc];
+      const auto tci = static_cast<std::size_t>(*pick);
+      QueuePair* qp = chosen[tci];
       auto pkt = qp->build_next_packet(now);
       if (pkt) {
         const std::size_t wire = pkt->wire_size();
-        DcqcnRp& rp = rp_for(qp->qpn());
+        const std::uint32_t slot = qp->self_index().slot;
+        DcqcnRp& rp = slab_.rp_at(slot);
         const double rate = rp.rate_gbps();
-        qp->pacing_next =
+        slab_.hot(slot).pacing_next =
             now + static_cast<Tick>(static_cast<double>(wire) * 8.0 / rate);
         rp.on_packet_sent(wire);
         ets_.on_sent(*pick, wire, now);
         // Advance the round-robin cursor past the QP just served.
-        auto& qps = qps_by_tc_[tc];
-        for (std::size_t k = 0; k < qps.size(); ++k) {
-          if (qps[(tc_cursor_[tc] + k) % qps.size()] == qp) {
-            tc_cursor_[tc] = (tc_cursor_[tc] + k + 1) % qps.size();
-            break;
-          }
-        }
+        TcState& tc = tcs_[tci];
+        tc.cursor = (chosen_pos[tci] + 1) % tc.members.size();
         ++counters_.tx_packets;
         counters_.tx_bytes += pkt->size();
         port_->send(std::move(*pkt));

@@ -7,6 +7,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "rnic/device_profile.h"
 #include "rnic/ets.h"
 #include "rnic/qp.h"
+#include "rnic/qp_slab.h"
 #include "sim/simulator.h"
 #include "telemetry/telemetry.h"
 
@@ -65,9 +67,27 @@ class Rnic : public Node {
   MacAddress mac() const { return mac_; }
 
   // -- verbs-ish control path -------------------------------------------------
-  /// Creates an RC QP. The returned pointer remains owned by the Rnic.
+  /// Creates an RC QP in the slab. The returned pointer remains owned by
+  /// the Rnic and stays valid until destroy_qp; the slab handle is
+  /// available as qp->self_index().
   QueuePair* create_qp(const QpConfig& config);
   QueuePair* find_qp(std::uint32_t qpn);
+
+  /// Resolves a slab handle; nullptr if the QP was destroyed (or the slot
+  /// recycled under a newer generation).
+  QueuePair* qp(QpIndex index) { return slab_.get(index); }
+
+  /// Destroys a QP and recycles its slab slot. Any in-flight packets or
+  /// timers referencing it must already be quiesced (host layer's job, as
+  /// with real verbs).
+  void destroy_qp(QpIndex index);
+
+  /// Pre-sizes the slab (and qpn map) for `n` QPs: bulk setup at the
+  /// qp_scaling scale pays no growth reallocations.
+  void reserve_qps(std::size_t n);
+
+  std::size_t qp_count() const { return slab_.live_count(); }
+  const QpSlab& qp_slab() const { return slab_; }
 
   /// Configures ETS traffic-class weights. QPs map to classes via
   /// QpConfig::traffic_class. With the CX6 Dx profile and more than one
@@ -95,6 +115,16 @@ class Rnic : public Node {
   void enqueue_control(Packet pkt);
   /// Kicks the egress engine (new work / hold expired).
   void notify_tx_ready();
+  /// Records that `qp` may have TX work: inserts it into its traffic
+  /// class's work set so pump() scans it. Called by the QP at every
+  /// transition that creates (or re-creates) transmittable work; idle QPs
+  /// drop out of the set lazily when a scan finds them exhausted.
+  void mark_tx_work(QueuePair& qp);
+  /// Defers pump kicks from notify_tx_ready while a doorbell batch is
+  /// open, coalescing a burst of post_sends into one egress-engine pass.
+  /// Balanced begin/end; a pending kick fires when the depth hits zero.
+  void doorbell_batch_begin() { ++doorbell_batch_depth_; }
+  void doorbell_batch_end();
   /// Requester read-OOO slow-path episode accounting (§6.2.2).
   void read_slow_path_begin();
   void read_slow_path_end();
@@ -116,9 +146,21 @@ class Rnic : public Node {
   std::string name() const override { return name_; }
 
  private:
+  // Per traffic class: a position-stable member table of slab slots
+  // (destroy leaves a kInvalidSlot tombstone so round-robin positions
+  // stay put), the work set of member positions that may have TX work,
+  // and the round-robin cursor.
+  struct TcState {
+    std::vector<std::uint32_t> members;
+    std::set<std::uint32_t> work;
+    std::size_t cursor = 0;
+    std::size_t tombstones = 0;
+  };
+
   void process_packet(Packet pkt, const RoceView& view);
   void pump();
   void schedule_pump(Tick when);
+  void compact_tc(TcState& tc);
   void maybe_send_cnp(QueuePair& qp);
   void on_pause_frame(const PfcFrame& frame);
 
@@ -131,17 +173,20 @@ class Rnic : public Node {
   std::unique_ptr<Port> port_;
   RnicCounters counters_;
 
-  std::vector<std::unique_ptr<QueuePair>> qps_;
-  std::unordered_map<std::uint32_t, QueuePair*> qp_by_qpn_;
-  std::unordered_map<std::uint32_t, std::unique_ptr<DcqcnRp>> rp_by_qpn_;
+  QpSlab slab_;
+  std::unordered_map<std::uint32_t, std::uint32_t> slot_by_qpn_;
+  /// rp_for() on a qpn with no slab QP (possible in unit tests poking at
+  /// the DCQCN surface directly) still auto-creates, as it always did.
+  std::unordered_map<std::uint32_t, std::unique_ptr<DcqcnRp>> orphan_rps_;
   std::uint32_t next_qpn_;
 
   // Egress engine.
   std::deque<Packet> control_queue_;
   EtsScheduler ets_;
-  std::vector<std::vector<QueuePair*>> qps_by_tc_;  // per traffic class
-  std::vector<std::size_t> tc_cursor_;              // RR within a class
+  std::vector<TcState> tcs_;
   Tick pump_scheduled_for_ = -1;
+  int doorbell_batch_depth_ = 0;
+  bool doorbell_kick_pending_ = false;
 
   // Recycled RoceView boxes for the RX dispatch callback: the view is too
   // large to capture inline, so it rides in a pooled heap box instead of a

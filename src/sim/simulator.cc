@@ -1,10 +1,17 @@
 #include "sim/simulator.h"
 
+#include <limits>
 #include <utility>
 
 #include "util/logging.h"
 
 namespace lumina {
+namespace {
+
+constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+constexpr std::uint64_t kMaxId = std::numeric_limits<std::uint64_t>::max();
+
+}  // namespace
 
 Simulator::Simulator() { prev_log_clock_ = set_log_clock(&now_); }
 
@@ -19,12 +26,30 @@ std::uint64_t Simulator::schedule_at(Tick when, Callback cb) {
   ids_.on_allocated(id);
   queue_.push(std::move(ev));
   ++alive_;
-  if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
+  const std::size_t depth = queue_.size() + wheel_.stored();
+  if (depth > max_queue_depth_) max_queue_depth_ = depth;
   return id;
 }
 
 std::uint64_t Simulator::schedule_after(Tick delay, Callback cb) {
   return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(cb));
+}
+
+std::uint64_t Simulator::schedule_timer_at(Tick when, Callback cb) {
+  if (timer_backend_ == TimerBackend::kCalendar) {
+    return schedule_at(when, std::move(cb));
+  }
+  const std::uint64_t id = next_id_++;
+  ids_.on_allocated(id);
+  wheel_.arm(when < now_ ? now_ : when, id, std::move(cb));
+  ++alive_;
+  const std::size_t depth = queue_.size() + wheel_.stored();
+  if (depth > max_queue_depth_) max_queue_depth_ = depth;
+  return id;
+}
+
+std::uint64_t Simulator::schedule_timer_after(Tick delay, Callback cb) {
+  return schedule_timer_at(now_ + (delay < 0 ? 0 : delay), std::move(cb));
 }
 
 void Simulator::cancel(std::uint64_t event_id) {
@@ -37,19 +62,59 @@ void Simulator::cancel(std::uint64_t event_id) {
   }
 }
 
-bool Simulator::step() {
-  while (!queue_.empty()) {
-    SimEvent ev = queue_.pop_min();
-    if (!ids_.kill(ev.id)) {
-      continue;  // tombstoned by cancel(); skip without firing
+bool Simulator::locate_next(bool& timer_first, Tick& next_when) {
+  for (;;) {
+    const SimEvent* head = queue_.peek_min();
+    // Consult the wheel before popping a tombstoned head: a dead calendar
+    // event is dropped only once it is the global (calendar ∪ wheel)
+    // minimum, exactly when the single-queue path would lazily pop it —
+    // otherwise it stays resident through earlier timer callbacks and the
+    // queue-depth telemetry diverges between the two timer backends.
+    timer_first = !wheel_.empty() &&
+                  wheel_.peek_due(head != nullptr ? head->when : kMaxTick,
+                                  head != nullptr ? head->id : kMaxId, ids_);
+    if (timer_first) {
+      next_when = wheel_.due_when();
+      return true;
     }
-    --alive_;
-    now_ = ev.when;
-    ++processed_;
-    ev.cb();
+    if (head == nullptr) return false;
+    if (ids_.dead(head->id)) {
+      queue_.pop_min();  // tombstoned by cancel(); drop without firing
+      continue;
+    }
+    next_when = head->when;
     return true;
   }
-  return false;
+}
+
+void Simulator::fire_due_timer() {
+  ids_.kill(wheel_.due_id());  // fired: cancel() becomes the no-op
+  --alive_;
+  now_ = wheel_.due_when();
+  ++processed_;
+  InlineCallback cb = wheel_.pop_due();
+  cb();
+}
+
+void Simulator::fire_calendar_head() {
+  SimEvent ev = queue_.pop_min();
+  ids_.kill(ev.id);  // locate_next guaranteed the head is live
+  --alive_;
+  now_ = ev.when;
+  ++processed_;
+  ev.cb();
+}
+
+bool Simulator::step() {
+  bool timer_first = false;
+  Tick next_when = 0;
+  if (!locate_next(timer_first, next_when)) return false;
+  if (timer_first) {
+    fire_due_timer();
+  } else {
+    fire_calendar_head();
+  }
+  return true;
 }
 
 void Simulator::run() {
@@ -60,15 +125,16 @@ void Simulator::run() {
 
 void Simulator::run_until(Tick deadline) {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty()) {
-    // Peek past tombstones without firing.
-    const SimEvent* head = queue_.peek_min();
-    if (ids_.dead(head->id)) {
-      queue_.pop_min();
-      continue;
+  while (!stopped_) {
+    bool timer_first = false;
+    Tick next_when = 0;
+    if (!locate_next(timer_first, next_when)) break;
+    if (next_when > deadline) break;
+    if (timer_first) {
+      fire_due_timer();
+    } else {
+      fire_calendar_head();
     }
-    if (head->when > deadline) break;
-    step();
   }
   if (now_ < deadline) now_ = deadline;
 }

@@ -10,7 +10,12 @@
 //   - callbacks are small-buffer-optimized (sim/inline_callback.h) — the
 //     common captures fire without a single heap allocation;
 //   - cancel() flips a liveness bit in a chunked id table
-//     (sim/event_id_table.h) — O(1), no hash set.
+//     (sim/event_id_table.h) — O(1), no hash set;
+//   - high-churn timers (RNIC retransmission timeouts) live in a
+//     hierarchical timing wheel (sim/timing_wheel.h) via
+//     schedule_timer_at/after; the run loop merges the wheel's due stream
+//     with the calendar queue in strict (when, id) order, so the two
+//     stores are observationally one queue.
 // The retired binary-heap implementation survives as ReferenceScheduler
 // (sim/reference_scheduler.h); the differential test drives both through
 // randomized workloads asserting identical observable behavior.
@@ -25,6 +30,7 @@
 #include "sim/calendar_queue.h"
 #include "sim/event_id_table.h"
 #include "sim/inline_callback.h"
+#include "sim/timing_wheel.h"
 #include "util/time.h"
 
 namespace lumina {
@@ -48,6 +54,26 @@ class Simulator {
 
   /// Schedules `cb` to run `delay` ns from now (negative delays clamp to 0).
   std::uint64_t schedule_after(Tick delay, Callback cb);
+
+  /// Timer-flavored scheduling: identical observable semantics to
+  /// schedule_at/schedule_after (same id space, same (when, id) firing
+  /// order, same cancel()), but the event is stored in the hierarchical
+  /// timing wheel — O(1) arm/cancel regardless of how many timers are
+  /// armed. Meant for high-churn deadlines that are usually cancelled
+  /// before they fire (retransmission timeouts). With the kCalendar
+  /// backend selected these forward to schedule_at (the differential
+  /// test's reference path).
+  std::uint64_t schedule_timer_at(Tick when, Callback cb);
+  std::uint64_t schedule_timer_after(Tick delay, Callback cb);
+
+  /// Which store backs schedule_timer_*. Switch only while no timers are
+  /// pending (typically right after construction).
+  enum class TimerBackend { kWheel, kCalendar };
+  void set_timer_backend(TimerBackend backend) { timer_backend_ = backend; }
+  TimerBackend timer_backend() const { return timer_backend_; }
+
+  /// Structure telemetry for the wheel store (bench/qp_scaling).
+  const TimingWheel& timer_wheel() const { return wheel_; }
 
   /// Cancels a pending event. Cancelling an already-fired or unknown id is
   /// a no-op. O(1): the event's liveness bit flips and the slot is skipped
@@ -76,7 +102,15 @@ class Simulator {
   std::uint64_t cancel_requests() const { return cancel_requests_; }
 
  private:
-  bool step();  // fires one event; returns false when queue is empty
+  bool step();  // fires one event; returns false when both stores are empty
+
+  /// Pops tombstoned calendar heads, then reports the next event to fire:
+  /// the wheel's due timer when it precedes the live calendar head in
+  /// (when, id) order, else the head. Returns false when drained.
+  bool locate_next(bool& timer_first, Tick& next_when);
+
+  void fire_due_timer();
+  void fire_calendar_head();
 
   Tick now_ = 0;
   bool stopped_ = false;
@@ -86,7 +120,9 @@ class Simulator {
   std::uint64_t cancel_requests_ = 0;
   std::size_t alive_ = 0;
   std::size_t max_queue_depth_ = 0;
+  TimerBackend timer_backend_ = TimerBackend::kWheel;
   CalendarQueue queue_;
+  TimingWheel wheel_;
   EventIdTable ids_;
 };
 

@@ -39,6 +39,10 @@ struct TestbedSpec {
   bool trim_mirrors = true;
   bool enable_telemetry = true;
   std::size_t trace_capacity = telemetry::TraceSink::kDefaultCapacity;
+  /// Pre-sizes every host NIC's QP slab (rnic.md): a large fan-out run
+  /// (qp_scaling regime) pays no slab growth during connection setup.
+  /// Zero keeps lazy growth.
+  std::size_t qp_reserve_per_host = 0;
 };
 
 class Testbed {

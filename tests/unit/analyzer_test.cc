@@ -34,6 +34,15 @@ class TraceBuilder {
     return *this;
   }
 
+  /// Requester -> responder data packet held by a `delay` event: mirrored
+  /// at `t` (its slot in mirror order) but released toward the receiver at
+  /// `released_t`.
+  TraceBuilder& delayed_data(std::uint32_t psn, Tick t, Tick released_t) {
+    data(psn, t, EventType::kDelay);
+    trace_.packets.back().released_at = released_t;
+    return *this;
+  }
+
   /// Responder -> requester read-response data packet.
   TraceBuilder& read_resp(std::uint32_t psn, Tick t,
                           EventType event = EventType::kNone) {
@@ -169,6 +178,76 @@ TEST(GbnFsm, OneNakPerRoundOnRepeatedLossIsCompliant) {
   EXPECT_TRUE(report.compliant())
       << (report.violations.empty() ? ""
                                     : report.violations[0].description);
+}
+
+TEST(GbnFsm, DelayedPacketReplaysAtReleaseTime) {
+  // A `delay` event holds PSN 2 at the switch: its mirror slot precedes
+  // PSNs 3/4, but the receiver sees it only at release time (900) — after
+  // NAKing the gap and after the retransmission round healed it. Replayed
+  // in receiver order the trace is fully compliant; replayed in mirror
+  // order the NAK would look causeless (the pre-fix false G2).
+  TraceBuilder b;
+  b.data(1, 100);
+  b.delayed_data(2, 200, /*released_t=*/900);
+  b.data(3, 300).data(4, 400);
+  b.nak(2, 500);
+  b.data(2, 600).data(3, 700).data(4, 800);  // go-back-N round 2
+  b.ack(4, 1000);
+  const auto report = check_gbn_compliance(b.trace(), RdmaVerb::kWrite);
+  EXPECT_TRUE(report.compliant())
+      << (report.violations.empty() ? ""
+                                    : report.violations[0].description);
+  EXPECT_EQ(report.episodes_seen, 1u);
+}
+
+TEST(GbnFsm, StaleNakAfterDelayedOriginalHealsIsTolerated) {
+  // The race the fault_vocabulary scenario exposes: the delayed original is
+  // released (450) while the receiver's NAK is still in its slow NACK-
+  // generation pipeline (§6, Fig. 8), so in receiver order the gap heals
+  // BEFORE the NAK lands (500). That one stale NAK — carrying exactly the
+  // healed gap's PSN — is legitimate, not a causeless G2.
+  TraceBuilder b;
+  b.data(1, 100);
+  b.delayed_data(2, 200, /*released_t=*/450);
+  b.data(3, 300).data(4, 400);  // the episode the receiver NAKs
+  b.nak(2, 500);                // lands after the delayed original healed it
+  b.data(2, 600).data(3, 700).data(4, 800);  // go-back-N round the NAK triggers
+  b.ack(4, 1000);
+  const auto report = check_gbn_compliance(b.trace(), RdmaVerb::kWrite);
+  EXPECT_TRUE(report.compliant())
+      << (report.violations.empty() ? ""
+                                    : report.violations[0].description);
+  EXPECT_EQ(report.episodes_seen, 1u);
+}
+
+TEST(GbnFsm, StaleNakGraceIsSingleUse) {
+  // A second NAK for the same healed gap is still a violation: the grace
+  // covers exactly the one in-flight NAK the episode earned.
+  TraceBuilder b;
+  b.data(1, 100);
+  b.delayed_data(2, 200, /*released_t=*/450);
+  b.data(3, 300).data(4, 400);
+  b.nak(2, 500).nak(2, 550);  // second stale NAK has no episode to claim
+  b.data(2, 600).data(3, 700).data(4, 800);
+  b.ack(4, 1000);
+  const auto report = check_gbn_compliance(b.trace(), RdmaVerb::kWrite);
+  ASSERT_FALSE(report.compliant());
+  EXPECT_EQ(report.violations[0].rule, "G2");
+}
+
+TEST(GbnFsm, DelayWithoutReleaseStampStillMisreads) {
+  // Same wire history but with no release stamp joined onto the trace: the
+  // FSM walks mirror order, sees 1..4 contiguous, and flags the receiver's
+  // legitimate NAK — the exact failure mode the release-time replay fixes
+  // (and why the orchestrator stamps released_at).
+  TraceBuilder b;
+  b.data(1, 100).data(2, 200, EventType::kDelay).data(3, 300).data(4, 400);
+  b.nak(2, 500);
+  b.data(2, 600).data(3, 700).data(4, 800);
+  b.ack(4, 1000);
+  const auto report = check_gbn_compliance(b.trace(), RdmaVerb::kWrite);
+  ASSERT_FALSE(report.compliant());
+  EXPECT_EQ(report.violations[0].rule, "G2");
 }
 
 TEST(GbnFsm, G2DuplicateNakFlagged) {

@@ -1,0 +1,158 @@
+// QP-slab property tests (docs/rnic.md): free-list recycling, handle
+// stability under churn, and the invariants the million-QP regime leans
+// on — raw QueuePair pointers never move, stale QpIndex handles resolve
+// to nullptr (never to the slot's new tenant), and destroyed slots are
+// recycled before fresh ones are opened.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rnic/device_profile.h"
+#include "rnic/qp.h"
+#include "rnic/rnic.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+
+namespace lumina {
+namespace {
+
+class QpSlabTest : public ::testing::Test {
+ protected:
+  QpSlabTest()
+      : nic_(&sim_, "slab-nic", DeviceProfile::get(NicType::kCx6Dx),
+             RoceParameters{}, MacAddress::from_u48(0x0200000000aaULL)) {}
+
+  Simulator sim_;
+  Rnic nic_;
+};
+
+TEST_F(QpSlabTest, HandlesResolveAndSurviveGrowth) {
+  // Create enough QPs to cross several chunk boundaries; every pointer
+  // captured at create time must stay valid (chunks never move).
+  constexpr int kN = 1000;  // ~4 chunks of 256
+  std::vector<QueuePair*> ptrs;
+  std::vector<QpIndex> handles;
+  for (int i = 0; i < kN; ++i) {
+    QueuePair* qp = nic_.create_qp(QpConfig{});
+    ptrs.push_back(qp);
+    handles.push_back(qp->self_index());
+  }
+  EXPECT_EQ(nic_.qp_count(), static_cast<std::size_t>(kN));
+  EXPECT_GE(nic_.qp_slab().capacity(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(nic_.qp(handles[static_cast<std::size_t>(i)]),
+              ptrs[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(nic_.find_qp(ptrs[static_cast<std::size_t>(i)]->qpn()),
+              ptrs[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST_F(QpSlabTest, DestroyInvalidatesOnlyThatHandle) {
+  QueuePair* a = nic_.create_qp(QpConfig{});
+  QueuePair* b = nic_.create_qp(QpConfig{});
+  const QpIndex ia = a->self_index();
+  const QpIndex ib = b->self_index();
+  const std::uint32_t qpn_a = a->qpn();
+
+  nic_.destroy_qp(ia);
+  EXPECT_EQ(nic_.qp(ia), nullptr);
+  EXPECT_EQ(nic_.find_qp(qpn_a), nullptr);
+  EXPECT_EQ(nic_.qp(ib), b);
+  EXPECT_EQ(nic_.qp_count(), 1u);
+
+  // Double destroy through the stale handle is the documented no-op.
+  nic_.destroy_qp(ia);
+  EXPECT_EQ(nic_.qp_count(), 1u);
+}
+
+TEST_F(QpSlabTest, FreeListRecyclesLifoWithBumpedGeneration) {
+  QueuePair* a = nic_.create_qp(QpConfig{});
+  const QpIndex ia = a->self_index();
+  const std::size_t cap_before = nic_.qp_slab().capacity();
+
+  nic_.destroy_qp(ia);
+  QueuePair* c = nic_.create_qp(QpConfig{});
+  const QpIndex ic = c->self_index();
+
+  // The freed slot is reused (LIFO) under a newer generation; the stale
+  // handle must NOT resolve to the new tenant.
+  EXPECT_EQ(ic.slot, ia.slot);
+  EXPECT_NE(ic.gen, ia.gen);
+  EXPECT_EQ(nic_.qp(ia), nullptr);
+  EXPECT_EQ(nic_.qp(ic), c);
+  EXPECT_EQ(nic_.qp_slab().capacity(), cap_before);
+  EXPECT_EQ(nic_.qp_slab().recycled_total(), 1u);
+}
+
+TEST_F(QpSlabTest, ReserveDoesNotMoveLiveQps) {
+  QueuePair* a = nic_.create_qp(QpConfig{});
+  const QpIndex ia = a->self_index();
+  nic_.reserve_qps(5000);
+  EXPECT_GE(nic_.qp_slab().capacity(), 5000u);
+  EXPECT_EQ(nic_.qp(ia), a);
+  EXPECT_EQ(a->self_index(), ia);
+}
+
+TEST_F(QpSlabTest, SeededChurnKeepsHandlesConsistent) {
+  // Random create/destroy churn with a model map: at every step each live
+  // handle resolves to its original pointer and qpn, every destroyed
+  // handle to nullptr, and live_count matches the model.
+  Rng rng(0xC0FFEE);
+  struct LiveQp {
+    QpIndex index;
+    QueuePair* ptr;
+    std::uint32_t qpn;
+  };
+  std::vector<LiveQp> live;
+  std::vector<QpIndex> dead;
+  std::uint64_t creates = 0;
+
+  for (int step = 0; step < 4000; ++step) {
+    const bool create = live.empty() || rng.next_below(100) < 55;
+    if (create) {
+      QueuePair* qp = nic_.create_qp(QpConfig{});
+      live.push_back({qp->self_index(), qp, qp->qpn()});
+      ++creates;
+    } else {
+      const std::size_t victim = rng.next_below(live.size());
+      nic_.destroy_qp(live[victim].index);
+      dead.push_back(live[victim].index);
+      live[victim] = live.back();
+      live.pop_back();
+    }
+  }
+
+  EXPECT_EQ(nic_.qp_count(), live.size());
+  EXPECT_EQ(nic_.qp_slab().created_total(), creates);
+  for (const LiveQp& qp : live) {
+    ASSERT_EQ(nic_.qp(qp.index), qp.ptr);
+    EXPECT_EQ(qp.ptr->qpn(), qp.qpn);
+    EXPECT_EQ(nic_.find_qp(qp.qpn), qp.ptr);
+  }
+  for (const QpIndex& index : dead) {
+    EXPECT_EQ(nic_.qp(index), nullptr);
+  }
+  // Churn with more creates than destroys still recycles aggressively:
+  // capacity stays far below the create total (free list did its job).
+  EXPECT_LT(nic_.qp_slab().capacity(), creates);
+  EXPECT_GT(nic_.qp_slab().recycled_total(), 0u);
+}
+
+TEST_F(QpSlabTest, RecycledSlotsServeBeforeFreshOnes) {
+  std::vector<QpIndex> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(nic_.create_qp(QpConfig{})->self_index());
+  }
+  const std::size_t cap = nic_.qp_slab().capacity();
+  for (const QpIndex& h : handles) nic_.destroy_qp(h);
+  for (int i = 0; i < 10; ++i) {
+    const QpIndex h = nic_.create_qp(QpConfig{})->self_index();
+    EXPECT_LT(h.slot, 10u);  // recycled, not fresh
+  }
+  EXPECT_EQ(nic_.qp_slab().capacity(), cap);
+}
+
+}  // namespace
+}  // namespace lumina
