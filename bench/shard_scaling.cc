@@ -1,0 +1,213 @@
+// Sharded-kernel incast scaling sweep (docs/simulator.md, "Sharded
+// execution"): how much wall clock the conservative window algorithm buys
+// on an incast-shaped event load, and proof that the shard count never
+// changes the results it produces.
+//
+// The workload is a kernel-level model of the testbed's hot shape — H
+// hosts fanning into one switch domain. Every host runs a chain of
+// "packet processing" events (a calibrated ~2.5 us spin each, the
+// expensive side of the lane) and each round fires one light cross
+// message into the switch domain (~0.1 us spin — serialization floor).
+// Cross sends are issued below the lookahead, so every one exercises the
+// clamp + (when, domain, seq) barrier-merge path.
+//
+// For each H in {8, 16, 32, 64} the sweep runs shards in {1, 2, 4, 8}.
+// Deterministic kernel counters (events, windows, cross messages, clamps,
+// stalls) must be IDENTICAL at every shard count — asserted here as a
+// shape check and diffed by the CI bench gate against
+// bench/baselines/shard_scaling_baseline.json at zero tolerance. Wall
+// clock lands in the report's "wall" section, which comparisons ignore;
+// the documented speedup floor (>= 2x at 4 shards on the 16-host incast)
+// is enforced as a shape check when the machine has >= 4 cores.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "sim/sharded_sim.h"
+#include "telemetry/report.h"
+#include "util/time.h"
+
+using namespace lumina;
+using namespace lumina::bench;
+
+namespace {
+
+constexpr Tick kLookahead = 250;  // link propagation (topology default)
+constexpr Tick kRoundGap = 1000;  // inter-round spacing per host
+constexpr int kRounds = 200;      // events per host chain
+constexpr int kRepeats = 3;       // wall measurement: best of 3
+
+// Calibrated busy work, heavy enough per event (~2.5 us per host event)
+// that window-barrier overhead cannot dominate the measured speedup.
+// Hosts do the per-packet work; the switch domain stays light so the
+// sweep measures parallel speedup against a realistic serialization
+// floor.
+constexpr std::uint64_t kHostSpin = 10000;
+constexpr std::uint64_t kSwitchSpin = 400;
+
+void spin(std::uint64_t iters) {
+  volatile std::uint64_t acc = 0;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    acc += i * 0x9E3779B97F4A7C15ULL;
+  }
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct Sample {
+  int hosts = 0;
+  int shards = 0;
+  // Deterministic (pure function of hosts; shard-count invariant).
+  std::uint64_t events = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t cross_messages = 0;
+  std::uint64_t clamped_sends = 0;
+  std::uint64_t stalls = 0;
+  // Wall clock.
+  double wall_ms = 0;
+};
+
+/// One incast run: domain 0 is the switch, domains 1..H the hosts.
+Sample run_incast(int hosts, int shards) {
+  Sample s;
+  s.hosts = hosts;
+  s.shards = shards;
+  s.wall_ms = 1e30;
+
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    ShardedSimulator::Options options;
+    options.shards = shards;
+    options.lookahead = kLookahead;
+    ShardedSimulator sim(1 + hosts, options);
+
+    // Per-host event chain seeded at staggered start ticks; every round
+    // spins, fires a light message at the switch "now" (clamped to the
+    // lookahead), and schedules its next round.
+    struct Chain {
+      ShardedSimulator* sim;
+      DomainId host;
+      int round = 0;
+      void fire() {
+        spin(kHostSpin);
+        sim->schedule_on(0, sim->now(), [] { spin(kSwitchSpin); });
+        if (++round < kRounds) {
+          sim->schedule_after_on(host, kRoundGap, [this] { fire(); });
+        }
+      }
+    };
+    std::vector<Chain> chains;
+    chains.reserve(static_cast<std::size_t>(hosts));
+    for (int h = 0; h < hosts; ++h) {
+      chains.push_back(Chain{&sim, static_cast<DomainId>(1 + h)});
+    }
+    for (int h = 0; h < hosts; ++h) {
+      Chain* chain = &chains[static_cast<std::size_t>(h)];
+      sim.schedule_on(chain->host, h, [chain] { chain->fire(); });
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    sim.run();
+    s.wall_ms = std::min(s.wall_ms, ms_since(start));
+
+    s.events = sim.events_processed();
+    s.windows = sim.windows();
+    s.cross_messages = sim.cross_messages();
+    s.clamped_sends = sim.clamped_sends();
+    s.stalls = sim.lookahead_stalls();
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string report_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      report_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out report.json]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  heading("Shard scaling: incast event kernel, hosts x shards sweep");
+
+  const std::vector<int> host_counts = {8, 16, 32, 64};
+  const std::vector<int> shard_counts = {1, 2, 4, 8};
+
+  telemetry::RunReport report;
+  report.name = "shard-scaling";
+
+  Table table({"hosts", "shards", "wall_ms", "speedup", "events", "windows",
+               "cross"});
+  bool invariant = true;
+  double speedup_16h_4s = 0;
+  for (const int hosts : host_counts) {
+    Sample base{};
+    for (const int shards : shard_counts) {
+      const Sample s = run_incast(hosts, shards);
+      if (shards == 1) {
+        base = s;
+        const std::string prefix =
+            "shard_scaling.h" + std::to_string(hosts) + ".";
+        report.deterministic.counters[prefix + "events"] = s.events;
+        report.deterministic.counters[prefix + "windows"] = s.windows;
+        report.deterministic.counters[prefix + "cross_messages"] =
+            s.cross_messages;
+        report.deterministic.counters[prefix + "clamped_sends"] =
+            s.clamped_sends;
+        report.deterministic.counters[prefix + "lookahead_stalls"] = s.stalls;
+      } else {
+        // The whole point: shard count is a throughput knob, never an
+        // output knob. Any divergence fails the bench outright.
+        invariant = invariant && s.events == base.events &&
+                    s.windows == base.windows &&
+                    s.cross_messages == base.cross_messages &&
+                    s.clamped_sends == base.clamped_sends &&
+                    s.stalls == base.stalls;
+      }
+      const double speedup = base.wall_ms / s.wall_ms;
+      if (hosts == 16 && shards == 4) speedup_16h_4s = speedup;
+      table.add_row({std::to_string(hosts), std::to_string(shards),
+                     fmt("%.2f", s.wall_ms), fmt("%.2fx", speedup),
+                     std::to_string(s.events), std::to_string(s.windows),
+                     std::to_string(s.cross_messages)});
+      report.wall["shard_scaling.h" + std::to_string(hosts) + ".s" +
+                  std::to_string(shards) + ".wall_ms"] = s.wall_ms;
+    }
+  }
+  table.print();
+
+  ShapeCheck check;
+  check.expect(invariant,
+               "deterministic counters identical at every shard count");
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores >= 4) {
+    check.expect(speedup_16h_4s >= 2.0,
+                 "16-host incast at 4 shards is >= 2x over sequential (" +
+                     fmt("%.2f", speedup_16h_4s) + "x)");
+  } else {
+    std::printf("\n(skipping speedup floor: only %u hardware threads)\n",
+                cores);
+  }
+
+  if (!report_out.empty()) {
+    std::string failed;
+    if (!telemetry::write_report(report, report_out, &failed)) {
+      std::fprintf(stderr, "error: failed to write %s\n", failed.c_str());
+      return 1;
+    }
+    std::printf("\nreport written to %s\n", report_out.c_str());
+  }
+  return check.print_and_exit_code();
+}

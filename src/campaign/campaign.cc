@@ -46,7 +46,7 @@ std::string format_summary(const char* format, ...) {
 }
 
 CampaignRunOutcome execute_run(const CampaignRunSpec& spec,
-                               std::uint64_t seed) {
+                               std::uint64_t seed, int shards) {
   CampaignRunOutcome out;
   out.name = spec.name;
   out.kind = spec.kind;
@@ -57,6 +57,7 @@ CampaignRunOutcome execute_run(const CampaignRunSpec& spec,
     case CampaignRunKind::kExperiment: {
       Orchestrator::Options options;
       options.seed = seed;
+      options.shards = shards;
       Orchestrator orch(spec.config, options);
       const TestResult& result = orch.run();
       out.metrics.sim_duration = result.duration;
@@ -126,7 +127,7 @@ CampaignReport run_campaign(const Campaign& campaign,
   report.runs = parallel_map<CampaignRunOutcome>(
       campaign.runs.size(), options.jobs, [&](std::size_t i) {
         return execute_run(campaign.runs[i],
-                           derive_run_seed(options.seed, i));
+                           derive_run_seed(options.seed, i), options.shards);
       });
   report.wall_ms = elapsed_ms(started);
   return report;

@@ -39,6 +39,7 @@ void Orchestrator::build_testbed() {
   spec.trim_mirrors = options_.trim_mirrors;
   spec.enable_telemetry = options_.enable_telemetry;
   spec.trace_capacity = options_.trace_capacity;
+  spec.shards = options_.shards;
   testbed_ = std::make_unique<Testbed>(std::move(spec));
 
   std::vector<Rnic*> nics;
@@ -272,6 +273,22 @@ void Orchestrator::scrape_telemetry() {
   }
 
   reg.gauge("host.flows").set(generator_->num_connections());
+
+  // Shard-plan metrics stay dormant at shards == 1 so the single-kernel
+  // metric set (and every golden hashed from it) is byte-identical to the
+  // pre-sharding tree. With shards > 1 the report records the full
+  // deterministic placement: count, domain space, lookahead, and each
+  // host's shard (topology/testbed.h ShardPlan).
+  const ShardPlan& plan = testbed_->shard_plan();
+  if (plan.shards > 1) {
+    reg.gauge("topology.shards").set(plan.shards);
+    reg.gauge("topology.event_domains").set(plan.num_domains());
+    reg.gauge("sim.shard.lookahead_ns").set(plan.lookahead);
+    for (int i = 0; i < testbed_->num_hosts(); ++i) {
+      reg.gauge("topology." + testbed_->nic(i).name() + ".shard")
+          .set(plan.shard_of(plan.host_domain(i)));
+    }
+  }
 }
 
 }  // namespace lumina

@@ -72,6 +72,11 @@ class Orchestrator {
     /// Event-trace ring capacity; the oldest events are overwritten (and
     /// counted as sim.trace_dropped) once the ring is full.
     std::size_t trace_capacity = telemetry::TraceSink::kDefaultCapacity;
+    /// Event-kernel shards (docs/simulator.md, "Sharded execution"):
+    /// validated against the topology's domain count and recorded in the
+    /// report as the deterministic ShardPlan. Results are contractually
+    /// identical for every accepted value.
+    int shards = 1;
   };
 
   explicit Orchestrator(TestConfig config);

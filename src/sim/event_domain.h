@@ -1,0 +1,67 @@
+// Event domains and the sharded kernel's handle encoding.
+//
+// A *domain* is the unit of determinism in the sharded kernel
+// (sim/sharded_sim.h): a fixed partition of simulation state whose events
+// fire on one lane in strict (when, id) order. Domains are assigned by the
+// topology layer (switch = 0, host i = 1 + i, dumpers after the hosts —
+// see topology/testbed.h) and never move. A *shard* is merely an execution
+// group: domain d runs on shard `d % shards`, so changing the shard count
+// changes thread placement but not semantics.
+//
+// Event handles returned by the sharded kernel encode where the event
+// lives so cancel() can route without a global id table:
+//
+//   bit 63        cross flag: 1 = cross-domain message, 0 = lane-local
+//   bits 62..47   16-bit domain (owner for local, origin for cross)
+//   bits 46..0    lane-local event id (local) or origin sequence (cross)
+//
+// Lane-local ids are the dense per-Simulator ids starting at 1, so handle 0
+// keeps its repo-wide "never scheduled" meaning. Cross handles double as
+// the deterministic merge key: barriers inject messages in strict
+// (when, origin domain, origin sequence) order, which is exactly ascending
+// (when, handle).
+#pragma once
+
+#include <cstdint>
+
+namespace lumina {
+
+/// Index of an event domain within one ShardedSimulator.
+using DomainId = std::uint32_t;
+
+namespace event_domain {
+
+inline constexpr int kSeqBits = 47;
+inline constexpr int kDomainBits = 16;
+inline constexpr std::uint64_t kSeqMask = (std::uint64_t{1} << kSeqBits) - 1;
+inline constexpr std::uint64_t kDomainMask =
+    (std::uint64_t{1} << kDomainBits) - 1;
+inline constexpr std::uint64_t kCrossFlag = std::uint64_t{1} << 63;
+inline constexpr std::uint32_t kMaxDomains = std::uint32_t{1} << kDomainBits;
+
+/// Handle for an event pending in `domain`'s own lane under local id `id`.
+constexpr std::uint64_t local_handle(DomainId domain, std::uint64_t id) {
+  return (std::uint64_t{domain} << kSeqBits) | (id & kSeqMask);
+}
+
+/// Handle for the `seq`-th cross-domain message originated by `origin`.
+constexpr std::uint64_t cross_handle(DomainId origin, std::uint64_t seq) {
+  return kCrossFlag | (std::uint64_t{origin} << kSeqBits) | (seq & kSeqMask);
+}
+
+constexpr bool is_cross(std::uint64_t handle) {
+  return (handle & kCrossFlag) != 0;
+}
+
+/// Owner domain (local handles) or origin domain (cross handles).
+constexpr DomainId domain_of(std::uint64_t handle) {
+  return static_cast<DomainId>((handle >> kSeqBits) & kDomainMask);
+}
+
+/// Lane-local event id (local handles) or origin sequence (cross handles).
+constexpr std::uint64_t seq_of(std::uint64_t handle) {
+  return handle & kSeqMask;
+}
+
+}  // namespace event_domain
+}  // namespace lumina

@@ -1,0 +1,325 @@
+#include "sim/sharded_reference.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace lumina {
+namespace {
+
+constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+
+Tick sat_add(Tick a, Tick b) {
+  return a > kMaxTick - b ? kMaxTick : a + b;
+}
+
+}  // namespace
+
+ShardedReferenceKernel::ShardedReferenceKernel(int num_domains,
+                                               Options options)
+    : lookahead_(options.lookahead) {
+  if (num_domains < 1 ||
+      num_domains > static_cast<int>(event_domain::kMaxDomains)) {
+    throw std::invalid_argument(
+        "ShardedReferenceKernel: num_domains out of range: " +
+        std::to_string(num_domains));
+  }
+  if (lookahead_ < 1) {
+    throw std::invalid_argument(
+        "ShardedReferenceKernel: lookahead must be >= 1");
+  }
+  domains_.resize(static_cast<std::size_t>(num_domains));
+}
+
+Tick ShardedReferenceKernel::now() const {
+  return ctx_ != nullptr ? ctx_->lnow : global_now_;
+}
+
+std::uint64_t ShardedReferenceKernel::schedule_into(Dom& dom, DomainId domain,
+                                                    Tick when, Callback cb) {
+  Ev ev;
+  ev.when = when;
+  ev.id = dom.next_id++;
+  ev.cb = std::move(cb);
+  dom.events.push_back(std::move(ev));
+  ++dom.alive;
+  return event_domain::local_handle(domain, dom.events.back().id);
+}
+
+std::uint64_t ShardedReferenceKernel::schedule_on(DomainId domain, Tick when,
+                                                  Callback cb) {
+  if (domain >= static_cast<DomainId>(domains_.size())) {
+    throw std::out_of_range("ShardedReferenceKernel: unknown domain " +
+                            std::to_string(domain));
+  }
+  if (ctx_ == nullptr) {
+    Dom& dom = domains_[domain];
+    return schedule_into(dom, domain, when < global_now_ ? global_now_ : when,
+                         std::move(cb));
+  }
+  const DomainId ctx_domain =
+      static_cast<DomainId>(ctx_ - domains_.data());
+  if (domain == ctx_domain) {
+    return schedule_into(*ctx_, domain, when < ctx_->lnow ? ctx_->lnow : when,
+                         std::move(cb));
+  }
+  const Tick floor = sat_add(ctx_->lnow, lookahead_);
+  Tick eff = when;
+  if (eff < floor) {
+    eff = floor;
+    ++ctx_->clamped;
+  }
+  const std::uint64_t order =
+      event_domain::cross_handle(ctx_domain, ++ctx_->cross_seq);
+  Msg msg;
+  msg.when = eff;
+  msg.order = order;
+  msg.dst = domain;
+  msg.cb = std::move(cb);
+  mailbox_.push_back(std::move(msg));
+  return order;
+}
+
+std::uint64_t ShardedReferenceKernel::schedule_after_on(DomainId domain,
+                                                        Tick delay,
+                                                        Callback cb) {
+  return schedule_on(domain, sat_add(now(), delay < 0 ? 0 : delay),
+                     std::move(cb));
+}
+
+std::uint64_t ShardedReferenceKernel::schedule_timer_on(DomainId domain,
+                                                        Tick when,
+                                                        Callback cb) {
+  // Timer flavor is a store optimization in the real kernel; ids come from
+  // the same per-lane counter, so the specification is schedule_on.
+  return schedule_on(domain, when, std::move(cb));
+}
+
+std::uint64_t ShardedReferenceKernel::schedule_at(Tick when, Callback cb) {
+  const DomainId domain =
+      ctx_ != nullptr ? static_cast<DomainId>(ctx_ - domains_.data())
+                      : DomainId{0};
+  return schedule_on(domain, when, std::move(cb));
+}
+
+std::uint64_t ShardedReferenceKernel::schedule_after(Tick delay, Callback cb) {
+  return schedule_at(sat_add(now(), delay < 0 ? 0 : delay), std::move(cb));
+}
+
+std::uint64_t ShardedReferenceKernel::schedule_timer_at(Tick when,
+                                                        Callback cb) {
+  return schedule_at(when, std::move(cb));
+}
+
+std::uint64_t ShardedReferenceKernel::schedule_timer_after(Tick delay,
+                                                           Callback cb) {
+  return schedule_timer_at(sat_add(now(), delay < 0 ? 0 : delay),
+                           std::move(cb));
+}
+
+void ShardedReferenceKernel::kill_local(Dom& dom, std::uint64_t local_id) {
+  for (auto& ev : dom.events) {
+    if (ev.id == local_id) {
+      if (ev.alive) {
+        ev.alive = false;
+        ev.cb = Callback();
+        --dom.alive;
+      }
+      return;
+    }
+  }
+}
+
+void ShardedReferenceKernel::resolve_and_cancel(std::uint64_t target) {
+  if (!event_domain::is_cross(target)) {
+    const DomainId dom = event_domain::domain_of(target);
+    if (dom < static_cast<DomainId>(domains_.size())) {
+      kill_local(domains_[dom], event_domain::seq_of(target));
+    }
+    return;
+  }
+  const auto it = cross_pending_.find(target);
+  if (it != cross_pending_.end()) {
+    kill_local(domains_[it->second.dst], it->second.local_id);
+  }
+}
+
+void ShardedReferenceKernel::cancel(std::uint64_t handle) {
+  if (handle == 0) return;
+  if (ctx_ == nullptr) {
+    ++top_cancels_;
+    resolve_and_cancel(handle);
+    return;
+  }
+  ++ctx_->facade_cancels;
+  const DomainId ctx_domain =
+      static_cast<DomainId>(ctx_ - domains_.data());
+  if (!event_domain::is_cross(handle)) {
+    if (event_domain::domain_of(handle) == ctx_domain) {
+      kill_local(*ctx_, event_domain::seq_of(handle));
+      return;
+    }
+  } else {
+    const auto it = cross_pending_.find(handle);
+    if (it != cross_pending_.end() && it->second.dst == ctx_domain) {
+      kill_local(*ctx_, it->second.local_id);
+      return;
+    }
+  }
+  Msg msg;
+  msg.when = ctx_->lnow;
+  msg.order = event_domain::cross_handle(ctx_domain, ++ctx_->cross_seq);
+  msg.is_cancel = true;
+  msg.target = handle;
+  mailbox_.push_back(std::move(msg));
+}
+
+void ShardedReferenceKernel::run() { run_loop(kMaxTick, /*bounded=*/false); }
+
+void ShardedReferenceKernel::run_until(Tick deadline) {
+  run_loop(deadline, /*bounded=*/true);
+}
+
+bool ShardedReferenceKernel::min_next(Tick& m) {
+  bool any = false;
+  for (const auto& dom : domains_) {
+    for (const auto& ev : dom.events) {
+      if (ev.alive && (!any || ev.when < m)) {
+        m = ev.when;
+        any = true;
+      }
+    }
+  }
+  return any;
+}
+
+void ShardedReferenceKernel::drain_mailbox() {
+  if (mailbox_.empty()) return;
+  std::vector<Msg> msgs;
+  msgs.swap(mailbox_);
+  std::sort(msgs.begin(), msgs.end(), [](const Msg& a, const Msg& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.order < b.order;
+  });
+  for (auto& msg : msgs) {
+    if (msg.is_cancel) continue;
+    Dom& dst = domains_[msg.dst];
+    Ev ev;
+    ev.when = msg.when;
+    ev.id = dst.next_id++;
+    ev.cb = std::move(msg.cb);
+    cross_pending_.emplace(msg.order, PendingCross{msg.dst, ev.id});
+    prune_fifo_.emplace_back(msg.when, msg.order);
+    dst.events.push_back(std::move(ev));
+    ++dst.alive;
+    ++cross_messages_;
+  }
+  for (const auto& msg : msgs) {
+    if (!msg.is_cancel) continue;
+    ++cross_cancels_;
+    resolve_and_cancel(msg.target);
+  }
+}
+
+void ShardedReferenceKernel::run_window(Dom& dom, Tick horizon) {
+  ctx_ = &dom;
+  for (;;) {
+    std::size_t best = dom.events.size();
+    for (std::size_t i = 0; i < dom.events.size(); ++i) {
+      const Ev& ev = dom.events[i];
+      if (!ev.alive || ev.when >= horizon) continue;
+      if (best == dom.events.size() || ev.when < dom.events[best].when ||
+          (ev.when == dom.events[best].when &&
+           ev.id < dom.events[best].id)) {
+        best = i;
+      }
+    }
+    if (best == dom.events.size()) break;
+    Ev& ev = dom.events[best];
+    ev.alive = false;
+    --dom.alive;
+    dom.lnow = ev.when;
+    ++dom.processed;
+    Callback cb = std::move(ev.cb);
+    cb();  // may append to dom.events; indices re-derived next iteration
+  }
+  ctx_ = nullptr;
+  // Compact fired/cancelled slots so the O(n^2) scans stay small. Ids are
+  // monotonic, so compaction is unobservable.
+  dom.events.erase(std::remove_if(dom.events.begin(), dom.events.end(),
+                                  [](const Ev& ev) { return !ev.alive; }),
+                   dom.events.end());
+}
+
+void ShardedReferenceKernel::run_loop(Tick deadline, bool bounded) {
+  stop_ = false;
+  for (;;) {
+    drain_mailbox();
+    Tick m = 0;
+    if (!min_next(m)) break;
+    while (!prune_fifo_.empty() && prune_fifo_.front().first < m) {
+      cross_pending_.erase(prune_fifo_.front().second);
+      prune_fifo_.pop_front();
+    }
+    if (bounded && m > deadline) break;
+    if (m == kMaxTick) break;
+    Tick horizon = sat_add(m, lookahead_);
+    if (bounded) horizon = std::min(horizon, sat_add(deadline, 1));
+    for (auto& dom : domains_) {
+      bool due = false;
+      for (const auto& ev : dom.events) {
+        if (ev.alive && ev.when < horizon) {
+          due = true;
+          break;
+        }
+      }
+      if (!due) {
+        ++dom.stalls;
+        continue;
+      }
+      run_window(dom, horizon);
+    }
+    ++windows_;
+    if (stop_) break;
+  }
+  for (const auto& dom : domains_) {
+    global_now_ = std::max(global_now_, dom.lnow);
+  }
+  if (bounded && global_now_ < deadline) global_now_ = deadline;
+}
+
+std::uint64_t ShardedReferenceKernel::events_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& dom : domains_) total += dom.processed;
+  return total;
+}
+
+std::size_t ShardedReferenceKernel::pending_events() const {
+  std::size_t total = 0;
+  for (const auto& dom : domains_) total += dom.alive;
+  for (const auto& msg : mailbox_) {
+    if (!msg.is_cancel) ++total;
+  }
+  return total;
+}
+
+std::uint64_t ShardedReferenceKernel::cancel_requests() const {
+  std::uint64_t total = top_cancels_;
+  for (const auto& dom : domains_) total += dom.facade_cancels;
+  return total;
+}
+
+std::uint64_t ShardedReferenceKernel::lookahead_stalls() const {
+  std::uint64_t total = 0;
+  for (const auto& dom : domains_) total += dom.stalls;
+  return total;
+}
+
+std::uint64_t ShardedReferenceKernel::clamped_sends() const {
+  std::uint64_t total = 0;
+  for (const auto& dom : domains_) total += dom.clamped;
+  return total;
+}
+
+}  // namespace lumina

@@ -1,0 +1,130 @@
+// Reference oracle for the sharded kernel.
+//
+// ShardedReferenceKernel is a naive, single-threaded implementation of the
+// ShardedSimulator specification (sim/sharded_sim.h): per-domain event
+// lists with linear min-scans, the same window algorithm (m, U = m +
+// lookahead), the same cross-domain clamp, the same (when, origin domain,
+// origin sequence) barrier merge, the same cancel-at-barrier rule, and the
+// same counter definitions. Its API deliberately never mentions shards:
+// the specification has no shard parameter, which is the whole point — if
+// ShardedSimulator matches this oracle at shards 1, 2, 4, and 8, results
+// are proven shard-count invariant.
+//
+// This mirrors how sim/reference_scheduler.h gates the calendar queue:
+// tests/unit/sharded_differential_test.cc drives both kernels through
+// ~1k seeded multi-domain workloads and asserts byte-identical firing
+// order, handles, final state, and counters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/event_domain.h"
+#include "sim/inline_callback.h"
+#include "util/time.h"
+
+namespace lumina {
+
+class ShardedReferenceKernel {
+ public:
+  using Callback = InlineCallback;
+
+  struct Options {
+    Tick lookahead = 250;
+  };
+
+  explicit ShardedReferenceKernel(int num_domains)
+      : ShardedReferenceKernel(num_domains, Options()) {}
+  ShardedReferenceKernel(int num_domains, Options options);
+
+  ShardedReferenceKernel(const ShardedReferenceKernel&) = delete;
+  ShardedReferenceKernel& operator=(const ShardedReferenceKernel&) = delete;
+
+  int num_domains() const { return static_cast<int>(domains_.size()); }
+  Tick lookahead() const { return lookahead_; }
+
+  Tick now() const;
+
+  std::uint64_t schedule_on(DomainId domain, Tick when, Callback cb);
+  std::uint64_t schedule_after_on(DomainId domain, Tick delay, Callback cb);
+  std::uint64_t schedule_timer_on(DomainId domain, Tick when, Callback cb);
+  std::uint64_t schedule_at(Tick when, Callback cb);
+  std::uint64_t schedule_after(Tick delay, Callback cb);
+  std::uint64_t schedule_timer_at(Tick when, Callback cb);
+  std::uint64_t schedule_timer_after(Tick delay, Callback cb);
+  void cancel(std::uint64_t handle);
+  void stop() { stop_ = true; }
+  void run();
+  void run_until(Tick deadline);
+
+  std::uint64_t events_processed() const;
+  std::size_t pending_events() const;
+  std::uint64_t cancel_requests() const;
+  std::uint64_t windows() const { return windows_; }
+  std::uint64_t lookahead_stalls() const;
+  std::uint64_t clamped_sends() const;
+  std::uint64_t cross_messages() const { return cross_messages_; }
+  std::uint64_t cross_cancels() const { return cross_cancels_; }
+
+ private:
+  struct Ev {
+    Tick when = 0;
+    std::uint64_t id = 0;
+    Callback cb;
+    bool alive = true;
+  };
+
+  struct Dom {
+    std::vector<Ev> events;
+    std::size_t alive = 0;
+    std::uint64_t next_id = 1;
+    std::uint64_t cross_seq = 0;
+    Tick lnow = 0;
+    std::uint64_t processed = 0;
+    std::uint64_t facade_cancels = 0;
+    std::uint64_t clamped = 0;
+    std::uint64_t stalls = 0;
+  };
+
+  struct Msg {
+    Tick when = 0;
+    std::uint64_t order = 0;
+    DomainId dst = 0;
+    Callback cb;
+    bool is_cancel = false;
+    std::uint64_t target = 0;
+  };
+
+  struct PendingCross {
+    DomainId dst = 0;
+    std::uint64_t local_id = 0;
+  };
+
+  std::uint64_t schedule_into(Dom& dom, DomainId domain, Tick when,
+                              Callback cb);
+  void kill_local(Dom& dom, std::uint64_t local_id);
+  void resolve_and_cancel(std::uint64_t target);
+  void run_loop(Tick deadline, bool bounded);
+  void drain_mailbox();
+  bool min_next(Tick& m);
+  void run_window(Dom& dom, Tick horizon);
+
+  const Tick lookahead_;
+  std::vector<Dom> domains_;
+  std::vector<Msg> mailbox_;
+  std::unordered_map<std::uint64_t, PendingCross> cross_pending_;
+  std::deque<std::pair<Tick, std::uint64_t>> prune_fifo_;
+  Dom* ctx_ = nullptr;
+  Tick global_now_ = 0;
+  bool stop_ = false;
+  std::uint64_t top_cancels_ = 0;
+  std::uint64_t windows_ = 0;
+  std::uint64_t cross_messages_ = 0;
+  std::uint64_t cross_cancels_ = 0;
+};
+
+}  // namespace lumina

@@ -1,0 +1,412 @@
+#include "sim/sharded_sim.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "util/logging.h"
+
+namespace lumina {
+namespace {
+
+constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+
+Tick sat_add(Tick a, Tick b) {
+  // Both operands are non-negative on every call site.
+  return a > kMaxTick - b ? kMaxTick : a + b;
+}
+
+}  // namespace
+
+thread_local ShardedSimulator* ShardedSimulator::tls_owner_ = nullptr;
+thread_local ShardedSimulator::Lane* ShardedSimulator::tls_lane_ = nullptr;
+thread_local int ShardedSimulator::tls_shard_ = 0;
+
+ShardedSimulator::ShardedSimulator(int num_domains, Options options)
+    : shards_(options.shards), lookahead_(options.lookahead) {
+  if (num_domains < 1 ||
+      num_domains > static_cast<int>(event_domain::kMaxDomains)) {
+    throw std::invalid_argument("ShardedSimulator: num_domains out of range: " +
+                                std::to_string(num_domains));
+  }
+  if (shards_ < 1 || shards_ > num_domains) {
+    throw std::invalid_argument(
+        "ShardedSimulator: shards must satisfy 1 <= shards <= num_domains, "
+        "got shards=" +
+        std::to_string(shards_) + " domains=" + std::to_string(num_domains));
+  }
+  if (lookahead_ < 1) {
+    throw std::invalid_argument("ShardedSimulator: lookahead must be >= 1");
+  }
+  // Each lane's Simulator registers the thread-local log clock as it is
+  // constructed; remember the outer clock so destruction can restore it
+  // regardless of lane teardown order.
+  prev_log_clock_ = set_log_clock(nullptr);
+  set_log_clock(prev_log_clock_);
+  lanes_.reserve(static_cast<std::size_t>(num_domains));
+  shard_lanes_.resize(static_cast<std::size_t>(shards_));
+  outboxes_.resize(static_cast<std::size_t>(shards_));
+  for (int d = 0; d < num_domains; ++d) {
+    auto lane = std::make_unique<Lane>();
+    lane->domain = static_cast<DomainId>(d);
+    shard_lanes_[static_cast<std::size_t>(shard_of(lane->domain))].push_back(
+        lane.get());
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    quit_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  lanes_.clear();
+  // Lane destructors each restored *their* saved predecessor, which for
+  // any lane but the first is a sibling lane's (now destroyed) clock.
+  set_log_clock(prev_log_clock_);
+}
+
+ShardedSimulator::Lane* ShardedSimulator::current_lane() const {
+  return tls_owner_ == this ? tls_lane_ : nullptr;
+}
+
+Tick ShardedSimulator::now() const {
+  const Lane* ctx = current_lane();
+  return ctx != nullptr ? ctx->sim.now() : global_now_;
+}
+
+std::uint64_t ShardedSimulator::schedule_local(Lane& lane, Tick when,
+                                               Callback cb, bool timer) {
+  const std::uint64_t id = timer
+                               ? lane.sim.schedule_timer_at(when, std::move(cb))
+                               : lane.sim.schedule_at(when, std::move(cb));
+  return event_domain::local_handle(lane.domain, id);
+}
+
+std::uint64_t ShardedSimulator::schedule_on(DomainId domain, Tick when,
+                                            Callback cb) {
+  if (domain >= static_cast<DomainId>(lanes_.size())) {
+    throw std::out_of_range("ShardedSimulator: unknown domain " +
+                            std::to_string(domain));
+  }
+  Lane* ctx = current_lane();
+  if (ctx == nullptr) {
+    // Top level is barrier context: direct injection, clamped to the
+    // global clock, no lookahead needed.
+    return schedule_local(*lanes_[domain],
+                          when < global_now_ ? global_now_ : when,
+                          std::move(cb), /*timer=*/false);
+  }
+  if (domain == ctx->domain) {
+    return schedule_local(*ctx, when, std::move(cb), /*timer=*/false);
+  }
+  // Cross-domain: conservative clamp. Anything below sender now +
+  // lookahead is physically unreachable across a link, so it rounds up —
+  // deterministically, since lane clocks are shard-count invariant.
+  const Tick floor = sat_add(ctx->sim.now(), lookahead_);
+  Tick eff = when;
+  if (eff < floor) {
+    eff = floor;
+    ++ctx->clamped;
+  }
+  const std::uint64_t order =
+      event_domain::cross_handle(ctx->domain, ++ctx->cross_seq);
+  CrossMsg msg;
+  msg.when = eff;
+  msg.order = order;
+  msg.dst = domain;
+  msg.cb = std::move(cb);
+  outboxes_[static_cast<std::size_t>(tls_shard_)].push_back(std::move(msg));
+  return order;
+}
+
+std::uint64_t ShardedSimulator::schedule_after_on(DomainId domain, Tick delay,
+                                                  Callback cb) {
+  return schedule_on(domain, sat_add(now(), delay < 0 ? 0 : delay),
+                     std::move(cb));
+}
+
+std::uint64_t ShardedSimulator::schedule_timer_on(DomainId domain, Tick when,
+                                                  Callback cb) {
+  if (domain >= static_cast<DomainId>(lanes_.size())) {
+    throw std::out_of_range("ShardedSimulator: unknown domain " +
+                            std::to_string(domain));
+  }
+  Lane* ctx = current_lane();
+  if (ctx == nullptr) {
+    return schedule_local(*lanes_[domain],
+                          when < global_now_ ? global_now_ : when,
+                          std::move(cb), /*timer=*/true);
+  }
+  if (domain == ctx->domain) {
+    return schedule_local(*ctx, when, std::move(cb), /*timer=*/true);
+  }
+  return schedule_on(domain, when, std::move(cb));
+}
+
+std::uint64_t ShardedSimulator::schedule_at(Tick when, Callback cb) {
+  Lane* ctx = current_lane();
+  return schedule_on(ctx != nullptr ? ctx->domain : DomainId{0}, when,
+                     std::move(cb));
+}
+
+std::uint64_t ShardedSimulator::schedule_after(Tick delay, Callback cb) {
+  return schedule_at(sat_add(now(), delay < 0 ? 0 : delay), std::move(cb));
+}
+
+std::uint64_t ShardedSimulator::schedule_timer_at(Tick when, Callback cb) {
+  Lane* ctx = current_lane();
+  return schedule_timer_on(ctx != nullptr ? ctx->domain : DomainId{0}, when,
+                           std::move(cb));
+}
+
+std::uint64_t ShardedSimulator::schedule_timer_after(Tick delay, Callback cb) {
+  return schedule_timer_at(sat_add(now(), delay < 0 ? 0 : delay),
+                           std::move(cb));
+}
+
+void ShardedSimulator::push_cancel_msg(Lane& ctx, std::uint64_t target) {
+  CrossMsg msg;
+  msg.when = ctx.sim.now();
+  msg.order = event_domain::cross_handle(ctx.domain, ++ctx.cross_seq);
+  msg.is_cancel = true;
+  msg.target = target;
+  outboxes_[static_cast<std::size_t>(tls_shard_)].push_back(std::move(msg));
+}
+
+void ShardedSimulator::resolve_and_cancel(std::uint64_t target) {
+  if (!event_domain::is_cross(target)) {
+    const DomainId dom = event_domain::domain_of(target);
+    if (dom < static_cast<DomainId>(lanes_.size())) {
+      lanes_[dom]->sim.cancel(event_domain::seq_of(target));
+    }
+    return;
+  }
+  const auto it = cross_pending_.find(target);
+  if (it != cross_pending_.end()) {
+    lanes_[it->second.dst]->sim.cancel(it->second.local_id);
+  }
+  // Not found: fired (pruned), cancelled, or never delivered — the no-op.
+}
+
+void ShardedSimulator::cancel(std::uint64_t handle) {
+  if (handle == 0) return;
+  Lane* ctx = current_lane();
+  if (ctx == nullptr) {
+    ++top_cancels_;
+    resolve_and_cancel(handle);
+    return;
+  }
+  ++ctx->facade_cancels;
+  if (!event_domain::is_cross(handle)) {
+    if (event_domain::domain_of(handle) == ctx->domain) {
+      ctx->sim.cancel(event_domain::seq_of(handle));
+      return;
+    }
+    push_cancel_msg(*ctx, handle);
+    return;
+  }
+  // A delivered cross message sitting in the caller's own lane is a
+  // lane-local kill; everything else defers to the next barrier. The map
+  // is written only between windows, so the concurrent read is safe and
+  // its content at any window is shard-count invariant.
+  const auto it = cross_pending_.find(handle);
+  if (it != cross_pending_.end() && it->second.dst == ctx->domain) {
+    ctx->sim.cancel(it->second.local_id);
+    return;
+  }
+  push_cancel_msg(*ctx, handle);
+}
+
+void ShardedSimulator::stop() { stop_.store(true, std::memory_order_relaxed); }
+
+void ShardedSimulator::run() { run_loop(kMaxTick, /*bounded=*/false); }
+
+void ShardedSimulator::run_until(Tick deadline) {
+  run_loop(deadline, /*bounded=*/true);
+}
+
+bool ShardedSimulator::min_next(Tick& m) {
+  bool any = false;
+  for (auto& lane : lanes_) {
+    Tick when = 0;
+    if (lane->sim.peek_next(when) && (!any || when < m)) {
+      m = when;
+      any = true;
+    }
+  }
+  return any;
+}
+
+void ShardedSimulator::run_loop(Tick deadline, bool bounded) {
+  stop_.store(false, std::memory_order_relaxed);
+  for (;;) {
+    drain_mailboxes();
+    Tick m = 0;
+    if (!min_next(m)) break;
+    prune_cross_pending(m);
+    if (bounded && m > deadline) break;
+    // An event at the Tick sentinel cannot open a half-open window; treat
+    // it as unreachable (no real scenario schedules at +292 years).
+    if (m == kMaxTick) break;
+    Tick horizon = sat_add(m, lookahead_);
+    if (bounded) horizon = std::min(horizon, sat_add(deadline, 1));
+    execute_window(horizon);
+    ++windows_;
+    if (stop_.load(std::memory_order_relaxed)) break;
+  }
+  for (auto& lane : lanes_) {
+    global_now_ = std::max(global_now_, lane->sim.now());
+  }
+  if (bounded && global_now_ < deadline) global_now_ = deadline;
+}
+
+void ShardedSimulator::drain_mailboxes() {
+  scratch_msgs_.clear();
+  for (auto& box : outboxes_) {
+    for (auto& msg : box) scratch_msgs_.push_back(std::move(msg));
+    box.clear();
+  }
+  if (scratch_msgs_.empty()) return;
+  // The merge order of the tentpole contract: ascending (when, origin
+  // domain, origin sequence). Destination lanes assign local ids in this
+  // order, so their (when, id) firing order is identical for every shard
+  // count — the outbox a message travelled through never matters.
+  std::sort(scratch_msgs_.begin(), scratch_msgs_.end(),
+            [](const CrossMsg& a, const CrossMsg& b) {
+              if (a.when != b.when) return a.when < b.when;
+              return a.order < b.order;
+            });
+  for (auto& msg : scratch_msgs_) {
+    if (msg.is_cancel) continue;
+    Lane& dst = *lanes_[msg.dst];
+    const std::uint64_t local = dst.sim.schedule_at(msg.when, std::move(msg.cb));
+    cross_pending_.emplace(msg.order, PendingCross{msg.dst, local});
+    prune_fifo_.emplace_back(msg.when, msg.order);
+    ++cross_messages_;
+  }
+  // Cancels apply after every schedule of the same barrier, so a message
+  // cancelled in the window that produced it still dies before firing.
+  for (const auto& msg : scratch_msgs_) {
+    if (!msg.is_cancel) continue;
+    ++cross_cancels_;
+    resolve_and_cancel(msg.target);
+  }
+  scratch_msgs_.clear();
+}
+
+void ShardedSimulator::prune_cross_pending(Tick min_when) {
+  // Anything delivered below the global minimum has fired; a later kill
+  // would be a no-op, so the routing entry can go.
+  while (!prune_fifo_.empty() && prune_fifo_.front().first < min_when) {
+    cross_pending_.erase(prune_fifo_.front().second);
+    prune_fifo_.pop_front();
+  }
+}
+
+void ShardedSimulator::execute_window(Tick horizon) {
+  if (shards_ == 1) {
+    run_shard(0, horizon);
+    return;
+  }
+  ensure_workers();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    window_horizon_ = horizon;
+    running_workers_ = shards_ - 1;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  run_shard(0, horizon);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return running_workers_ == 0; });
+}
+
+void ShardedSimulator::run_shard(int shard, Tick horizon) {
+  tls_owner_ = this;
+  tls_shard_ = shard;
+  for (Lane* lane : shard_lanes_[static_cast<std::size_t>(shard)]) {
+    Tick first = 0;
+    if (!lane->sim.peek_next(first) || first >= horizon) {
+      ++lane->stalls;  // lookahead stall: window opened with nothing due
+      continue;
+    }
+    tls_lane_ = lane;
+    lane->sim.run_before(horizon);
+  }
+  tls_lane_ = nullptr;
+  tls_owner_ = nullptr;
+}
+
+void ShardedSimulator::ensure_workers() {
+  if (!workers_.empty()) return;
+  workers_.reserve(static_cast<std::size_t>(shards_ - 1));
+  for (int s = 1; s < shards_; ++s) {
+    workers_.emplace_back([this, s] { worker_main(s); });
+  }
+}
+
+void ShardedSimulator::worker_main(int shard) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Tick horizon = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return quit_ || epoch_ != seen; });
+      if (quit_) return;
+      seen = epoch_;
+      horizon = window_horizon_;
+    }
+    run_shard(shard, horizon);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--running_workers_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+std::uint64_t ShardedSimulator::events_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& lane : lanes_) total += lane->sim.events_processed();
+  return total;
+}
+
+std::size_t ShardedSimulator::pending_events() const {
+  std::size_t total = 0;
+  for (const auto& lane : lanes_) total += lane->sim.pending_events();
+  for (const auto& box : outboxes_) {
+    for (const auto& msg : box) {
+      if (!msg.is_cancel) ++total;
+    }
+  }
+  return total;
+}
+
+std::uint64_t ShardedSimulator::cancel_requests() const {
+  std::uint64_t total = top_cancels_;
+  for (const auto& lane : lanes_) total += lane->facade_cancels;
+  return total;
+}
+
+std::size_t ShardedSimulator::max_queue_depth() const {
+  std::size_t total = 0;
+  for (const auto& lane : lanes_) total += lane->sim.max_queue_depth();
+  return total;
+}
+
+std::uint64_t ShardedSimulator::lookahead_stalls() const {
+  std::uint64_t total = 0;
+  for (const auto& lane : lanes_) total += lane->stalls;
+  return total;
+}
+
+std::uint64_t ShardedSimulator::clamped_sends() const {
+  std::uint64_t total = 0;
+  for (const auto& lane : lanes_) total += lane->clamped;
+  return total;
+}
+
+}  // namespace lumina

@@ -1,0 +1,229 @@
+// Sharded parallel event kernel.
+//
+// ShardedSimulator partitions the event space into fixed *domains* (one per
+// node — see sim/event_domain.h for the assignment and handle encoding) and
+// runs them on a thread pool with conservative synchronization: link
+// propagation delay is the lookahead. Execution proceeds in *windows*
+//
+//   m = min over all lanes of the next pending event time
+//   U = min(m + lookahead, deadline + 1)
+//
+// and every event with when < U fires inside its own lane, in the lane's
+// native (when, id) order, with no inter-lane communication. The windows
+// are isolated by construction: any cross-domain message generated inside
+// the window carries when >= sender.now + lookahead >= m + lookahead >= U,
+// so it cannot affect the window that produced it.
+//
+// Cross-domain messages buffer in per-shard outboxes and merge at the
+// window barrier in strict (when, origin domain, origin sequence) order —
+// ascending (when, handle) over the cross-handle encoding — before the
+// destination lane assigns them local ids. Both the window sequence and
+// the merge order are pure functions of event content, so results are
+// byte-identical for ANY shard count, including 1. That contract is
+// enforced two ways: differentially against ShardedReferenceKernel
+// (sim/sharded_reference.h), a naive single-threaded implementation of
+// this exact specification whose API never mentions shards, and by the
+// shard-invariance golden test which replays full testbed scenarios at
+// shards {1, 2, 4, 8} (docs/simulator.md).
+//
+// Semantics that differ from the plain Simulator, all shard-count
+// invariant:
+//   - cross-domain schedules below now + lookahead clamp up to it (the
+//     clamp is counted in clamped_sends());
+//   - cross-domain cancels take effect at the next window barrier, after
+//     that barrier's schedule injections — cancelling an event that fired
+//     earlier in the same window is deterministically a no-op;
+//   - stop() takes effect at the window boundary, not mid-callback.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/event_domain.h"
+#include "sim/simulator.h"
+#include "util/time.h"
+
+namespace lumina {
+
+class ShardedSimulator {
+ public:
+  using Callback = InlineCallback;
+
+  struct Options {
+    /// Thread groups. Domain d executes on shard d % shards. Must satisfy
+    /// 1 <= shards <= num_domains.
+    int shards = 1;
+    /// Conservative lookahead: the minimum cross-domain latency, in ns.
+    /// The topology layer passes the link propagation delay. Must be >= 1.
+    Tick lookahead = 250;
+  };
+
+  explicit ShardedSimulator(int num_domains)
+      : ShardedSimulator(num_domains, Options()) {}
+  ShardedSimulator(int num_domains, Options options);
+  ~ShardedSimulator();
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  int num_domains() const { return static_cast<int>(lanes_.size()); }
+  int shards() const { return shards_; }
+  Tick lookahead() const { return lookahead_; }
+
+  /// Fixed deterministic shard assignment, recorded in run reports.
+  int shard_of(DomainId domain) const {
+    return static_cast<int>(domain % static_cast<DomainId>(shards_));
+  }
+
+  /// Inside a callback: the executing lane's clock. At top level: the
+  /// global clock (max lane time reached; run_until fills to the deadline
+  /// like the plain kernel).
+  Tick now() const;
+
+  /// Schedules `cb` on `domain` at absolute time `when`. From a callback
+  /// in the same domain this is a plain lane-local schedule (clamped to
+  /// lane now, dense local id). From a callback in another domain it
+  /// becomes a cross-domain message: `when` clamps up to sender now +
+  /// lookahead and delivery happens at the next window barrier. At top
+  /// level (between runs) it injects directly, clamped to the global
+  /// clock. Returns a handle usable with cancel().
+  std::uint64_t schedule_on(DomainId domain, Tick when, Callback cb);
+  std::uint64_t schedule_after_on(DomainId domain, Tick delay, Callback cb);
+
+  /// Timer-flavored variant: lane-local and top-level schedules land in
+  /// the destination lane's timing wheel; cross-domain messages fall back
+  /// to the calendar path (the wheel is a store optimization, not a
+  /// semantic one).
+  std::uint64_t schedule_timer_on(DomainId domain, Tick when, Callback cb);
+
+  /// Context-domain conveniences, mirroring the plain Simulator API.
+  /// Inside a callback they target the executing domain; at top level,
+  /// domain 0.
+  std::uint64_t schedule_at(Tick when, Callback cb);
+  std::uint64_t schedule_after(Tick delay, Callback cb);
+  std::uint64_t schedule_timer_at(Tick when, Callback cb);
+  std::uint64_t schedule_timer_after(Tick delay, Callback cb);
+
+  /// Cancels a pending event by handle. Immediate when the target lives in
+  /// the caller's own lane (or at top level); otherwise routed through the
+  /// cross-domain mailbox and applied at the next window barrier, after
+  /// that barrier's schedule injections. Cancelling a fired, cancelled, or
+  /// unknown handle is a no-op.
+  void cancel(std::uint64_t handle);
+
+  /// Requests the run loop to exit at the current window boundary. The
+  /// window in progress completes everywhere first — mid-window state is
+  /// thread-placement dependent, window boundaries are not.
+  void stop();
+
+  /// Runs until every lane and mailbox drains, or stop() is called.
+  void run();
+
+  /// Runs until simulated time would exceed `deadline`; events at exactly
+  /// `deadline` still fire.
+  void run_until(Tick deadline);
+
+  // Aggregated counters, callable between runs (not from callbacks).
+  std::uint64_t events_processed() const;
+  std::size_t pending_events() const;  // lane-pending + undelivered messages
+  std::uint64_t cancel_requests() const;
+  /// Sum of per-lane queue high-water marks (telemetry shape only; the
+  /// differential battery excludes it — tombstone laziness is lane-level
+  /// and covered by sim_differential_test).
+  std::size_t max_queue_depth() const;
+
+  // Sharding telemetry taps (dormant in reports unless shards > 1).
+  std::uint64_t windows() const { return windows_; }
+  std::uint64_t lookahead_stalls() const;  // lane-windows with nothing due
+  std::uint64_t clamped_sends() const;     // cross sends raised to lookahead
+  std::uint64_t cross_messages() const { return cross_messages_; }
+  std::uint64_t cross_cancels() const { return cross_cancels_; }
+
+ private:
+  struct Lane {
+    Simulator sim;
+    DomainId domain = 0;
+    std::uint64_t cross_seq = 0;  // feeds cross-handle sequence numbers
+    std::uint64_t facade_cancels = 0;
+    std::uint64_t clamped = 0;
+    std::uint64_t stalls = 0;
+  };
+
+  struct CrossMsg {
+    Tick when = 0;            // delivery time (already lookahead-clamped)
+    std::uint64_t order = 0;  // cross handle: the (origin, seq) merge key
+    DomainId dst = 0;
+    Callback cb;
+    bool is_cancel = false;
+    std::uint64_t target = 0;  // cancel target handle
+  };
+
+  struct PendingCross {
+    DomainId dst = 0;
+    std::uint64_t local_id = 0;
+  };
+
+  Lane* current_lane() const;
+  std::uint64_t schedule_local(Lane& lane, Tick when, Callback cb,
+                               bool timer);
+  void push_cancel_msg(Lane& ctx, std::uint64_t target);
+  void resolve_and_cancel(std::uint64_t target);
+
+  void run_loop(Tick deadline, bool bounded);
+  bool min_next(Tick& m);
+  void drain_mailboxes();
+  void prune_cross_pending(Tick min_when);
+  void execute_window(Tick horizon);
+  void run_shard(int shard, Tick horizon);
+  void ensure_workers();
+  void worker_main(int shard);
+
+  const int shards_;
+  const Tick lookahead_;
+  const std::int64_t* prev_log_clock_ = nullptr;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::vector<Lane*>> shard_lanes_;   // lanes by shard
+  std::vector<std::vector<CrossMsg>> outboxes_;   // one per shard
+  std::vector<CrossMsg> scratch_msgs_;            // barrier merge buffer
+
+  // Delivered cross messages: handle -> destination slot, so cancels can
+  // route. Pruned once the global minimum passes the delivery time (the
+  // event has fired; a kill would be a no-op).
+  std::unordered_map<std::uint64_t, PendingCross> cross_pending_;
+  std::deque<std::pair<Tick, std::uint64_t>> prune_fifo_;
+
+  Tick global_now_ = 0;
+  std::atomic<bool> stop_{false};
+  std::uint64_t top_cancels_ = 0;
+  std::uint64_t windows_ = 0;
+  std::uint64_t cross_messages_ = 0;
+  std::uint64_t cross_cancels_ = 0;
+
+  // Worker pool (spawned lazily on the first multi-shard window). The
+  // coordinator runs shard 0 itself; workers run shards 1..shards-1.
+  // Window hand-off is a generation barrier under mu_: outbox writes in a
+  // worker happen-before the coordinator's barrier drain.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_ = 0;
+  int running_workers_ = 0;
+  Tick window_horizon_ = 0;
+  bool quit_ = false;
+
+  static thread_local ShardedSimulator* tls_owner_;
+  static thread_local Lane* tls_lane_;
+  static thread_local int tls_shard_;
+};
+
+}  // namespace lumina

@@ -10,6 +10,16 @@ Testbed::Testbed(TestbedSpec spec) : spec_(std::move(spec)) {
   if (spec_.hosts.size() < 2) {
     throw std::invalid_argument("Testbed requires at least 2 hosts");
   }
+  shard_plan_.num_hosts = static_cast<int>(spec_.hosts.size());
+  shard_plan_.num_dumpers = spec_.num_dumpers;
+  shard_plan_.lookahead = spec_.link_propagation;
+  shard_plan_.shards = spec_.shards;
+  if (spec_.shards < 1 || spec_.shards > shard_plan_.num_domains()) {
+    throw std::invalid_argument(
+        "TestbedSpec::shards must be in [1, " +
+        std::to_string(shard_plan_.num_domains()) +
+        "] (1 + hosts + dumpers), got " + std::to_string(spec_.shards));
+  }
   build();
 }
 

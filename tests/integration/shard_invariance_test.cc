@@ -1,0 +1,247 @@
+// Shard-invariance golden test (docs/simulator.md, "Sharded execution"):
+// the incast_4host and pause_storm_incast scenarios are replayed at every
+// accepted --shards value and their full artifact set — trace.pcap,
+// counters, flows, integrity, report.json — compared byte-for-byte
+// against the checked-in goldens (tests/golden/). The shard count must be
+// a pure throughput knob: the only permitted report difference is the
+// shard-plan metric block itself (topology.* / sim.shard.*), which is
+// dormant at shards == 1 and pinned here against the deterministic
+// ShardPlan at every other count.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "config/test_config.h"
+#include "orchestrator/orchestrator.h"
+#include "orchestrator/results_io.h"
+#include "telemetry/report.h"
+#include "telemetry/report_diff.h"
+#include "topology/testbed.h"
+
+namespace lumina {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* golden_root() { return LUMINA_GOLDEN_DIR; }
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// True for serialized metric lines of the shard-plan block — the only
+/// metrics allowed to differ from the shards == 1 golden.
+bool is_shard_metric_line(const std::string& line) {
+  return line.find("\"topology.") != std::string::npos ||
+         line.find("\"sim.shard.") != std::string::npos;
+}
+
+std::string strip_shard_lines(const std::string& text) {
+  std::istringstream in(text);
+  std::string out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (is_shard_metric_line(line)) continue;
+    // Dropping the block's last serialized neighbor shifts JSON comma
+    // placement; normalize trailing commas so only values are compared.
+    if (!line.empty() && line.back() == ',') line.pop_back();
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Drops the shard-plan block from a parsed snapshot so the structured
+/// diff against the golden runs at tolerance 0 with no missing-key noise.
+void erase_shard_metrics(telemetry::MetricsSnapshot* snapshot) {
+  const auto is_shard_key = [](const std::string& key) {
+    return key.rfind("topology.", 0) == 0 || key.rfind("sim.shard.", 0) == 0;
+  };
+  std::erase_if(snapshot->counters,
+                [&](const auto& kv) { return is_shard_key(kv.first); });
+  std::erase_if(snapshot->gauges,
+                [&](const auto& kv) { return is_shard_key(kv.first); });
+  std::erase_if(snapshot->histograms,
+                [&](const auto& kv) { return is_shard_key(kv.first); });
+}
+
+// The two golden scenarios, identical to golden_trace_test.cc: a 3:1
+// ECN-marking incast and the same incast under a mid-transfer pause storm.
+TestConfig incast_4host_config() {
+  TestConfig cfg;
+  cfg.hosts.clear();
+  for (int i = 0; i < 3; ++i) {
+    HostConfig sender;
+    sender.nic_type = NicType::kCx6Dx;
+    cfg.hosts.push_back(sender);
+  }
+  HostConfig sink;
+  sink.nic_type = NicType::kCx6Dx;
+  cfg.hosts.push_back(sink);
+  for (int i = 0; i < 3; ++i) {
+    cfg.connections.push_back(ConnectionSpec{i, 3});
+  }
+  cfg.traffic.verb = RdmaVerb::kWrite;
+  cfg.traffic.num_msgs_per_qp = 2;
+  cfg.traffic.message_size = 16 * 1024;
+  cfg.traffic.mtu = 1024;
+  return cfg;
+}
+
+Orchestrator::Options incast_options() {
+  Orchestrator::Options options;
+  options.switch_options.ecn_marking_threshold_bytes = 12 * 1024;
+  return options;
+}
+
+TestConfig pause_storm_incast_config() {
+  TestConfig cfg = incast_4host_config();
+  cfg.traffic.num_msgs_per_qp = 3;
+  DataPacketEvent storm{1, 4, EventType::kPauseStorm, 1};
+  storm.fault.duration = 150 * kMicrosecond;
+  cfg.traffic.data_pkt_events.push_back(storm);
+  return cfg;
+}
+
+/// Runs `cfg` at one shard count and returns the artifact tree, with
+/// report.json reduced to its deterministic section minus the shard-plan
+/// block. Also pins the emitted shard metrics against the ShardPlan.
+std::map<std::string, std::string> run_at_shards(
+    const std::string& scenario, const TestConfig& cfg,
+    const Orchestrator::Options& base_options, int shards) {
+  Orchestrator::Options options = base_options;
+  options.shards = shards;
+  Orchestrator orch(cfg, options);
+  const TestResult& result = orch.run();
+  EXPECT_TRUE(result.finished) << scenario << " shards " << shards;
+  EXPECT_TRUE(result.integrity.ok()) << scenario << " shards " << shards;
+
+  const ShardPlan& plan = orch.testbed().shard_plan();
+  EXPECT_EQ(plan.shards, shards);
+  const auto& gauges = result.telemetry.gauges;
+  if (shards == 1) {
+    // Dormant: the single-kernel metric set is byte-identical to the
+    // pre-sharding tree, so the goldens never see the plan block.
+    EXPECT_EQ(gauges.count("topology.shards"), 0u) << scenario;
+  } else {
+    EXPECT_EQ(gauges.at("topology.shards"), shards) << scenario;
+    EXPECT_EQ(gauges.at("topology.event_domains"), plan.num_domains())
+        << scenario;
+    EXPECT_EQ(gauges.at("sim.shard.lookahead_ns"), plan.lookahead)
+        << scenario;
+    for (int i = 0; i < orch.num_hosts(); ++i) {
+      const std::string key = "topology." + orch.nic(i).name() + ".shard";
+      EXPECT_EQ(gauges.at(key), plan.shard_of(plan.host_domain(i)))
+          << scenario << " shards " << shards << " host " << i;
+    }
+  }
+
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("lumina_shard_inv_" + scenario + "_s" + std::to_string(shards) + "_" +
+       std::to_string(::getpid()));
+  fs::remove_all(dir);
+  std::string failed;
+  EXPECT_TRUE(write_results(result, dir.string(), &failed)) << failed;
+
+  std::map<std::string, std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    std::string bytes = read_file(entry.path());
+    if (name == "report.json") {
+      bytes = strip_shard_lines(
+          telemetry::extract_deterministic_section(bytes));
+      EXPECT_FALSE(bytes.empty()) << scenario << " shards " << shards;
+
+      // Structured report diff against the golden at tolerance 0: when
+      // the byte compare below ever fails, this names the exact metrics.
+      telemetry::RunReport actual =
+          telemetry::read_report_file(entry.path().string());
+      erase_shard_metrics(&actual.deterministic);
+      const telemetry::RunReport golden = telemetry::read_report_file(
+          (fs::path(golden_root()) / scenario / "report.json").string());
+      const auto diff =
+          telemetry::diff_reports(golden, actual, telemetry::DiffOptions{});
+      EXPECT_TRUE(diff.passed())
+          << scenario << " shards " << shards << ": report drifted\n"
+          << telemetry::format_diff(diff);
+      EXPECT_GT(diff.compared, 0u) << scenario;
+    }
+    files[name] = std::move(bytes);
+  }
+  fs::remove_all(dir);
+  return files;
+}
+
+/// Sweeps every accepted shard count and asserts all artifact trees are
+/// byte-identical to the checked-in golden (trace.pcap included — the
+/// trace digest contract at tolerance 0).
+void check_shard_invariance(const std::string& scenario, const TestConfig& cfg,
+                            const Orchestrator::Options& options) {
+  const fs::path golden_dir = fs::path(golden_root()) / scenario;
+  ASSERT_TRUE(fs::is_directory(golden_dir))
+      << "missing goldens for " << scenario
+      << "; run golden_trace_test with LUMINA_REGEN_GOLDEN=1 first";
+
+  TestConfig normalized = cfg;
+  normalized.normalize();
+  const int num_domains =
+      1 + static_cast<int>(normalized.hosts.size()) + options.num_dumpers;
+
+  for (int shards = 1; shards <= num_domains; ++shards) {
+    const auto tree = run_at_shards(scenario, cfg, options, shards);
+    std::size_t compared = 0;
+    for (const auto& entry : fs::directory_iterator(golden_dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      const auto it = tree.find(name);
+      ASSERT_NE(it, tree.end())
+          << scenario << " shards " << shards << ": missing " << name;
+      std::string golden_bytes = read_file(entry.path());
+      if (name == "report.json") {
+        golden_bytes = strip_shard_lines(
+            telemetry::extract_deterministic_section(golden_bytes));
+      }
+      EXPECT_EQ(it->second, golden_bytes)
+          << scenario << " shards " << shards << ": " << name
+          << " differs — the shard count leaked into an artifact";
+      ++compared;
+    }
+    EXPECT_GE(compared, 8u) << scenario << ": golden set incomplete";
+  }
+}
+
+TEST(ShardInvariance, Incast4HostMatchesGoldenAtEveryShardCount) {
+  check_shard_invariance("incast_4host", incast_4host_config(),
+                         incast_options());
+}
+
+TEST(ShardInvariance, PauseStormIncastMatchesGoldenAtEveryShardCount) {
+  check_shard_invariance("pause_storm_incast", pause_storm_incast_config(),
+                         Orchestrator::Options{});
+}
+
+// A shard count the topology cannot satisfy is a configuration error, not
+// a silent clamp: the orchestrator refuses to build the testbed.
+TEST(ShardInvariance, RejectsShardCountsBeyondTheDomainSpace) {
+  Orchestrator::Options options = incast_options();
+  options.shards = 99;
+  EXPECT_THROW(Orchestrator(incast_4host_config(), options),
+               std::invalid_argument);
+  options.shards = 0;
+  EXPECT_THROW(Orchestrator(incast_4host_config(), options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lumina

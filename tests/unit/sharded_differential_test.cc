@@ -1,0 +1,529 @@
+// Differential test battery: ShardedSimulator against the naive
+// single-threaded specification kernel (sim/sharded_reference.h).
+//
+// The sharded kernel's contract (docs/simulator.md) is that results are a
+// pure function of event content — never of shard count or thread
+// placement. The oracle's API deliberately has no shard parameter, so one
+// oracle run per script is compared against the real kernel at shards
+// {1, 2, 4, 8}: identical per-domain firing order, identical returned
+// handles, identical clocks, and identical counters (including the
+// sharding-specific ones: windows, lookahead stalls, clamped sends, cross
+// messages, cross cancels).
+//
+// Scripts are data, as in sim_differential_test.cc, so one workload drives
+// both kernel types through the same template executor. Generated cancels
+// only target slots whose handle cell was written by the same execution
+// domain (or at top level): everything else would be a data race in the
+// *harness*, not the kernel — exactly the discipline real components
+// follow (a node cancels its own timers and its own in-flight sends).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/sharded_reference.h"
+#include "sim/sharded_sim.h"
+
+namespace lumina {
+namespace {
+
+constexpr int kShardCounts[] = {1, 2, 4, 8};
+
+// ---------------------------------------------------------------------------
+// Workload script model
+// ---------------------------------------------------------------------------
+
+enum class OpKind {
+  kScheduleOn,       // schedule_on(domain, tick) -> slot
+  kScheduleAfterOn,  // schedule_after_on(domain, tick) -> slot
+  kTimerOn,          // schedule_timer_on(domain, tick) -> slot
+  kCancelSlot,       // cancel the handle recorded for slot `target`
+  kCancelRaw,        // cancel handles never returned by schedule_*
+  kStop,             // stop() — callback-only
+  kRun,              // run() — top-level only
+  kRunUntil,         // run_until(tick) — top-level only
+};
+
+struct Op {
+  OpKind kind;
+  Tick tick = 0;
+  int slot = -1;    // slot defined by a schedule op
+  int target = -1;  // slot referenced by kCancelSlot
+  int domain = 0;   // schedule target domain
+};
+
+struct Script {
+  int num_domains = 1;
+  Tick lookahead = 250;
+  std::vector<Op> top;
+  std::vector<std::vector<Op>> body;    // indexed by slot
+  std::vector<int> exec_domain;         // per slot: domain its body runs in
+};
+
+class ScriptGen {
+ public:
+  explicit ScriptGen(std::uint64_t seed) : rng_(seed) {}
+
+  Script generate() {
+    Script s;
+    s.num_domains = 1 + static_cast<int>(rng_() % 8);
+    const Tick lookaheads[] = {1, 5, 250};
+    s.lookahead = lookaheads[rng_() % 3];
+    const int top_ops = 8 + static_cast<int>(rng_() % 40);
+    for (int i = 0; i < top_ops; ++i) {
+      s.top.push_back(top_op(s));
+    }
+    s.top.push_back({OpKind::kRun});
+    return s;
+  }
+
+ private:
+  // Slots a cancel issued from `ctx` may reference without racing: the
+  // handle cell must have been written by the same execution domain or by
+  // the coordinator at top level (ctx == -1 may read anything).
+  int cancel_candidate(const Script& s, int ctx) {
+    std::vector<int> ok;
+    for (std::size_t slot = 0; slot < writer_ctx_.size(); ++slot) {
+      if (ctx == -1 || writer_ctx_[slot] == -1 || writer_ctx_[slot] == ctx) {
+        ok.push_back(static_cast<int>(slot));
+      }
+    }
+    if (ok.empty()) return -1;
+    return ok[rng_() % ok.size()];
+  }
+
+  Op top_op(Script& s) {
+    switch (rng_() % 10) {
+      case 0:
+        return {OpKind::kRunUntil, random_time()};
+      case 1:
+        return cancel_op(s, /*ctx=*/-1);
+      case 2:
+        return {OpKind::kRun};
+      default:
+        return schedule_op(s, /*ctx=*/-1, /*depth=*/0);
+    }
+  }
+
+  Op schedule_op(Script& s, int ctx, int depth) {
+    const int slot = static_cast<int>(s.body.size());
+    const int target_domain = static_cast<int>(rng_() % s.num_domains);
+    s.body.emplace_back();
+    s.exec_domain.push_back(target_domain);
+    writer_ctx_.push_back(ctx);
+    if (depth < 3) {
+      const int body_ops = static_cast<int>(rng_() % 4);
+      for (int i = 0; i < body_ops; ++i) {
+        // Materialize before indexing s.body: nested schedule_op grows it.
+        Op op;
+        switch (rng_() % 8) {
+          case 0:
+            op = cancel_op(s, target_domain);
+            break;
+          case 1:
+            if (depth >= 1) {
+              op = Op{OpKind::kStop};
+              break;
+            }
+            [[fallthrough]];
+          default:
+            op = schedule_op(s, target_domain, depth + 1);
+        }
+        s.body[static_cast<std::size_t>(slot)].push_back(op);
+      }
+    }
+    Op op;
+    switch (rng_() % 4) {
+      case 0:
+        op.kind = OpKind::kScheduleOn;
+        op.tick = random_time();
+        break;
+      case 1:
+        op.kind = OpKind::kTimerOn;
+        op.tick = random_time();
+        break;
+      default:
+        op.kind = OpKind::kScheduleAfterOn;
+        // Delays straddling the lookahead: below it (cross sends clamp),
+        // at it, just above, plus the clustered spread links produce.
+        switch (rng_() % 4) {
+          case 0:
+            op.tick = static_cast<Tick>(rng_() %
+                                        static_cast<std::uint64_t>(
+                                            2 * s.lookahead + 2));
+            break;
+          case 1:
+            op.tick = -static_cast<Tick>(rng_() % 100);
+            break;
+          default:
+            op.tick = static_cast<Tick>(rng_() % 5000);
+        }
+    }
+    op.slot = slot;
+    op.domain = target_domain;
+    return op;
+  }
+
+  Op cancel_op(Script& s, int ctx) {
+    const int target = cancel_candidate(s, ctx);
+    if (target < 0 || rng_() % 8 == 0) {
+      return {OpKind::kCancelRaw, 0, -1, -1};
+    }
+    Op op{OpKind::kCancelSlot};
+    op.target = target;
+    return op;
+  }
+
+  Tick random_time() {
+    switch (rng_() % 4) {
+      case 0:  // tie bait: tiny range, collides across domains constantly
+        return static_cast<Tick>(rng_() % 8);
+      case 1:  // sparse far future
+        return static_cast<Tick>(rng_() % 3'000'000);
+      default:  // clustered near-term
+        return static_cast<Tick>(rng_() % 4096);
+    }
+  }
+
+  std::mt19937_64 rng_;
+  std::vector<int> writer_ctx_;  // per slot: ctx domain that writes its id
+};
+
+// ---------------------------------------------------------------------------
+// Script executor (works for both kernel types)
+// ---------------------------------------------------------------------------
+
+struct Observation {
+  // Per-domain firing logs: (slot, fire time) in each domain's own order.
+  // Per-domain rather than global because a global log would itself be a
+  // cross-thread observation — the determinism unit is the domain.
+  std::vector<std::vector<std::pair<int, Tick>>> domain_firings;
+  std::vector<std::uint64_t> ids;  // per slot; 0 = never scheduled
+  Tick final_now = 0;
+  std::uint64_t events_processed = 0;
+  std::size_t pending_events = 0;
+  std::uint64_t cancel_requests = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t lookahead_stalls = 0;
+  std::uint64_t clamped_sends = 0;
+  std::uint64_t cross_messages = 0;
+  std::uint64_t cross_cancels = 0;
+};
+
+template <typename Engine>
+Observation execute(const Script& script, Engine& eng) {
+  Observation obs;
+  obs.domain_firings.resize(static_cast<std::size_t>(script.num_domains));
+  obs.ids.assign(script.body.size(), 0);
+
+  struct Ctx {
+    Engine& eng;
+    const Script& script;
+    Observation& obs;
+
+    void apply(const Op& op) {
+      switch (op.kind) {
+        case OpKind::kScheduleOn:
+          obs.ids[static_cast<std::size_t>(op.slot)] = eng.schedule_on(
+              static_cast<DomainId>(op.domain), op.tick, callback(op.slot));
+          break;
+        case OpKind::kScheduleAfterOn:
+          obs.ids[static_cast<std::size_t>(op.slot)] = eng.schedule_after_on(
+              static_cast<DomainId>(op.domain), op.tick, callback(op.slot));
+          break;
+        case OpKind::kTimerOn:
+          obs.ids[static_cast<std::size_t>(op.slot)] = eng.schedule_timer_on(
+              static_cast<DomainId>(op.domain), op.tick, callback(op.slot));
+          break;
+        case OpKind::kCancelSlot:
+          eng.cancel(obs.ids[static_cast<std::size_t>(op.target)]);
+          break;
+        case OpKind::kCancelRaw:
+          eng.cancel(0x7fff'ffff'ffffULL);
+          eng.cancel(0);
+          break;
+        case OpKind::kStop:
+          eng.stop();
+          break;
+        case OpKind::kRun:
+          eng.run();
+          break;
+        case OpKind::kRunUntil:
+          eng.run_until(op.tick);
+          break;
+      }
+    }
+
+    auto callback(int slot) {
+      const int domain = script.exec_domain[static_cast<std::size_t>(slot)];
+      return [this, slot, domain] {
+        obs.domain_firings[static_cast<std::size_t>(domain)].emplace_back(
+            slot, eng.now());
+        for (const Op& op : script.body[static_cast<std::size_t>(slot)]) {
+          apply(op);
+        }
+      };
+    }
+  };
+  Ctx ctx{eng, script, obs};
+
+  for (const Op& op : script.top) {
+    ctx.apply(op);
+  }
+
+  obs.final_now = eng.now();
+  obs.events_processed = eng.events_processed();
+  obs.pending_events = eng.pending_events();
+  obs.cancel_requests = eng.cancel_requests();
+  obs.windows = eng.windows();
+  obs.lookahead_stalls = eng.lookahead_stalls();
+  obs.clamped_sends = eng.clamped_sends();
+  obs.cross_messages = eng.cross_messages();
+  obs.cross_cancels = eng.cross_cancels();
+  return obs;
+}
+
+Observation run_oracle(const Script& script) {
+  ShardedReferenceKernel::Options opt;
+  opt.lookahead = script.lookahead;
+  ShardedReferenceKernel ref(script.num_domains, opt);
+  return execute(script, ref);
+}
+
+Observation run_sharded(const Script& script, int shards) {
+  ShardedSimulator::Options opt;
+  opt.shards = shards;
+  opt.lookahead = script.lookahead;
+  ShardedSimulator sim(script.num_domains, opt);
+  return execute(script, sim);
+}
+
+void expect_obs_eq(const Observation& got, const Observation& want,
+                   const std::string& label) {
+  EXPECT_EQ(got.domain_firings, want.domain_firings) << label;
+  EXPECT_EQ(got.ids, want.ids) << label;
+  EXPECT_EQ(got.final_now, want.final_now) << label;
+  EXPECT_EQ(got.events_processed, want.events_processed) << label;
+  EXPECT_EQ(got.pending_events, want.pending_events) << label;
+  EXPECT_EQ(got.cancel_requests, want.cancel_requests) << label;
+  EXPECT_EQ(got.windows, want.windows) << label;
+  EXPECT_EQ(got.lookahead_stalls, want.lookahead_stalls) << label;
+  EXPECT_EQ(got.clamped_sends, want.clamped_sends) << label;
+  EXPECT_EQ(got.cross_messages, want.cross_messages) << label;
+  EXPECT_EQ(got.cross_cancels, want.cross_cancels) << label;
+}
+
+void check_all_shard_counts(const Script& script, const std::string& label) {
+  const Observation want = run_oracle(script);
+  for (const int shards : kShardCounts) {
+    if (shards > script.num_domains) continue;
+    const Observation got = run_sharded(script, shards);
+    expect_obs_eq(got, want, label + " shards=" + std::to_string(shards));
+    ASSERT_FALSE(::testing::Test::HasFailure()) << label;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The differential check
+// ---------------------------------------------------------------------------
+
+constexpr int kWorkloads = 1000;
+
+TEST(ShardedDifferential, MatchesReferenceAcrossShardCounts) {
+  std::uint64_t total_firings = 0;
+  std::uint64_t total_cross = 0;
+  std::uint64_t total_clamped = 0;
+  std::uint64_t total_cancels = 0;
+  for (int seed = 1; seed <= kWorkloads; ++seed) {
+    ScriptGen gen(static_cast<std::uint64_t>(seed) * 0x9e3779b97f4a7c15ULL);
+    const Script script = gen.generate();
+    const Observation want = run_oracle(script);
+    for (const int shards : kShardCounts) {
+      if (shards > script.num_domains) continue;
+      const Observation got = run_sharded(script, shards);
+      expect_obs_eq(got, want,
+                    "seed " + std::to_string(seed) + " shards=" +
+                        std::to_string(shards) + " domains=" +
+                        std::to_string(script.num_domains));
+      ASSERT_FALSE(::testing::Test::HasFailure()) << "seed " << seed;
+    }
+    for (const auto& per_domain : want.domain_firings) {
+      total_firings += per_domain.size();
+    }
+    total_cross += want.cross_messages;
+    total_clamped += want.clamped_sends;
+    total_cancels += want.cancel_requests;
+  }
+  // Guard against the generator degenerating into trivial or cross-free
+  // scripts: the battery must actually exercise the barrier machinery.
+  EXPECT_GT(total_firings, 10u * kWorkloads);
+  EXPECT_GT(total_cross, 2u * kWorkloads);
+  EXPECT_GT(total_clamped, kWorkloads / 2);
+  EXPECT_GT(total_cancels, kWorkloads);
+}
+
+// Same-tick pileups across domains: every origin sends cross messages to
+// every other domain at colliding ticks, forcing the barrier merge to
+// tie-break on (origin domain, origin sequence) constantly.
+TEST(ShardedDifferential, CrossShardSameTickTies) {
+  for (int seed = 1; seed <= 40; ++seed) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(seed) * 2654435761u);
+    Script script;
+    script.num_domains = 8;
+    script.lookahead = 1 + static_cast<Tick>(rng() % 3);
+    auto add_slot = [&](int domain) {
+      const int slot = static_cast<int>(script.body.size());
+      script.body.emplace_back();
+      script.exec_domain.push_back(domain);
+      return slot;
+    };
+    // Seed each domain with a ticker whose body fans out to two random
+    // other domains at a near-colliding absolute time (usually below the
+    // lookahead floor — the clamp then lands whole batches on one tick).
+    for (int d = 0; d < script.num_domains; ++d) {
+      const int seed_slot = add_slot(d);
+      for (int k = 0; k < 2; ++k) {
+        const int dst = static_cast<int>(rng() % 8);
+        const int cross_slot = add_slot(dst);
+        Op op{OpKind::kScheduleOn, static_cast<Tick>(rng() % 4), cross_slot,
+              -1, dst};
+        script.body[static_cast<std::size_t>(seed_slot)].push_back(op);
+      }
+      script.top.push_back(
+          {OpKind::kScheduleOn, static_cast<Tick>(rng() % 2), seed_slot, -1,
+           d});
+    }
+    script.top.push_back({OpKind::kRun});
+    check_all_shard_counts(script, "ties seed " + std::to_string(seed));
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+// Cancel of in-flight cross-shard events: the origin schedules a cross
+// message and cancels it from a later callback in the same domain —
+// sometimes in the very window that produced the message (it dies at the
+// barrier, before ever firing), sometimes after delivery (a remote kill).
+TEST(ShardedDifferential, CancelInFlightCrossShardEvents) {
+  for (int seed = 1; seed <= 40; ++seed) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(seed) * 7919);
+    Script script;
+    script.num_domains = 4 + static_cast<int>(rng() % 5);
+    script.lookahead = 50;
+    auto add_slot = [&](int domain) {
+      const int slot = static_cast<int>(script.body.size());
+      script.body.emplace_back();
+      script.exec_domain.push_back(domain);
+      return slot;
+    };
+    for (int i = 0; i < 30; ++i) {
+      const int origin = static_cast<int>(
+          rng() % static_cast<std::uint64_t>(script.num_domains));
+      const int dst = static_cast<int>(
+          rng() % static_cast<std::uint64_t>(script.num_domains));
+      const int origin_slot = add_slot(origin);
+      const int victim_slot = add_slot(dst);
+      const int canceller_slot = add_slot(origin);
+      auto& origin_body = script.body[static_cast<std::size_t>(origin_slot)];
+      // Cross send with a delay around the lookahead, then a same-domain
+      // canceller at a delay that races the victim's delivery window.
+      origin_body.push_back({OpKind::kScheduleAfterOn,
+                             static_cast<Tick>(rng() % 120), victim_slot, -1,
+                             dst});
+      origin_body.push_back({OpKind::kScheduleAfterOn,
+                             static_cast<Tick>(rng() % 200), canceller_slot,
+                             -1, origin});
+      script.body[static_cast<std::size_t>(canceller_slot)].push_back(
+          {OpKind::kCancelSlot, 0, -1, victim_slot});
+      script.top.push_back({OpKind::kScheduleOn,
+                            static_cast<Tick>(rng() % 64), origin_slot, -1,
+                            origin});
+    }
+    script.top.push_back({OpKind::kRun});
+    check_all_shard_counts(script, "cancel seed " + std::to_string(seed));
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+// Timer storms: mass schedule_timer_on pileups on one deadline per domain
+// plus heavy same-domain cancel churn — the wheel-backed lane store under
+// window execution.
+TEST(ShardedDifferential, TimerStorms) {
+  for (int seed = 1; seed <= 30; ++seed) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(seed) * 6364136223846793005ULL);
+    Script script;
+    script.num_domains = 8;
+    script.lookahead = 100;
+    auto add_slot = [&](int domain) {
+      const int slot = static_cast<int>(script.body.size());
+      script.body.emplace_back();
+      script.exec_domain.push_back(domain);
+      return slot;
+    };
+    for (int d = 0; d < script.num_domains; ++d) {
+      const int pump = add_slot(d);
+      // add_slot reallocates script.body: assemble the pump's ops locally
+      // and install them only once its slots stop growing.
+      std::vector<Op> pump_body;
+      const Tick storm_deadline = 500 + static_cast<Tick>(rng() % 3);
+      std::vector<int> timers;
+      for (int k = 0; k < 12; ++k) {
+        const int t = add_slot(d);
+        timers.push_back(t);
+        pump_body.push_back({OpKind::kTimerOn, storm_deadline, t, -1, d});
+      }
+      // Cancel roughly half the storm before it lands.
+      for (int k = 0; k < 6; ++k) {
+        const int canceller = add_slot(d);
+        pump_body.push_back({OpKind::kScheduleAfterOn,
+                             static_cast<Tick>(rng() % 400), canceller, -1,
+                             d});
+        script.body[static_cast<std::size_t>(canceller)].push_back(
+            {OpKind::kCancelSlot, 0, -1,
+             timers[rng() % timers.size()]});
+      }
+      script.body[static_cast<std::size_t>(pump)] = std::move(pump_body);
+      script.top.push_back({OpKind::kScheduleOn, static_cast<Tick>(rng() % 8),
+                            pump, -1, d});
+    }
+    script.top.push_back({OpKind::kRun});
+    check_all_shard_counts(script, "storm seed " + std::to_string(seed));
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+// Sends at exactly the lookahead never clamp; anything below it does, and
+// both land deterministically. Also pins the clamp counter semantics.
+TEST(ShardedDifferential, CrossSendsAtAndBelowLookahead) {
+  Script script;
+  script.num_domains = 4;
+  script.lookahead = 100;
+  auto add_slot = [&](int domain) {
+    const int slot = static_cast<int>(script.body.size());
+    script.body.emplace_back();
+    script.exec_domain.push_back(domain);
+    return slot;
+  };
+  const int origin_slot = add_slot(0);
+  // add_slot reallocates script.body: assemble locally, install afterwards.
+  std::vector<Op> body;
+  const Tick delays[] = {0, 1, 99, 100, 101, 250};
+  for (const Tick delay : delays) {
+    const int dst_slot = add_slot(1);
+    body.push_back({OpKind::kScheduleAfterOn, delay, dst_slot, -1, 1});
+  }
+  script.body[static_cast<std::size_t>(origin_slot)] = std::move(body);
+  script.top.push_back({OpKind::kScheduleOn, 10, origin_slot, -1, 0});
+  script.top.push_back({OpKind::kRun});
+
+  const Observation want = run_oracle(script);
+  // Three of the six delays sit below the lookahead and must clamp.
+  EXPECT_EQ(want.clamped_sends, 3u);
+  EXPECT_EQ(want.cross_messages, 6u);
+  check_all_shard_counts(script, "lookahead-edge");
+}
+
+}  // namespace
+}  // namespace lumina

@@ -1,0 +1,219 @@
+// Unit tests for the sharded kernel's direct contracts: handle encoding,
+// shard assignment, option validation, window/clock semantics, clamp and
+// stall counters, stop-at-boundary, and single-domain equivalence with the
+// plain Simulator. The cross-kernel byte-identity proof lives in
+// tests/unit/sharded_differential_test.cc.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/event_domain.h"
+#include "sim/sharded_sim.h"
+#include "sim/simulator.h"
+
+namespace lumina {
+namespace {
+
+TEST(EventDomain, HandleEncodingRoundTrips) {
+  const std::uint64_t local = event_domain::local_handle(37, 123456789);
+  EXPECT_FALSE(event_domain::is_cross(local));
+  EXPECT_EQ(event_domain::domain_of(local), 37u);
+  EXPECT_EQ(event_domain::seq_of(local), 123456789u);
+
+  const std::uint64_t cross = event_domain::cross_handle(65535, 42);
+  EXPECT_TRUE(event_domain::is_cross(cross));
+  EXPECT_EQ(event_domain::domain_of(cross), 65535u);
+  EXPECT_EQ(event_domain::seq_of(cross), 42u);
+
+  // Handle 0 keeps the repo-wide "never scheduled" meaning: no local
+  // handle collides with it (lane ids start at 1).
+  EXPECT_NE(event_domain::local_handle(0, 1), 0u);
+}
+
+TEST(ShardedSimulator, ShardAssignmentIsFixedRoundRobin) {
+  ShardedSimulator::Options opt;
+  opt.shards = 3;
+  ShardedSimulator sim(8, opt);
+  EXPECT_EQ(sim.num_domains(), 8);
+  EXPECT_EQ(sim.shards(), 3);
+  for (DomainId d = 0; d < 8; ++d) {
+    EXPECT_EQ(sim.shard_of(d), static_cast<int>(d % 3));
+  }
+}
+
+TEST(ShardedSimulator, RejectsInvalidOptions) {
+  ShardedSimulator::Options opt;
+  opt.shards = 0;
+  EXPECT_THROW(ShardedSimulator(4, opt), std::invalid_argument);
+  opt.shards = 5;  // more shards than domains
+  EXPECT_THROW(ShardedSimulator(4, opt), std::invalid_argument);
+  opt.shards = 1;
+  opt.lookahead = 0;
+  EXPECT_THROW(ShardedSimulator(4, opt), std::invalid_argument);
+  EXPECT_THROW(ShardedSimulator(0), std::invalid_argument);
+}
+
+TEST(ShardedSimulator, UnknownDomainThrows) {
+  ShardedSimulator sim(2);
+  EXPECT_THROW(sim.schedule_on(2, 10, [] {}), std::out_of_range);
+  EXPECT_THROW(sim.schedule_timer_on(7, 10, [] {}), std::out_of_range);
+}
+
+// A single-domain sharded kernel must behave exactly like the plain
+// Simulator modulo handle encoding: same firing order, same clocks, same
+// processed/pending counts.
+TEST(ShardedSimulator, SingleDomainMatchesPlainSimulator) {
+  std::vector<std::pair<int, Tick>> plain_firings;
+  std::vector<std::pair<int, Tick>> sharded_firings;
+
+  Simulator plain;
+  for (int i = 0; i < 20; ++i) {
+    plain.schedule_at((i * 7) % 13, [&plain, &plain_firings, i] {
+      plain_firings.emplace_back(i, plain.now());
+      if (i % 3 == 0) {
+        plain.schedule_after(5, [&plain, &plain_firings, i] {
+          plain_firings.emplace_back(100 + i, plain.now());
+        });
+      }
+    });
+  }
+  plain.run_until(40);
+
+  ShardedSimulator sharded(1);
+  for (int i = 0; i < 20; ++i) {
+    sharded.schedule_at((i * 7) % 13, [&sharded, &sharded_firings, i] {
+      sharded_firings.emplace_back(i, sharded.now());
+      if (i % 3 == 0) {
+        sharded.schedule_after(5, [&sharded, &sharded_firings, i] {
+          sharded_firings.emplace_back(100 + i, sharded.now());
+        });
+      }
+    });
+  }
+  sharded.run_until(40);
+
+  EXPECT_EQ(sharded_firings, plain_firings);
+  EXPECT_EQ(sharded.now(), plain.now());
+  EXPECT_EQ(sharded.events_processed(), plain.events_processed());
+  EXPECT_EQ(sharded.pending_events(), plain.pending_events());
+  EXPECT_EQ(sharded.cross_messages(), 0u);
+}
+
+TEST(ShardedSimulator, CrossSendBelowLookaheadClampsAndCounts) {
+  ShardedSimulator::Options opt;
+  opt.shards = 2;
+  opt.lookahead = 100;
+  ShardedSimulator sim(2, opt);
+  Tick fired_at = -1;
+  sim.schedule_on(0, 10, [&] {
+    // At lane time 10, a send asking for tick 20 cannot reach another
+    // domain sooner than 10 + lookahead.
+    sim.schedule_on(1, 20, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 110);
+  EXPECT_EQ(sim.clamped_sends(), 1u);
+  EXPECT_EQ(sim.cross_messages(), 1u);
+}
+
+TEST(ShardedSimulator, LookaheadStallsCountIdleLaneWindows) {
+  ShardedSimulator::Options opt;
+  opt.shards = 2;
+  opt.lookahead = 10;
+  ShardedSimulator sim(2, opt);
+  // Only domain 0 has work: every window opened leaves domain 1 stalled.
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_on(0, i * 100, [] {});
+  }
+  sim.run();
+  EXPECT_EQ(sim.windows(), 5u);
+  EXPECT_EQ(sim.lookahead_stalls(), 5u);
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+// stop() exits at the window boundary: the full window completes in every
+// lane first, making the cut shard-count invariant.
+TEST(ShardedSimulator, StopTakesEffectAtWindowBoundary) {
+  for (const int shards : {1, 2, 4}) {
+    ShardedSimulator::Options opt;
+    opt.shards = shards;
+    opt.lookahead = 100;
+    ShardedSimulator sim(4, opt);
+    std::vector<int> fired(4, 0);
+    // Same-window events across all domains; domain 0 stops mid-window.
+    for (DomainId d = 0; d < 4; ++d) {
+      const int di = static_cast<int>(d);
+      sim.schedule_on(d, 10 + di, [&sim, &fired, di] {
+        ++fired[static_cast<std::size_t>(di)];
+        if (di == 0) sim.stop();
+      });
+      sim.schedule_on(d, 500, [&fired, di] {
+        ++fired[static_cast<std::size_t>(di)];
+      });
+    }
+    sim.run();
+    // The stopping window (events at ticks 10..13) completed everywhere;
+    // the next window (tick 500) never opened.
+    EXPECT_EQ(fired, (std::vector<int>{1, 1, 1, 1})) << "shards " << shards;
+    EXPECT_EQ(sim.events_processed(), 4u) << "shards " << shards;
+    EXPECT_EQ(sim.pending_events(), 4u) << "shards " << shards;
+  }
+}
+
+TEST(ShardedSimulator, RunUntilFillsGlobalClockAndFiresAtDeadline) {
+  ShardedSimulator::Options opt;
+  opt.shards = 2;
+  opt.lookahead = 7;
+  ShardedSimulator sim(2, opt);
+  bool at_deadline = false;
+  bool beyond = false;
+  sim.schedule_on(1, 50, [&] { at_deadline = true; });
+  sim.schedule_on(0, 51, [&] { beyond = true; });
+  sim.run_until(50);
+  EXPECT_TRUE(at_deadline);
+  EXPECT_FALSE(beyond);
+  EXPECT_EQ(sim.now(), 50);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_TRUE(beyond);
+  EXPECT_EQ(sim.now(), 51);
+}
+
+// Cancelling a delivered cross event from a third domain routes through
+// the mailbox and kills it at the next barrier.
+TEST(ShardedSimulator, CrossCancelOfDeliveredEvent) {
+  ShardedSimulator::Options opt;
+  opt.shards = 3;
+  opt.lookahead = 10;
+  ShardedSimulator sim(3, opt);
+  bool victim_fired = false;
+  std::uint64_t victim = 0;
+  sim.schedule_on(0, 5, [&] {
+    // Deliver far enough out that the canceller's barrier beats it.
+    victim = sim.schedule_on(1, 500, [&] { victim_fired = true; });
+    sim.schedule_after(10, [&] { sim.cancel(victim); });
+  });
+  sim.run();
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(sim.cross_messages(), 1u);
+  EXPECT_EQ(sim.cross_cancels(), 1u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(ShardedSimulator, TopLevelCancelResolvesImmediately) {
+  ShardedSimulator sim(2);
+  bool fired = false;
+  const std::uint64_t handle = sim.schedule_on(1, 100, [&] { fired = true; });
+  EXPECT_FALSE(event_domain::is_cross(handle));  // top level injects direct
+  sim.cancel(handle);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_processed(), 0u);
+  EXPECT_EQ(sim.cancel_requests(), 1u);
+}
+
+}  // namespace
+}  // namespace lumina

@@ -48,14 +48,16 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <config.yaml> [results-dir] [--report file] "
-               "[--trace-out file]\n"
+               "[--trace-out file] [--shards N]\n"
                "       %s --screen <cx4|cx5|cx6|e810> [--jobs N] "
                "[--report file]\n"
-               "       %s --campaign <campaign.yaml> [--jobs N] [--seed S] "
-               "[--out dir] [--report file]\n"
-               "       %s --fuzz-campaign <fuzz.yaml> [--jobs N] [--seed S] "
-               "[--out dir] [--report file]\n"
-               "                      [--budget N] [--resume]\n"
+               "       %s --campaign <campaign.yaml> [--jobs N] [--shards N] "
+               "[--seed S]\n"
+               "                      [--out dir] [--report file]\n"
+               "       %s --fuzz-campaign <fuzz.yaml> [--jobs N] [--shards N] "
+               "[--seed S]\n"
+               "                      [--out dir] [--report file] "
+               "[--budget N] [--resume]\n"
                "       %s --fuzz-target <name> [--nic t] [--seed S] "
                "[--steps N]\n"
                "\n"
@@ -77,7 +79,11 @@ void usage(const char* argv0) {
                "--report writes the telemetry report.json and --trace-out "
                "the Chrome trace\n"
                "(chrome://tracing / Perfetto) to the given paths "
-               "(docs/telemetry.md).\n",
+               "(docs/telemetry.md).\n"
+               "--shards selects the event-kernel shard count "
+               "(docs/simulator.md); results are\n"
+               "identical for every accepted value (1 <= N <= hosts + "
+               "dumpers + 1).\n",
                argv0, argv0, argv0, argv0, argv0);
 }
 
@@ -110,6 +116,13 @@ bool parse_campaign_flags(int argc, char** argv, int first,
       options->jobs = std::atoi(argv[++i]);
       if (options->jobs < 1) {
         std::fprintf(stderr, "error: --jobs must be >= 1\n");
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      if (!need_value("--shards")) return false;
+      options->shards = std::atoi(argv[++i]);
+      if (options->shards < 1) {
+        std::fprintf(stderr, "error: --shards must be >= 1\n");
         return false;
       }
     } else if (std::strcmp(argv[i], "--seed") == 0) {
@@ -191,7 +204,14 @@ int run_campaign_mode(int argc, char** argv) {
               options.jobs == 1 ? "" : "s",
               static_cast<unsigned long long>(options.seed));
 
-  const CampaignReport report = run_campaign(campaign, options);
+  CampaignReport report;
+  try {
+    report = run_campaign(campaign, options);
+  } catch (const std::exception& error) {
+    // e.g. a shard count no run's topology can satisfy.
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
 
   for (std::size_t i = 0; i < report.runs.size(); ++i) {
     const CampaignRunOutcome& run = report.runs[i];
@@ -246,6 +266,15 @@ int run_fuzz_campaign_mode(int argc, char** argv) {
       options.jobs = std::atoi(argv[++i]);
       if (options.jobs < 1) {
         std::fprintf(stderr, "error: --jobs must be >= 1\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      // Event-kernel shards for experiment-backed runs; fuzz iterations
+      // that never build a testbed simply ignore the setting.
+      if (!need_value("--shards")) return 1;
+      options.shards = std::atoi(argv[++i]);
+      if (options.shards < 1) {
+        std::fprintf(stderr, "error: --shards must be >= 1\n");
         return 1;
       }
     } else if (std::strcmp(argv[i], "--seed") == 0) {
@@ -432,6 +461,7 @@ int main(int argc, char** argv) {
   std::string results_dir;
   std::string report_path;
   std::string trace_path;
+  Orchestrator::Options orch_options;
   for (int i = 2; i < argc; ++i) {
     const auto need_value = [&](const char* flag) {
       if (i + 1 < argc) return true;
@@ -444,6 +474,13 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--trace-out") == 0) {
       if (!need_value("--trace-out")) return 1;
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      if (!need_value("--shards")) return 1;
+      orch_options.shards = std::atoi(argv[++i]);
+      if (orch_options.shards < 1) {
+        std::fprintf(stderr, "error: --shards must be >= 1\n");
+        return 1;
+      }
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
       return 1;
@@ -474,7 +511,20 @@ int main(int argc, char** argv) {
   }
   std::printf("   injected events: %zu\n", cfg.traffic.data_pkt_events.size());
 
-  Orchestrator orch(cfg);
+  // Shard validation needs the normalized topology: the domain space is
+  // 1 switch + hosts + dumpers (topology/testbed.h ShardPlan).
+  const int num_domains = 1 + static_cast<int>(cfg.hosts.size()) +
+                          orch_options.num_dumpers;
+  if (orch_options.shards > num_domains) {
+    std::fprintf(stderr,
+                 "error: --shards %d exceeds the topology's %d event "
+                 "domains (1 switch + %zu hosts + %d dumpers)\n",
+                 orch_options.shards, num_domains, cfg.hosts.size(),
+                 orch_options.num_dumpers);
+    return 1;
+  }
+
+  Orchestrator orch(cfg, orch_options);
   const TestResult& result = orch.run();
 
   std::printf("\n== Integrity check (Section 3.5)\n   %s\n",
