@@ -100,6 +100,25 @@ int main() {
               static_cast<unsigned long long>(control.responder_discards),
               control.degraded_messages);
 
+  // The software stack widens the matrix: soft-RoCE ignores MigReq (no
+  // APM reconciliation path exists), so an E810 requester that trips the
+  // CX5 slow path is harmless against it — at the price of softirq-scale
+  // latencies on every clean message.
+  subheading("software stack: E810 -> Soft-RoCE (16 QPs, same settings)");
+  const InteropPoint soft_responder =
+      run_point(NicType::kE810, NicType::kSoftRoce, 16, false);
+  std::printf("  rx_discards_phy = %llu, degraded msgs = %d, clean MCT = "
+              "%.0f us\n",
+              static_cast<unsigned long long>(soft_responder.responder_discards),
+              soft_responder.degraded_messages, soft_responder.mct_clean_us);
+
+  subheading("software stack: Soft-RoCE -> CX5 (16 QPs, same settings)");
+  const InteropPoint soft_requester =
+      run_point(NicType::kSoftRoce, NicType::kCx5, 16, false);
+  std::printf("  rx_discards_phy = %llu, degraded msgs = %d\n",
+              static_cast<unsigned long long>(soft_requester.responder_discards),
+              soft_requester.degraded_messages);
+
   ShapeCheck check;
   const auto at = [&](int qps) {
     for (std::size_t i = 0; i < qp_sweep.size(); ++i) {
@@ -120,5 +139,13 @@ int main() {
   check.expect(control.responder_discards == 0 &&
                    control.degraded_messages == 0,
                "CX5 -> CX5 control shows no problem");
+  check.expect(soft_responder.responder_discards == 0 &&
+                   soft_responder.degraded_messages == 0,
+               "soft-RoCE responder ignores MigReq: no discards");
+  check.expect(soft_responder.mct_clean_us > at(16).mct_clean_us,
+               "software stack pays softirq-scale clean MCT");
+  check.expect(soft_requester.responder_discards == 0 &&
+                   soft_requester.degraded_messages == 0,
+               "soft-RoCE requester sends MigReq=1: CX5 stays on fast path");
   return check.print_and_exit_code();
 }

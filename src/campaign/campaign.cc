@@ -61,7 +61,7 @@ CampaignRunOutcome execute_run(const CampaignRunSpec& spec,
       Orchestrator orch(spec.config, options);
       const TestResult& result = orch.run();
       out.metrics.sim_duration = result.duration;
-      out.metrics.sim_events = orch.sim().events_processed();
+      out.metrics.sim_events = orch.events_processed();
       out.ok = result.integrity.ok() && result.finished;
       std::size_t completed = 0;
       for (const auto& flow : result.flows) completed += flow.completed();

@@ -114,6 +114,7 @@ std::string to_string(NicType nic) {
     case NicType::kCx5: return "cx5";
     case NicType::kCx6Dx: return "cx6";
     case NicType::kE810: return "e810";
+    case NicType::kSoftRoce: return "soft-roce";
   }
   return "?";
 }
@@ -127,6 +128,9 @@ std::optional<NicType> parse_nic_type(const std::string& text) {
     return NicType::kCx6Dx;
   }
   if (text == "e810" || text == "intel-e810") return NicType::kE810;
+  if (text == "soft-roce" || text == "softroce" || text == "rxe") {
+    return NicType::kSoftRoce;
+  }
   return std::nullopt;
 }
 
@@ -289,6 +293,16 @@ TestConfig load_test_config(const YamlNode& root) {
     // round trip, so any field skew changes the RNG draw sequence.
     cfg.traffic.num_connections = static_cast<int>(cfg.connections.size());
   }
+  if (root.has("shards")) {
+    const YamlNode& shards = root["shards"];
+    if (shards.as_string_or("") == "auto") {
+      cfg.shards = 0;
+    } else {
+      const std::int64_t value = shards.as_int();
+      if (value < 1) throw YamlError("shards must be >= 1 or 'auto'");
+      cfg.shards = static_cast<int>(value);
+    }
+  }
   return cfg;
 }
 
@@ -401,6 +415,13 @@ std::string serialize_test_config(const TestConfig& cfg) {
       out += "- {src: " + std::to_string(conn.src_host) +
              ", dst: " + std::to_string(conn.dst_host) + "}\n";
     }
+  }
+  // The default (1, sequential kernel) is omitted so pre-cutover configs
+  // serialize byte-identically; 0 round-trips as the `auto` sentinel.
+  if (cfg.shards == 0) {
+    out += "shards: auto\n";
+  } else if (cfg.shards != 1) {
+    out += "shards: " + std::to_string(cfg.shards) + "\n";
   }
   const TrafficConfig& t = cfg.traffic;
   out += "traffic:\n";

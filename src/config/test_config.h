@@ -23,7 +23,11 @@ std::string to_string(RdmaVerb verb);
 std::optional<RdmaVerb> parse_verb(const std::string& text);
 
 /// The four RNICs the paper tests (§5).
-enum class NicType { kCx4Lx, kCx5, kCx6Dx, kE810 };
+/// The four hardware RNICs the paper tests, plus a synthetic soft-RoCE
+/// (rxe-like) software stack: RoCE over a plain Ethernet NIC, with
+/// software-interrupt-scale pipeline latencies and none of the hardware
+/// offload bugs — the interop benches use it as a tolerant baseline.
+enum class NicType { kCx4Lx, kCx5, kCx6Dx, kE810, kSoftRoce };
 
 std::string to_string(NicType nic);
 std::optional<NicType> parse_nic_type(const std::string& text);
@@ -127,6 +131,11 @@ struct TestConfig {
   std::vector<ConnectionSpec> connections;
   TrafficConfig traffic;
   EtsConfig ets;
+  /// Event-kernel shard count for runs launched from this config (YAML
+  /// `shards:` — an integer or `auto`). 1 keeps the sequential kernel;
+  /// 0 is the auto sentinel, resolved by the testbed to
+  /// min(hardware_threads, num_domains). A CLI --shards flag overrides.
+  int shards = 1;
 
   /// Role accessors for the classic two-host shape: host 0 is the
   /// requester, host 1 the responder. Growing the vector on demand keeps

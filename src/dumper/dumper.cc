@@ -20,7 +20,7 @@ std::uint32_t rss_hash(const RoceView& v) {
 
 }  // namespace
 
-TrafficDumper::TrafficDumper(Simulator* sim, std::string name, Options options)
+TrafficDumper::TrafficDumper(SimContext sim, std::string name, Options options)
     : sim_(sim),
       name_(std::move(name)),
       options_(options),

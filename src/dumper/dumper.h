@@ -19,7 +19,7 @@
 
 #include "injector/mirror.h"
 #include "net/node.h"
-#include "sim/simulator.h"
+#include "sim/sim_context.h"
 
 namespace lumina {
 
@@ -45,7 +45,7 @@ class TrafficDumper : public Node {
     std::size_t trim_bytes = 128;    ///< §5: first 128 B carry all headers.
   };
 
-  TrafficDumper(Simulator* sim, std::string name, Options options);
+  TrafficDumper(SimContext sim, std::string name, Options options);
 
   Port& port() { return *port_; }
 
@@ -62,7 +62,7 @@ class TrafficDumper : public Node {
   bool write_pcap(const std::string& path) const;
 
  private:
-  Simulator* sim_;
+  SimContext sim_;
   std::string name_;
   Options options_;
   std::unique_ptr<Port> port_;

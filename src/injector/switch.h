@@ -19,7 +19,7 @@
 #include "injector/fault_models.h"
 #include "injector/mirror.h"
 #include "net/node.h"
-#include "sim/simulator.h"
+#include "sim/sim_context.h"
 #include "telemetry/telemetry.h"
 
 namespace lumina {
@@ -80,7 +80,7 @@ class EventInjectorSwitch : public Node {
     std::uint64_t rng_seed = 0x1u;
   };
 
-  EventInjectorSwitch(Simulator* sim, int num_ports, Options options);
+  EventInjectorSwitch(SimContext sim, int num_ports, Options options);
 
   // -- wiring --------------------------------------------------------------
   Port& port(int index) { return *ports_[static_cast<std::size_t>(index)]; }
@@ -167,7 +167,7 @@ class EventInjectorSwitch : public Node {
     Tick expires = 0;  ///< 0 = lives for the rest of the run.
   };
 
-  Simulator* sim_;
+  SimContext sim_;
   Options options_;
   std::vector<std::unique_ptr<Port>> ports_;
   std::unordered_map<Ipv4Address, int> routes_;

@@ -13,7 +13,7 @@
 #include <string>
 
 #include "packet/roce_packet.h"
-#include "sim/simulator.h"
+#include "sim/sim_context.h"
 #include "util/time.h"
 
 namespace lumina {
@@ -47,7 +47,12 @@ struct PortCounters {
 
 class Port {
  public:
-  Port(Simulator* sim, Node* owner, int index)
+  /// `sim` is the owner node's scheduling context (sim/sim_context.h): a
+  /// plain Simulator* converts implicitly; under the sharded kernel the
+  /// testbed passes the owner's domain-bound context, and the peer
+  /// delivery scheduled in start_transmission() lands in the *peer's*
+  /// context — the single cross-domain edge of the topology.
+  Port(SimContext sim, Node* owner, int index)
       : sim_(sim), owner_(owner), index_(index) {}
 
   Port(const Port&) = delete;
@@ -109,7 +114,7 @@ class Port {
 
   void start_transmission();
 
-  Simulator* sim_;
+  SimContext sim_;
   Node* owner_;
   int index_;
   Port* peer_ = nullptr;

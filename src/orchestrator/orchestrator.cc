@@ -46,9 +46,20 @@ void Orchestrator::build_testbed() {
   for (int i = 0; i < testbed_->num_hosts(); ++i) {
     nics.push_back(&testbed_->nic(i));
   }
+  if (testbed_->is_sharded() && config_.traffic.barrier_sync) {
+    // The barrier reads completion counts across every connection (and so
+    // across host lanes) at each completion; that cross-lane coupling is
+    // exactly what the conservative kernel cannot see. Run barriered
+    // configs on the sequential kernel.
+    throw std::invalid_argument(
+        "traffic.barrier_sync requires the sequential kernel (shards=1)");
+  }
+  // The generator holds a kernel-neutral context; it only reads the clock
+  // from completion callbacks (which resolve to the executing lane) and
+  // never schedules events itself, so the domain tag is inert.
   generator_ = std::make_unique<TrafficGenerator>(
-      &testbed_->sim(), std::move(nics), config_.hosts, config_.connections,
-      config_.traffic, config_.ets, options_.seed);
+      testbed_->context(0), std::move(nics), config_.hosts,
+      config_.connections, config_.traffic, config_.ets, options_.seed);
   generator_->attach_telemetry(testbed_->telemetry());
 }
 
@@ -120,10 +131,9 @@ const TestResult& Orchestrator::run() {
   program_injector();  // tables must be populated before traffic starts
   generator_->start();
 
-  Simulator& sim = testbed_->sim();
-  sim.run_until(options_.max_sim_time);
+  testbed_->run_until(options_.max_sim_time);
   result_.finished = generator_->finished();
-  result_.duration = sim.now();
+  result_.duration = testbed_->now();
 
   collect_results();
   return result_;
@@ -204,15 +214,14 @@ void Orchestrator::collect_results() {
 /// histograms the hot paths populated live.
 void Orchestrator::scrape_telemetry() {
   telemetry::MetricsRegistry& reg = *testbed_->metrics();
-  Simulator& sim = testbed_->sim();
   telemetry::TraceSink& trace_sink = *testbed_->trace_sink();
   EventInjectorSwitch& injector = testbed_->injector();
 
-  reg.counter("sim.events_processed").inc(sim.events_processed());
-  reg.counter("sim.events_cancelled").inc(sim.cancel_requests());
+  reg.counter("sim.events_processed").inc(testbed_->events_processed());
+  reg.counter("sim.events_cancelled").inc(testbed_->cancel_requests());
   reg.gauge("sim.queue_depth_max")
-      .set(static_cast<std::int64_t>(sim.max_queue_depth()));
-  reg.gauge("sim.time_ns").set(sim.now());
+      .set(static_cast<std::int64_t>(testbed_->max_queue_depth()));
+  reg.gauge("sim.time_ns").set(testbed_->now());
   reg.counter("sim.trace_recorded").inc(trace_sink.recorded());
   reg.counter("sim.trace_dropped").inc(trace_sink.dropped());
 
@@ -287,6 +296,16 @@ void Orchestrator::scrape_telemetry() {
     for (int i = 0; i < testbed_->num_hosts(); ++i) {
       reg.gauge("topology." + testbed_->nic(i).name() + ".shard")
           .set(plan.shard_of(plan.host_domain(i)));
+    }
+    // Kernel execution telemetry. Everything here is a pure function of
+    // event content — invariant across shard counts > 1 — except that at
+    // shards == 1 the block never runs (sequential kernel), matching the
+    // dormant-at-1 contract above.
+    if (const ShardedSimulator* k = testbed_->sharded()) {
+      reg.counter("sim.shard.windows").inc(k->windows());
+      reg.counter("sim.shard.cross_messages").inc(k->cross_messages());
+      reg.counter("sim.shard.clamped_sends").inc(k->clamped_sends());
+      reg.counter("sim.shard.lookahead_stalls").inc(k->lookahead_stalls());
     }
   }
 }

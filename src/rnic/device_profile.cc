@@ -94,6 +94,35 @@ DeviceProfile make_e810() {
   return p;
 }
 
+DeviceProfile make_soft_roce() {
+  DeviceProfile p;
+  p.type = NicType::kSoftRoce;
+  p.name = "Soft-RoCE (rxe-like software stack) 25GbE";
+  p.link_gbps = 25.0;
+  // Everything runs on host CPUs: pipeline stages cost softirq-scale
+  // microseconds instead of the hardware profiles' hundreds of ns.
+  p.rx_pipeline_delay = 4 * kMicrosecond;
+  p.tx_pipeline_delay = 3 * kMicrosecond;
+  p.ack_generation_delay = 6 * kMicrosecond;
+  p.read_response_start_delay = 8 * kMicrosecond;
+  p.nack_gen_delay_write = 10 * kMicrosecond;
+  p.nack_gen_delay_read = 10 * kMicrosecond;
+  p.nack_react_delay_write = 15 * kMicrosecond;
+  p.nack_react_delay_read = 15 * kMicrosecond;
+  // The kernel stack keeps plain Go-Back-N with the configured timeout and
+  // no DCQCN offload: CNPs are emitted from the slow path, one rate
+  // limiter per QP, at a conservative interval.
+  p.adaptive_retrans_available = false;
+  p.cnp_mode = CnpRateLimitMode::kPerQp;
+  p.default_min_time_between_cnps = 20 * kMicrosecond;
+  // No hardware offload means none of the §6.2 offload bugs: ETS is
+  // work-conserving, there is no APM reconciliation slow path (MigReq is
+  // ignored entirely), and all counters increment. The software stack is
+  // the tolerant end of the interop matrix (bench/sec623_interop).
+  p.mig_req_default = true;
+  return p;
+}
+
 }  // namespace
 
 const DeviceProfile& DeviceProfile::get(NicType type) {
@@ -101,11 +130,13 @@ const DeviceProfile& DeviceProfile::get(NicType type) {
   static const DeviceProfile cx5 = make_cx5();
   static const DeviceProfile cx6 = make_cx6dx();
   static const DeviceProfile e810 = make_e810();
+  static const DeviceProfile soft = make_soft_roce();
   switch (type) {
     case NicType::kCx4Lx: return cx4;
     case NicType::kCx5: return cx5;
     case NicType::kCx6Dx: return cx6;
     case NicType::kE810: return e810;
+    case NicType::kSoftRoce: return soft;
   }
   return cx5;
 }

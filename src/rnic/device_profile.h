@@ -1,4 +1,6 @@
-// Behavioral device profiles for the four RNICs the paper tests (§5, §6).
+// Behavioral device profiles for the four RNICs the paper tests (§5, §6)
+// plus a synthetic soft-RoCE software stack (the tolerant interop
+// baseline; see make_soft_roce in device_profile.cc).
 //
 // A DeviceProfile captures the *measured* micro-behaviors and the
 // vendor-confirmed bugs that Lumina uncovered, as model parameters. The

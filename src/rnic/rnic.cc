@@ -21,7 +21,7 @@ std::uint64_t fnv1a(const std::string& s) {
 
 }  // namespace
 
-Rnic::Rnic(Simulator* sim, std::string name, const DeviceProfile& profile,
+Rnic::Rnic(SimContext sim, std::string name, const DeviceProfile& profile,
            RoceParameters roce, MacAddress mac,
            std::uint32_t telemetry_track)
     : sim_(sim),

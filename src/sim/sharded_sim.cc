@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/exec_domain.h"
 #include "util/logging.h"
 
 namespace lumina {
@@ -145,6 +146,13 @@ std::uint64_t ShardedSimulator::schedule_timer_on(DomainId domain, Tick when,
     return schedule_local(*ctx, when, std::move(cb), /*timer=*/true);
   }
   return schedule_on(domain, when, std::move(cb));
+}
+
+std::uint64_t ShardedSimulator::schedule_timer_after_on(DomainId domain,
+                                                        Tick delay,
+                                                        Callback cb) {
+  return schedule_timer_on(domain, sat_add(now(), delay < 0 ? 0 : delay),
+                           std::move(cb));
 }
 
 std::uint64_t ShardedSimulator::schedule_at(Tick when, Callback cb) {
@@ -335,8 +343,12 @@ void ShardedSimulator::run_shard(int shard, Tick horizon) {
       continue;
     }
     tls_lane_ = lane;
+    // Advertise the executing domain (util/exec_domain.h) so domain-routed
+    // per-run state — the trace sink's lanes — lands in this lane's slot.
+    exec_domain::set_current(static_cast<int>(lane->domain));
     lane->sim.run_before(horizon);
   }
+  exec_domain::set_current(-1);
   tls_lane_ = nullptr;
   tls_owner_ = nullptr;
 }
@@ -350,6 +362,10 @@ void ShardedSimulator::ensure_workers() {
 }
 
 void ShardedSimulator::worker_main(int shard) {
+  // Thread-scoped init token (e.g. the testbed's per-worker packet-arena
+  // scope): acquired before the first window, released at thread exit.
+  std::shared_ptr<void> init_token;
+  if (thread_init_) init_token = thread_init_();
   std::uint64_t seen = 0;
   for (;;) {
     Tick horizon = 0;

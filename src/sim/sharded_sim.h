@@ -41,6 +41,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -104,6 +105,8 @@ class ShardedSimulator {
   /// to the calendar path (the wheel is a store optimization, not a
   /// semantic one).
   std::uint64_t schedule_timer_on(DomainId domain, Tick when, Callback cb);
+  std::uint64_t schedule_timer_after_on(DomainId domain, Tick delay,
+                                        Callback cb);
 
   /// Context-domain conveniences, mirroring the plain Simulator API.
   /// Inside a callback they target the executing domain; at top level,
@@ -119,6 +122,16 @@ class ShardedSimulator {
   /// that barrier's schedule injections. Cancelling a fired, cancelled, or
   /// unknown handle is a no-op.
   void cancel(std::uint64_t handle);
+
+  /// Installs a per-worker-thread initializer: each pool thread invokes it
+  /// once on startup and holds the returned token until the thread exits.
+  /// The testbed uses this to give every worker a thread-local PacketArena
+  /// scope (docs/simulator.md — arenas are thread-local by contract).
+  /// Call before the first multi-shard run; the coordinator thread is not
+  /// affected (its caller owns its own scopes).
+  void set_thread_init(std::function<std::shared_ptr<void>()> init) {
+    thread_init_ = std::move(init);
+  }
 
   /// Requests the run loop to exit at the current window boundary. The
   /// window in progress completes everywhere first — mid-window state is
@@ -213,6 +226,7 @@ class ShardedSimulator {
   // Window hand-off is a generation barrier under mu_: outbox writes in a
   // worker happen-before the coordinator's barrier drain.
   std::vector<std::thread> workers_;
+  std::function<std::shared_ptr<void>()> thread_init_;
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

@@ -1,0 +1,102 @@
+// Kernel-neutral scheduling facade.
+//
+// A SimContext is what every node component (Port, Rnic, switch, dumper,
+// traffic generator) holds instead of a raw Simulator pointer. It binds a
+// scheduling target — either the sequential Simulator, or one event domain
+// of a ShardedSimulator — behind the Simulator's own API surface, so a
+// component neither knows nor cares which kernel drives it:
+//
+//   * Sequential mode (`SimContext(Simulator*)`): every call forwards 1:1
+//     to the Simulator. This is byte-identical to the pre-facade wiring by
+//     construction — same calls, same order, same ids.
+//   * Sharded mode (`SimContext(ShardedSimulator*, DomainId)`): calls
+//     forward to the bound domain via schedule_on/schedule_timer_on. A
+//     schedule issued while *another* domain's lane executes becomes a
+//     cross-domain message (the conservative-window clamp + barrier merge
+//     of sim/sharded_sim.h); `now()` always reads the executing lane's
+//     clock, so cross-domain readers (a Port scheduling delivery into its
+//     peer's context) see their own time, exactly as with one kernel.
+//
+// The facade is a two-pointer value type. `operator->` returns `this`, so
+// a member that used to be `Simulator* sim_` can become `SimContext sim_`
+// with every existing `sim_->schedule_at(...)` call site compiling
+// unchanged — that is the entire migration contract of the testbed
+// cutover (docs/simulator.md, "Sharded execution").
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_domain.h"
+#include "sim/sharded_sim.h"
+#include "sim/simulator.h"
+#include "util/time.h"
+
+namespace lumina {
+
+class SimContext {
+ public:
+  using Callback = Simulator::Callback;
+
+  SimContext() = default;
+
+  /// Sequential binding. Implicit by design: every pre-cutover call site
+  /// (and test) that passes a Simulator* keeps compiling and behaves
+  /// identically.
+  SimContext(Simulator* sim) : seq_(sim) {}  // NOLINT(runtime/explicit)
+
+  /// Sharded binding: schedules target `domain`'s lane.
+  SimContext(ShardedSimulator* sharded, DomainId domain)
+      : sharded_(sharded), domain_(domain) {}
+
+  Tick now() const { return sharded_ ? sharded_->now() : seq_->now(); }
+
+  std::uint64_t schedule_at(Tick when, Callback cb) {
+    return sharded_ ? sharded_->schedule_on(domain_, when, std::move(cb))
+                    : seq_->schedule_at(when, std::move(cb));
+  }
+
+  std::uint64_t schedule_after(Tick delay, Callback cb) {
+    return sharded_ ? sharded_->schedule_after_on(domain_, delay, std::move(cb))
+                    : seq_->schedule_after(delay, std::move(cb));
+  }
+
+  std::uint64_t schedule_timer_at(Tick when, Callback cb) {
+    return sharded_ ? sharded_->schedule_timer_on(domain_, when, std::move(cb))
+                    : seq_->schedule_timer_at(when, std::move(cb));
+  }
+
+  std::uint64_t schedule_timer_after(Tick delay, Callback cb) {
+    return sharded_ ? sharded_->schedule_timer_after_on(domain_, delay,
+                                                        std::move(cb))
+                    : seq_->schedule_timer_after(delay, std::move(cb));
+  }
+
+  void cancel(std::uint64_t handle) {
+    if (sharded_) {
+      sharded_->cancel(handle);
+    } else {
+      seq_->cancel(handle);
+    }
+  }
+
+  /// The `sim_->xxx` compatibility shim: a SimContext member dereferences
+  /// to itself, so converted components keep their pointer-style call
+  /// sites verbatim.
+  SimContext* operator->() { return this; }
+  const SimContext* operator->() const { return this; }
+
+  bool sharded() const { return sharded_ != nullptr; }
+  /// The bound sequential kernel; null in sharded mode.
+  Simulator* sequential() const { return seq_; }
+  /// The bound sharded kernel; null in sequential mode.
+  ShardedSimulator* sharded_kernel() const { return sharded_; }
+  /// Event domain this context schedules on (sharded mode; 0 otherwise).
+  DomainId domain() const { return domain_; }
+
+ private:
+  Simulator* seq_ = nullptr;
+  ShardedSimulator* sharded_ = nullptr;
+  DomainId domain_ = 0;
+};
+
+}  // namespace lumina

@@ -23,6 +23,8 @@
 #include "injector/switch.h"
 #include "rnic/rnic.h"
 #include "sim/event_domain.h"
+#include "sim/sharded_sim.h"
+#include "sim/sim_context.h"
 #include "sim/simulator.h"
 #include "telemetry/telemetry.h"
 
@@ -73,7 +75,9 @@ struct TestbedSpec {
   std::size_t qp_reserve_per_host = 0;
   /// Event-kernel shards (sim/sharded_sim.h). Must satisfy
   /// 1 <= shards <= num_domains (= 1 + hosts + dumpers); the derived
-  /// ShardPlan is recorded in the report. 1 keeps the sequential kernel.
+  /// ShardPlan is recorded in the report. 1 keeps the sequential kernel;
+  /// 0 means *auto*: resolve to min(hardware_threads, num_domains) at
+  /// construction (the resolved value replaces 0 in spec().shards).
   int shards = 1;
 };
 
@@ -82,7 +86,28 @@ class Testbed {
   explicit Testbed(TestbedSpec spec);
   ~Testbed();
 
-  Simulator& sim() { return *sim_; }
+  /// The sequential kernel. Throws std::logic_error when the testbed runs
+  /// sharded (shards > 1) — callers that only need the clock or the run
+  /// loop should use the kernel-neutral facade below instead.
+  Simulator& sim();
+
+  /// True when the data plane runs on the sharded kernel.
+  bool is_sharded() const { return sharded_ != nullptr; }
+  /// The sharded kernel, or nullptr when running sequentially.
+  ShardedSimulator* sharded() { return sharded_.get(); }
+
+  /// Scheduling context bound to `domain` — what every node layer holds
+  /// instead of a raw Simulator*. Sequentially the domain tag is inert;
+  /// sharded it routes the node's events to its lane.
+  SimContext context(DomainId domain);
+
+  // Kernel-neutral run facade (what the Orchestrator drives).
+  void run_until(Tick deadline);
+  Tick now() const;
+  std::uint64_t events_processed() const;
+  std::uint64_t cancel_requests() const;
+  std::size_t max_queue_depth() const;
+
   EventInjectorSwitch& injector() { return *switch_; }
 
   int num_hosts() const { return static_cast<int>(nics_.size()); }
@@ -117,7 +142,8 @@ class Testbed {
   std::unique_ptr<telemetry::MetricsRegistry> metrics_;
   std::unique_ptr<telemetry::TraceSink> trace_sink_;
   telemetry::Telemetry telemetry_;
-  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<Simulator> sim_;           // shards == 1
+  std::unique_ptr<ShardedSimulator> sharded_;  // shards > 1
   std::unique_ptr<EventInjectorSwitch> switch_;
   std::vector<std::unique_ptr<Rnic>> nics_;
   std::vector<std::unique_ptr<TrafficDumper>> dumpers_;

@@ -1,0 +1,24 @@
+// Thread-local execution-domain tag.
+//
+// The sharded event kernel (sim/sharded_sim.h) runs each event domain's
+// lane on a worker thread; while a lane executes, the worker advertises
+// the lane's domain id here. Components that keep per-run state which is
+// not naturally lane-owned (the trace sink's ring buffer is the one case)
+// read the tag to route writes to a domain-private slot instead of racing
+// on shared storage.
+//
+// The tag lives in util (not sim) so telemetry can read it without a
+// dependency on the kernel. Outside any lane — top-level orchestration,
+// the sequential kernel, tests — the tag is -1.
+#pragma once
+
+namespace lumina::exec_domain {
+
+inline thread_local int tls_domain = -1;
+
+/// Domain of the lane executing on this thread, or -1 outside any lane.
+inline int current() { return tls_domain; }
+
+inline void set_current(int domain) { tls_domain = domain; }
+
+}  // namespace lumina::exec_domain

@@ -1,20 +1,35 @@
-// Shard-invariance golden test (docs/simulator.md, "Sharded execution"):
-// the incast_4host and pause_storm_incast scenarios are replayed at every
-// accepted --shards value and their full artifact set — trace.pcap,
-// counters, flows, integrity, report.json — compared byte-for-byte
-// against the checked-in goldens (tests/golden/). The shard count must be
-// a pure throughput knob: the only permitted report difference is the
-// shard-plan metric block itself (topology.* / sim.shard.*), which is
-// dormant at shards == 1 and pinned here against the deterministic
-// ShardPlan at every other count.
+// Shard-invariance test for the testbed cutover (docs/simulator.md,
+// "Sharded execution"). The kernel contract it pins:
+//
+//  * shards == 1 runs the sequential Simulator, and its artifact tree —
+//    trace.pcap, counters, flows, integrity, report.json — is
+//    byte-identical to the checked-in goldens (tests/golden/). The
+//    goldens ARE the sequential kernel's output.
+//  * shards >= 2 runs ShardedSimulator, whose barrier merge orders
+//    same-tick events by content (when, origin domain, origin sequence)
+//    rather than by global schedule id. That canonical order makes every
+//    sharded count byte-identical to every OTHER sharded count — the
+//    worker count is a pure throughput knob — but not to the sequential
+//    kernel, whose same-tick interleave depends on schedule order. The
+//    two kernels legally diverge by at most same-tick reordering inside
+//    one lookahead window (observed: a single MTU serialization slot).
+//  * The sequential kernel therefore serves as a differential ORACLE for
+//    the sharded family: every counter (packets, retransmissions, ECN
+//    marks, CNPs, events processed) matches exactly, every gauge except
+//    the kernel-shape sim.queue_depth_max (global high-water vs summed
+//    per-lane high-waters) matches exactly, and every histogram matches
+//    on bucket population — only sub-bucket order statistics (sum/min/
+//    max) may shift by the window-local reordering.
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "config/test_config.h"
@@ -39,7 +54,8 @@ std::string read_file(const fs::path& path) {
 }
 
 /// True for serialized metric lines of the shard-plan block — the only
-/// metrics allowed to differ from the shards == 1 golden.
+/// metrics allowed to differ between two sharded-run reports (the plan
+/// records the *requested* shard count).
 bool is_shard_metric_line(const std::string& line) {
   return line.find("\"topology.") != std::string::npos ||
          line.find("\"sim.shard.") != std::string::npos;
@@ -60,8 +76,8 @@ std::string strip_shard_lines(const std::string& text) {
   return out;
 }
 
-/// Drops the shard-plan block from a parsed snapshot so the structured
-/// diff against the golden runs at tolerance 0 with no missing-key noise.
+/// Drops the shard-plan block from a parsed snapshot so structured diffs
+/// run at tolerance 0 with no missing-key noise.
 void erase_shard_metrics(telemetry::MetricsSnapshot* snapshot) {
   const auto is_shard_key = [](const std::string& key) {
     return key.rfind("topology.", 0) == 0 || key.rfind("sim.shard.", 0) == 0;
@@ -106,18 +122,71 @@ Orchestrator::Options incast_options() {
 TestConfig pause_storm_incast_config() {
   TestConfig cfg = incast_4host_config();
   cfg.traffic.num_msgs_per_qp = 3;
-  DataPacketEvent storm{1, 4, EventType::kPauseStorm, 1};
+  DataPacketEvent storm;
+  storm.qpn = 1;
+  storm.psn = 4;
+  storm.type = EventType::kPauseStorm;
   storm.fault.duration = 150 * kMicrosecond;
   cfg.traffic.data_pkt_events.push_back(storm);
   return cfg;
 }
 
-/// Runs `cfg` at one shard count and returns the artifact tree, with
-/// report.json reduced to its deterministic section minus the shard-plan
-/// block. Also pins the emitted shard metrics against the ShardPlan.
-std::map<std::string, std::string> run_at_shards(
-    const std::string& scenario, const TestConfig& cfg,
-    const Orchestrator::Options& base_options, int shards) {
+// The stateful fault vocabulary in one two-host run — the in-test twin of
+// examples/configs/fault_vocabulary.yaml (duplicate, Gilbert–Elliott
+// burst loss, a hold-queued link flap, and an overtaking delay). No
+// golden tree exists for it; it rides the sharded-family and oracle
+// comparisons only.
+TestConfig fault_vocabulary_config() {
+  TestConfig cfg;
+  cfg.traffic.num_connections = 4;
+  cfg.traffic.verb = RdmaVerb::kWrite;
+  cfg.traffic.num_msgs_per_qp = 4;
+  cfg.traffic.message_size = 10240;
+  cfg.traffic.mtu = 1024;
+  DataPacketEvent duplicate;
+  duplicate.qpn = 1;
+  duplicate.psn = 3;
+  duplicate.type = EventType::kDuplicate;
+  cfg.traffic.data_pkt_events.push_back(duplicate);
+  DataPacketEvent burst;
+  burst.qpn = 2;
+  burst.psn = 4;
+  burst.type = EventType::kBurstLoss;
+  burst.fault.duration = 40 * kMicrosecond;
+  burst.fault.ge_p = 0.2;
+  burst.fault.ge_r = 0.5;
+  cfg.traffic.data_pkt_events.push_back(burst);
+  DataPacketEvent flap;
+  flap.qpn = 3;
+  flap.psn = 2;
+  flap.type = EventType::kLinkFlap;
+  flap.fault.duration = 12 * kMicrosecond;
+  flap.fault.flap_drops_queued = false;
+  cfg.traffic.data_pkt_events.push_back(flap);
+  DataPacketEvent delayed;
+  delayed.qpn = 4;
+  delayed.psn = 2;
+  delayed.type = EventType::kDelay;
+  delayed.delay = 8 * kMicrosecond;
+  cfg.traffic.data_pkt_events.push_back(delayed);
+  return cfg;
+}
+
+/// Everything one run leaves behind that the invariance sweep compares.
+struct RunArtifacts {
+  /// Artifact tree keyed by filename; report.json is reduced to its
+  /// deterministic section minus the shard-plan block.
+  std::map<std::string, std::string> files;
+  telemetry::MetricsSnapshot metrics;
+  std::size_t trace_packets = 0;
+  std::size_t flows = 0;
+};
+
+/// Runs `cfg` at one shard count, pins the emitted shard-plan metrics
+/// against the deterministic ShardPlan, and returns the artifacts.
+RunArtifacts run_at_shards(const std::string& scenario, const TestConfig& cfg,
+                           const Orchestrator::Options& base_options,
+                           int shards) {
   Orchestrator::Options options = base_options;
   options.shards = shards;
   Orchestrator orch(cfg, options);
@@ -127,6 +196,7 @@ std::map<std::string, std::string> run_at_shards(
 
   const ShardPlan& plan = orch.testbed().shard_plan();
   EXPECT_EQ(plan.shards, shards);
+  EXPECT_EQ(orch.testbed().is_sharded(), shards > 1) << scenario;
   const auto& gauges = result.telemetry.gauges;
   if (shards == 1) {
     // Dormant: the single-kernel metric set is byte-identical to the
@@ -153,7 +223,10 @@ std::map<std::string, std::string> run_at_shards(
   std::string failed;
   EXPECT_TRUE(write_results(result, dir.string(), &failed)) << failed;
 
-  std::map<std::string, std::string> files;
+  RunArtifacts out;
+  out.metrics = result.telemetry;
+  out.trace_packets = result.trace.size();
+  out.flows = result.flows.size();
   for (const auto& entry : fs::directory_iterator(dir)) {
     if (!entry.is_regular_file()) continue;
     const std::string name = entry.path().filename().string();
@@ -162,85 +235,174 @@ std::map<std::string, std::string> run_at_shards(
       bytes = strip_shard_lines(
           telemetry::extract_deterministic_section(bytes));
       EXPECT_FALSE(bytes.empty()) << scenario << " shards " << shards;
-
-      // Structured report diff against the golden at tolerance 0: when
-      // the byte compare below ever fails, this names the exact metrics.
-      telemetry::RunReport actual =
-          telemetry::read_report_file(entry.path().string());
-      erase_shard_metrics(&actual.deterministic);
-      const telemetry::RunReport golden = telemetry::read_report_file(
-          (fs::path(golden_root()) / scenario / "report.json").string());
-      const auto diff =
-          telemetry::diff_reports(golden, actual, telemetry::DiffOptions{});
-      EXPECT_TRUE(diff.passed())
-          << scenario << " shards " << shards << ": report drifted\n"
-          << telemetry::format_diff(diff);
-      EXPECT_GT(diff.compared, 0u) << scenario;
     }
-    files[name] = std::move(bytes);
+    out.files[name] = std::move(bytes);
   }
   fs::remove_all(dir);
-  return files;
+  return out;
 }
 
-/// Sweeps every accepted shard count and asserts all artifact trees are
-/// byte-identical to the checked-in golden (trace.pcap included — the
-/// trace digest contract at tolerance 0).
-void check_shard_invariance(const std::string& scenario, const TestConfig& cfg,
-                            const Orchestrator::Options& options) {
+/// The sequential run must reproduce the checked-in golden tree
+/// byte-for-byte (trace.pcap included — the trace-digest contract at
+/// tolerance 0).
+void check_sequential_matches_golden(const std::string& scenario,
+                                     const RunArtifacts& seq) {
   const fs::path golden_dir = fs::path(golden_root()) / scenario;
   ASSERT_TRUE(fs::is_directory(golden_dir))
       << "missing goldens for " << scenario
       << "; run golden_trace_test with LUMINA_REGEN_GOLDEN=1 first";
 
+  std::size_t compared = 0;
+  for (const auto& entry : fs::directory_iterator(golden_dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    const auto it = seq.files.find(name);
+    ASSERT_NE(it, seq.files.end())
+        << scenario << " shards 1: missing " << name;
+    std::string golden_bytes = read_file(entry.path());
+    if (name == "report.json") {
+      golden_bytes = strip_shard_lines(
+          telemetry::extract_deterministic_section(golden_bytes));
+      // Structured diff at tolerance 0 first: when the byte compare below
+      // ever fails, this names the exact metrics.
+      telemetry::MetricsSnapshot actual = seq.metrics;
+      erase_shard_metrics(&actual);
+      const telemetry::RunReport golden =
+          telemetry::read_report_file(entry.path().string());
+      telemetry::RunReport actual_report;
+      actual_report.deterministic = actual;
+      const auto diff = telemetry::diff_reports(golden, actual_report,
+                                                telemetry::DiffOptions{});
+      EXPECT_TRUE(diff.passed())
+          << scenario << " shards 1: report drifted\n"
+          << telemetry::format_diff(diff);
+      EXPECT_GT(diff.compared, 0u) << scenario;
+    }
+    EXPECT_EQ(it->second, golden_bytes)
+        << scenario << " shards 1: " << name
+        << " differs from the checked-in golden";
+    ++compared;
+  }
+  EXPECT_GE(compared, 8u) << scenario << ": golden set incomplete";
+}
+
+/// Differential oracle: the sequential kernel and the sharded family must
+/// agree on every counter, every gauge but the kernel-shape queue-depth
+/// high-water, and every histogram's bucket population. Divergence beyond
+/// that means the cutover changed semantics, not just same-tick order.
+void check_oracle_equivalence(const std::string& scenario,
+                              const RunArtifacts& seq,
+                              const RunArtifacts& sharded) {
+  EXPECT_EQ(seq.trace_packets, sharded.trace_packets) << scenario;
+  EXPECT_EQ(seq.flows, sharded.flows) << scenario;
+
+  telemetry::MetricsSnapshot a = seq.metrics;
+  telemetry::MetricsSnapshot b = sharded.metrics;
+  erase_shard_metrics(&a);
+  erase_shard_metrics(&b);
+
+  EXPECT_EQ(a.counters, b.counters)
+      << scenario << ": a counter diverged between the kernels";
+
+  // sim.queue_depth_max is kernel-shape: the sequential kernel tracks one
+  // global queue's high-water, the sharded kernel sums per-lane
+  // high-waters. It stays in the sharded-family byte compare (invariant
+  // across worker counts) but not in the cross-kernel oracle.
+  a.gauges.erase("sim.queue_depth_max");
+  b.gauges.erase("sim.queue_depth_max");
+  EXPECT_EQ(a.gauges, b.gauges)
+      << scenario << ": a gauge diverged between the kernels";
+
+  ASSERT_EQ(a.histograms.size(), b.histograms.size()) << scenario;
+  for (const auto& [name, ha] : a.histograms) {
+    const auto it = b.histograms.find(name);
+    ASSERT_NE(it, b.histograms.end()) << scenario << ": missing " << name;
+    const telemetry::HistogramSnapshot& hb = it->second;
+    EXPECT_EQ(ha.bounds, hb.bounds) << scenario << ": " << name;
+    EXPECT_EQ(ha.counts, hb.counts)
+        << scenario << ": " << name
+        << " bucket population diverged between the kernels";
+    EXPECT_EQ(ha.count, hb.count) << scenario << ": " << name;
+    // sum/min/max are order statistics inside a bucket; same-tick
+    // reordering within one lookahead window may legally shift them.
+  }
+}
+
+/// The end-to-end cutover matrix for one scenario: sequential vs golden
+/// (when one is checked in), byte-identity across every sharded count,
+/// and the sequential-oracle differential.
+void check_shard_invariance(const std::string& scenario, const TestConfig& cfg,
+                            const Orchestrator::Options& options,
+                            bool has_golden) {
   TestConfig normalized = cfg;
   normalized.normalize();
   const int num_domains =
       1 + static_cast<int>(normalized.hosts.size()) + options.num_dumpers;
+  ASSERT_GE(num_domains, 3) << scenario;
 
-  for (int shards = 1; shards <= num_domains; ++shards) {
-    const auto tree = run_at_shards(scenario, cfg, options, shards);
-    std::size_t compared = 0;
-    for (const auto& entry : fs::directory_iterator(golden_dir)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string name = entry.path().filename().string();
-      const auto it = tree.find(name);
-      ASSERT_NE(it, tree.end())
+  const RunArtifacts seq = run_at_shards(scenario, cfg, options, 1);
+  if (has_golden) check_sequential_matches_golden(scenario, seq);
+
+  // The sharded family: every worker count must produce the same bytes.
+  // shards == 2 is the baseline; 3..num_domains must match it on every
+  // artifact (report.json reduced to the deterministic section minus the
+  // shard-plan block, which records the requested count).
+  const RunArtifacts baseline = run_at_shards(scenario, cfg, options, 2);
+  EXPECT_GE(baseline.files.size(), 8u) << scenario;
+  for (int shards = 3; shards <= num_domains; ++shards) {
+    const RunArtifacts tree = run_at_shards(scenario, cfg, options, shards);
+    ASSERT_EQ(tree.files.size(), baseline.files.size())
+        << scenario << " shards " << shards;
+    for (const auto& [name, bytes] : baseline.files) {
+      const auto it = tree.files.find(name);
+      ASSERT_NE(it, tree.files.end())
           << scenario << " shards " << shards << ": missing " << name;
-      std::string golden_bytes = read_file(entry.path());
-      if (name == "report.json") {
-        golden_bytes = strip_shard_lines(
-            telemetry::extract_deterministic_section(golden_bytes));
-      }
-      EXPECT_EQ(it->second, golden_bytes)
+      EXPECT_EQ(it->second, bytes)
           << scenario << " shards " << shards << ": " << name
-          << " differs — the shard count leaked into an artifact";
-      ++compared;
+          << " differs — the worker count leaked into an artifact";
     }
-    EXPECT_GE(compared, 8u) << scenario << ": golden set incomplete";
   }
+
+  check_oracle_equivalence(scenario, seq, baseline);
 }
 
-TEST(ShardInvariance, Incast4HostMatchesGoldenAtEveryShardCount) {
+TEST(ShardInvariance, Incast4HostCutoverMatrix) {
   check_shard_invariance("incast_4host", incast_4host_config(),
-                         incast_options());
+                         incast_options(), /*has_golden=*/true);
 }
 
-TEST(ShardInvariance, PauseStormIncastMatchesGoldenAtEveryShardCount) {
+TEST(ShardInvariance, PauseStormIncastCutoverMatrix) {
   check_shard_invariance("pause_storm_incast", pause_storm_incast_config(),
-                         Orchestrator::Options{});
+                         Orchestrator::Options{}, /*has_golden=*/true);
+}
+
+TEST(ShardInvariance, FaultVocabularyCutoverMatrix) {
+  check_shard_invariance("fault_vocabulary", fault_vocabulary_config(),
+                         Orchestrator::Options{}, /*has_golden=*/false);
 }
 
 // A shard count the topology cannot satisfy is a configuration error, not
-// a silent clamp: the orchestrator refuses to build the testbed.
+// a silent clamp: the orchestrator refuses to build the testbed. Zero is
+// the auto sentinel — the testbed resolves it to
+// min(hardware_threads, num_domains) and records the resolved value.
 TEST(ShardInvariance, RejectsShardCountsBeyondTheDomainSpace) {
   Orchestrator::Options options = incast_options();
   options.shards = 99;
   EXPECT_THROW(Orchestrator(incast_4host_config(), options),
                std::invalid_argument);
+}
+
+TEST(ShardInvariance, AutoResolvesToHardwareBoundedShardCount) {
+  Orchestrator::Options options = incast_options();
   options.shards = 0;
-  EXPECT_THROW(Orchestrator(incast_4host_config(), options),
-               std::invalid_argument);
+  Orchestrator orch(incast_4host_config(), options);
+  const ShardPlan& plan = orch.testbed().shard_plan();
+  const int hw =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  const int expected = std::min(hw, plan.num_domains());
+  EXPECT_EQ(plan.shards, expected);
+  EXPECT_EQ(orch.testbed().spec().shards, expected);
+  EXPECT_EQ(orch.testbed().is_sharded(), expected > 1);
 }
 
 }  // namespace

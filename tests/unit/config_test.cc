@@ -24,6 +24,9 @@ TEST(Config, NicTypeParsing) {
   EXPECT_EQ(parse_nic_type("cx6"), NicType::kCx6Dx);
   EXPECT_EQ(parse_nic_type("cx6dx"), NicType::kCx6Dx);
   EXPECT_EQ(parse_nic_type("e810"), NicType::kE810);
+  EXPECT_EQ(parse_nic_type("soft-roce"), NicType::kSoftRoce);
+  EXPECT_EQ(parse_nic_type("rxe"), NicType::kSoftRoce);
+  EXPECT_EQ(to_string(NicType::kSoftRoce), "soft-roce");
   EXPECT_FALSE(parse_nic_type("cx9").has_value());
 }
 
@@ -361,6 +364,32 @@ TEST(Config, SerializeRoundTripsFaultEvents) {
   EXPECT_EQ(serialize_test_config(back), text);
 }
 
+TEST(Config, ShardsKeyParsesIntegersAndAuto) {
+  EXPECT_EQ(load_test_config(parse_yaml("traffic:\n  mtu: 1024\n")).shards, 1);
+  EXPECT_EQ(load_test_config(parse_yaml("shards: 4\n")).shards, 4);
+  // `auto` is the 0 sentinel; the testbed resolves it to
+  // min(hardware_threads, num_domains) at construction.
+  EXPECT_EQ(load_test_config(parse_yaml("shards: auto\n")).shards, 0);
+  EXPECT_THROW(load_test_config(parse_yaml("shards: 0\n")), YamlError);
+  EXPECT_THROW(load_test_config(parse_yaml("shards: -2\n")), YamlError);
+}
+
+TEST(Config, SerializeRoundTripsShards) {
+  TestConfig cfg;
+  // Default stays invisible: pre-cutover configs serialize byte-identically.
+  EXPECT_EQ(serialize_test_config(cfg).find("shards"), std::string::npos);
+
+  cfg.shards = 3;
+  TestConfig back = load_test_config(parse_yaml(serialize_test_config(cfg)));
+  EXPECT_EQ(back.shards, 3);
+
+  cfg.shards = 0;
+  const std::string text = serialize_test_config(cfg);
+  EXPECT_NE(text.find("shards: auto"), std::string::npos);
+  back = load_test_config(parse_yaml(text));
+  EXPECT_EQ(back.shards, 0);
+  EXPECT_EQ(serialize_test_config(back), text);
+}
 
 }  // namespace
 }  // namespace lumina

@@ -81,10 +81,29 @@ void usage(const char* argv0) {
                "(chrome://tracing / Perfetto) to the given paths "
                "(docs/telemetry.md).\n"
                "--shards selects the event-kernel shard count "
-               "(docs/simulator.md); results are\n"
-               "identical for every accepted value (1 <= N <= hosts + "
-               "dumpers + 1).\n",
+               "(docs/simulator.md); sharded\n"
+               "results are identical for every accepted value (1 <= N <= "
+               "hosts + dumpers + 1),\n"
+               "and 'auto' resolves to min(hardware threads, event "
+               "domains).\n",
                argv0, argv0, argv0, argv0, argv0);
+}
+
+/// Parses a --shards value: `auto` maps to the 0 sentinel (the testbed
+/// resolves min(hardware_threads, num_domains) at construction); anything
+/// else must be an integer >= 1. An explicit numeric 0 stays an error —
+/// only the spelled-out keyword opts into auto.
+bool parse_shards_value(const char* text, int* shards) {
+  if (std::strcmp(text, "auto") == 0) {
+    *shards = 0;
+    return true;
+  }
+  *shards = std::atoi(text);
+  if (*shards < 1) {
+    std::fprintf(stderr, "error: --shards must be >= 1 or 'auto'\n");
+    return false;
+  }
+  return true;
 }
 
 /// Writes `report` to `path`, logging the result. Returns false on I/O
@@ -120,11 +139,7 @@ bool parse_campaign_flags(int argc, char** argv, int first,
       }
     } else if (std::strcmp(argv[i], "--shards") == 0) {
       if (!need_value("--shards")) return false;
-      options->shards = std::atoi(argv[++i]);
-      if (options->shards < 1) {
-        std::fprintf(stderr, "error: --shards must be >= 1\n");
-        return false;
-      }
+      if (!parse_shards_value(argv[++i], &options->shards)) return false;
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       if (!need_value("--seed")) return false;
       options->seed = std::strtoull(argv[++i], nullptr, 0);
@@ -272,11 +287,7 @@ int run_fuzz_campaign_mode(int argc, char** argv) {
       // Event-kernel shards for experiment-backed runs; fuzz iterations
       // that never build a testbed simply ignore the setting.
       if (!need_value("--shards")) return 1;
-      options.shards = std::atoi(argv[++i]);
-      if (options.shards < 1) {
-        std::fprintf(stderr, "error: --shards must be >= 1\n");
-        return 1;
-      }
+      if (!parse_shards_value(argv[++i], &options.shards)) return 1;
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       if (!need_value("--seed")) return 1;
       options.seed = std::strtoull(argv[++i], nullptr, 0);
@@ -462,6 +473,7 @@ int main(int argc, char** argv) {
   std::string report_path;
   std::string trace_path;
   Orchestrator::Options orch_options;
+  bool shards_from_cli = false;
   for (int i = 2; i < argc; ++i) {
     const auto need_value = [&](const char* flag) {
       if (i + 1 < argc) return true;
@@ -476,11 +488,8 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--shards") == 0) {
       if (!need_value("--shards")) return 1;
-      orch_options.shards = std::atoi(argv[++i]);
-      if (orch_options.shards < 1) {
-        std::fprintf(stderr, "error: --shards must be >= 1\n");
-        return 1;
-      }
+      if (!parse_shards_value(argv[++i], &orch_options.shards)) return 1;
+      shards_from_cli = true;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
       return 1;
@@ -511,8 +520,14 @@ int main(int argc, char** argv) {
   }
   std::printf("   injected events: %zu\n", cfg.traffic.data_pkt_events.size());
 
+  // The config's `shards:` key (integer or `auto`) applies unless the
+  // flag overrode it on the command line.
+  if (!shards_from_cli) orch_options.shards = cfg.shards;
+
   // Shard validation needs the normalized topology: the domain space is
-  // 1 switch + hosts + dumpers (topology/testbed.h ShardPlan).
+  // 1 switch + hosts + dumpers (topology/testbed.h ShardPlan). The auto
+  // sentinel (0) is always in range — the testbed clamps it to the
+  // domain space when it resolves.
   const int num_domains = 1 + static_cast<int>(cfg.hosts.size()) +
                           orch_options.num_dumpers;
   if (orch_options.shards > num_domains) {
