@@ -20,61 +20,124 @@ std::uint32_t rss_hash(const RoceView& v) {
 
 }  // namespace
 
+// The dumper's rx pipeline, decomposed from the pre-pipeline monolithic
+// handle_packet into two stages over a PacketBatch (same construction as
+// SwitchPipeline in injector/switch.cc: the event kernel delivers one
+// packet per call, so the production pump runs single-slot batches and
+// the stage bodies concatenate to the former per-packet sequence).
+struct DumperPipeline {
+  using PacketBatch = pipeline::PacketBatch;
+  using StageContract = pipeline::StageContract;
+
+  /// NIC/ring admission: RSS core selection and the finite per-core
+  /// service model. Ring overflow -> NIC discard. Stores the admitted
+  /// slot's core in the slot metadata.
+  class Admit : public pipeline::Stage {
+   public:
+    explicit Admit(TrafficDumper& dumper) : dumper_(dumper) {}
+    const char* name() const override { return "admit"; }
+    StageContract contract() const override {
+      return {.provides_view = true, .may_consume = true};
+    }
+    void process(PacketBatch& batch) override {
+      TrafficDumper& d = dumper_;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (!batch.live(i)) continue;
+        if (d.terminated_) {
+          batch.consume(i);
+          continue;
+        }
+        ++d.counters_.received;
+
+        const auto view = parse_roce(batch.pkt(i));
+        const Tick now = batch.meta(i).ingress_ts;
+        const std::size_t core =
+            view ? rss_hash(*view) % d.core_busy_until_.size() : 0;
+
+        // Finite per-core processing: ring overflow -> NIC discard.
+        Tick& busy = d.core_busy_until_[core];
+        const Tick service = d.options_.per_packet_service;
+        const std::size_t backlog =
+            busy > now ? static_cast<std::size_t>((busy - now) / service) : 0;
+        if (backlog >= d.options_.ring_capacity) {
+          ++d.counters_.discarded;
+          batch.consume(i);
+          continue;
+        }
+        busy = std::max(busy, now) + service;
+        batch.meta(i).core = core;
+      }
+    }
+
+   private:
+    TrafficDumper& dumper_;
+  };
+
+  /// Trim + store: copies the trimmed headers into the capture store (or
+  /// moves small frames whole) along with the embedded mirror metadata.
+  class Capture : public pipeline::Stage {
+   public:
+    explicit Capture(TrafficDumper& dumper) : dumper_(dumper) {}
+    const char* name() const override { return "capture"; }
+    StageContract contract() const override {
+      return {.needs_view = true, .may_consume = true};
+    }
+    void process(PacketBatch& batch) override {
+      TrafficDumper& d = dumper_;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (!batch.live(i)) continue;
+        Packet& pkt = batch.pkt(i);
+        DumpedPacket dumped;
+        dumped.orig_len = pkt.size();
+        dumped.captured_at = batch.meta(i).ingress_ts;
+        dumped.meta = extract_mirror_meta(pkt);
+        if (pkt.size() > d.options_.trim_bytes) {
+          // Copy the trimmed headers out so the full-size wire buffer
+          // recycles instead of being pinned in the capture store for the
+          // whole run. (Deliberately not arena-backed: the copy lives in
+          // the store for the rest of the run, so recycled capacity would
+          // just be pinned.)
+          pkt.clone_into(dumped.pkt, d.options_.trim_bytes);
+        } else {
+          dumped.pkt = std::move(pkt);
+        }
+        d.packets_.push_back(std::move(dumped));
+        ++d.counters_.captured;
+        batch.consume(i);
+      }
+    }
+
+   private:
+    TrafficDumper& dumper_;
+  };
+
+  static void build(TrafficDumper& dumper, pipeline::StageChain& chain) {
+    chain.append(std::make_unique<Admit>(dumper));
+    chain.append(std::make_unique<Capture>(dumper));
+  }
+};
+
 TrafficDumper::TrafficDumper(SimContext sim, std::string name, Options options)
     : sim_(sim),
       name_(std::move(name)),
       options_(options),
       port_(std::make_unique<Port>(sim, this, 0)),
       core_busy_until_(static_cast<std::size_t>(std::max(1, options.cores)), 0) {
+  DumperPipeline::build(*this, rx_pipeline_);
 }
 
 void TrafficDumper::handle_packet(int in_port, Packet pkt) {
-  (void)in_port;
-  // Recycles the wire buffer on the discard paths and after a trim-copy;
-  // the untrimmed-capture path moves the frame away first (guard no-ops).
-  ScopedPacketReclaim reclaim_guard(pkt);
-  if (terminated_) return;
-  ++counters_.received;
+  rx_batch_.clear();
+  rx_batch_.push(std::move(pkt), in_port, sim_->now());
+  handle_batch(rx_batch_);
+}
 
-  const auto view = parse_roce(pkt);
-  const Tick now = sim_->now();
-  const std::size_t core =
-      view ? rss_hash(*view) % core_busy_until_.size() : 0;
-
-  // Finite per-core processing: ring overflow -> NIC discard.
-  Tick& busy = core_busy_until_[core];
-  const Tick service = options_.per_packet_service;
-  const std::size_t backlog =
-      busy > now ? static_cast<std::size_t>((busy - now) / service) : 0;
-  if (backlog >= options_.ring_capacity) {
-    ++counters_.discarded;
-    return;
-  }
-  busy = std::max(busy, now) + service;
-
-  DumpedPacket dumped;
-  dumped.orig_len = pkt.size();
-  dumped.captured_at = now;
-  dumped.meta = extract_mirror_meta(pkt);
-  if (pkt.size() > options_.trim_bytes) {
-    // Copy the trimmed headers out so the full-size wire buffer recycles
-    // instead of being pinned in the capture store for the whole run.
-    dumped.pkt.bytes.assign(
-        pkt.bytes.begin(),
-        pkt.bytes.begin() + static_cast<std::ptrdiff_t>(options_.trim_bytes));
-    if (pkt.view_state == ViewCacheState::kFull &&
-        options_.trim_bytes >= pkt.view.payload_offset) {
-      // The headers survive the trim, so the full view still describes the
-      // copy — except the iCRC, which the trimmed parser reports as 0.
-      dumped.pkt.view = pkt.view;
-      dumped.pkt.view.icrc = 0;
-      dumped.pkt.view_state = ViewCacheState::kTrimmed;
-    }
-  } else {
-    dumped.pkt = std::move(pkt);
-  }
-  packets_.push_back(std::move(dumped));
-  ++counters_.captured;
+void TrafficDumper::handle_batch(pipeline::PacketBatch& batch) {
+  rx_pipeline_.run(batch);
+  // Discard paths and trim-copies leave the wire buffer in the slot;
+  // untrimmed captures move the frame into the store first (reclaim
+  // no-ops on those).
+  batch.reclaim();
 }
 
 void TrafficDumper::terminate() {

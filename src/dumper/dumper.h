@@ -19,9 +19,14 @@
 
 #include "injector/mirror.h"
 #include "net/node.h"
+#include "pipeline/stage.h"
 #include "sim/sim_context.h"
 
 namespace lumina {
+
+/// Assembles the dumper's rx pipeline (defined in dumper.cc): admit ->
+/// capture.
+struct DumperPipeline;
 
 struct DumpedPacket {
   Packet pkt;              ///< Trimmed copy (headers only).
@@ -49,8 +54,16 @@ class TrafficDumper : public Node {
 
   Port& port() { return *port_; }
 
+  // handle_packet is a single-slot batch pump over the rx stage chain
+  // (admit -> capture); handle_batch runs any batch stage-major and
+  // reclaims leftover buffers.
   void handle_packet(int in_port, Packet pkt) override;
+  void handle_batch(pipeline::PacketBatch& batch);
   std::string name() const override { return name_; }
+
+  /// The assembled rx stage chain (differential harness access).
+  const pipeline::StageChain& rx_pipeline() const { return rx_pipeline_; }
+  pipeline::StageChain& rx_pipeline() { return rx_pipeline_; }
 
   /// TERM from the orchestrator: restores UDP ports on captured packets.
   void terminate();
@@ -62,9 +75,13 @@ class TrafficDumper : public Node {
   bool write_pcap(const std::string& path) const;
 
  private:
+  friend struct DumperPipeline;
+
   SimContext sim_;
   std::string name_;
   Options options_;
+  pipeline::StageChain rx_pipeline_;
+  pipeline::PacketBatch rx_batch_;  ///< handle_packet's single-slot pump.
   std::unique_ptr<Port> port_;
   std::vector<Tick> core_busy_until_;
   std::vector<DumpedPacket> packets_;

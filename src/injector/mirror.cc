@@ -27,13 +27,10 @@ void MirrorEngine::set_targets(std::vector<Target> targets) {
 MirrorEngine::Mirrored MirrorEngine::mirror(const Packet& original,
                                             EventType event,
                                             Tick ingress_ts) {
-  Mirrored out{Packet{PacketArena::acquire_current()}, pick_target()};
-  Packet& clone = out.clone;
-  clone.bytes.assign(original.bytes.begin(), original.bytes.end());
-  // Identical bytes -> identical parse: seed the clone's view cache so the
+  // clone_arena carries the view cache along with the bytes, so the
   // mutators below patch it and the mirror path never re-decodes.
-  clone.view = original.view;
-  clone.view_state = original.view_state;
+  Mirrored out{original.clone_arena(), pick_target()};
+  Packet& clone = out.clone;
   // Embed metadata into iCRC-masked fields; see file comment.
   set_ttl(clone, static_cast<std::uint8_t>(event));
   set_src_mac(clone, next_seq_++);

@@ -104,8 +104,8 @@ const ZeroAdvanceOps& zero_advance_ops() {
 
 }  // namespace
 
-std::uint32_t crc32_update(std::uint32_t state,
-                           std::span<const std::uint8_t> data) {
+std::uint32_t crc32_update_slice8(std::uint32_t state,
+                                  std::span<const std::uint8_t> data) {
   const CrcTables& tables = crc_tables();  // hoist the static-init guard
   const std::uint8_t* p = data.data();
   std::size_t len = data.size();
@@ -126,6 +126,16 @@ std::uint32_t crc32_update(std::uint32_t state,
     }
   }
   return update_bytewise(tables, state, p, len);
+}
+
+std::uint32_t crc32_update(std::uint32_t state,
+                           std::span<const std::uint8_t> data) {
+  // 64 bytes is one CLMUL fold block; below that, folding cannot beat the
+  // table walk. The supported() branch resolves to a cached bool.
+  if (data.size() >= 64 && crc32_clmul_supported()) {
+    return crc32_update_clmul(state, data);
+  }
+  return crc32_update_slice8(state, data);
 }
 
 std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {

@@ -11,8 +11,12 @@
 // never invalidates the iCRC.
 //
 // Implementation notes (docs/packet.md):
-//   - crc32()/crc32_update() run slice-by-8 (eight 256-entry tables, one
-//     8-byte step per iteration) — the data-plane fast path.
+//   - crc32()/crc32_update() dispatch at runtime between two engines: a
+//     CLMUL path (PCLMULQDQ 4-way 128-bit folding, on x86-64 CPUs that
+//     have it) for long spans, and slice-by-8 (eight 256-entry tables,
+//     one 8-byte step per iteration) everywhere else. Both engines are
+//     exported for differential testing; -DLUMINA_DISABLE_CLMUL=ON
+//     builds without the CLMUL path entirely.
 //   - compute_icrc() is copy-free: it streams the frame's unmasked spans
 //     through the CRC state and substitutes the handful of masked bytes
 //     inline, instead of materializing the masked pseudo packet.
@@ -38,9 +42,25 @@ std::uint32_t crc32(std::span<const std::uint8_t> data,
 
 /// Streaming form: advances a raw CRC state over `data` without applying
 /// the final xor. `crc32(data, seed) == crc32_final(crc32_update(seed,
-/// data))`; segmented callers chain updates across spans.
+/// data))`; segmented callers chain updates across spans. Dispatches to
+/// the CLMUL engine for long spans when the CPU supports it.
 std::uint32_t crc32_update(std::uint32_t state,
                            std::span<const std::uint8_t> data);
+
+/// True when the CLMUL-folded engine is compiled in (x86-64, not built
+/// with LUMINA_DISABLE_CLMUL) and this CPU has PCLMULQDQ + SSE4.1.
+bool crc32_clmul_supported();
+
+/// The slice-by-8 engine, unconditionally available. Retained as the
+/// fallback and as the differential oracle for the CLMUL engine.
+std::uint32_t crc32_update_slice8(std::uint32_t state,
+                                  std::span<const std::uint8_t> data);
+
+/// The CLMUL-folded engine. Identical results to crc32_update_slice8 on
+/// every input; falls back to slice-by-8 for spans shorter than one fold
+/// block or when crc32_clmul_supported() is false.
+std::uint32_t crc32_update_clmul(std::uint32_t state,
+                                 std::span<const std::uint8_t> data);
 
 /// Applies the final inversion to a raw streaming state.
 constexpr std::uint32_t crc32_final(std::uint32_t state) {

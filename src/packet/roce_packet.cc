@@ -1,5 +1,7 @@
 #include "packet/roce_packet.h"
 
+#include <algorithm>
+
 #include "packet/bytes.h"
 #include "packet/icrc.h"
 #include "packet/packet_arena.h"
@@ -165,6 +167,34 @@ std::string to_string(EventType t) {
     case EventType::kLinkFlap: return "link-flap";
   }
   return "unknown";
+}
+
+void Packet::clone_into(Packet& out, std::size_t max_bytes) const {
+  const std::size_t n = std::min(bytes.size(), max_bytes);
+  out.bytes.assign(bytes.begin(),
+                   bytes.begin() + static_cast<std::ptrdiff_t>(n));
+  if (n == bytes.size()) {
+    // Identical bytes -> identical parse: the copy inherits the cache
+    // verbatim, whatever state it is in.
+    out.view = view;
+    out.view_state = view_state;
+    return;
+  }
+  if (view_state == ViewCacheState::kFull && n >= view.payload_offset) {
+    // The headers survive the trim, so the full view still describes the
+    // copy — except the iCRC, which the trimmed parser reports as 0.
+    out.view = view;
+    out.view.icrc = 0;
+    out.view_state = ViewCacheState::kTrimmed;
+  } else {
+    out.view_state = ViewCacheState::kUnknown;
+  }
+}
+
+Packet Packet::clone_arena(std::size_t max_bytes) const {
+  Packet out{PacketArena::acquire_current()};
+  clone_into(out, max_bytes);
+  return out;
 }
 
 Packet build_roce_packet(const RocePacketSpec& spec) {

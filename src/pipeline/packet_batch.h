@@ -1,0 +1,117 @@
+// Batch-of-packets execution unit for the composable data plane.
+//
+// A PacketBatch is a fixed-capacity array of slots, each carrying one wire
+// frame (packet/roce_packet.h — the parse-view cache travels with it) plus
+// per-slot metadata written by earlier stages and read by later ones. The
+// event kernel delivers packets one at a time, so the node batch pumps run
+// the real data plane over batches of one; larger batches are exercised by
+// bench/pipeline_batch and the pipeline-differential fuzz target, which is
+// what makes the stage-major execution order testable against the
+// packet-major oracle (stage.h).
+//
+// Slot lifecycle: push() fills the next slot, a stage that retires a frame
+// (drop, or moved onward into the event kernel / a capture store) calls
+// consume(), later stages skip dead slots, and the owning pump reclaims
+// whatever buffers are still present after the chain ran (moved-away
+// vectors reclaim as no-ops) — the batched equivalent of the per-packet
+// ScopedPacketReclaim guard.
+#pragma once
+
+#include <cstddef>
+
+#include "packet/packet_arena.h"
+#include "packet/roce_packet.h"
+#include "util/time.h"
+
+namespace lumina::pipeline {
+
+/// Per-slot metadata. `in_port`/`ingress_ts` are set by the pump at push
+/// time; the rest is scratch a node's stages pass between one another
+/// (each node's chain documents which fields it uses). Scratch starts
+/// zeroed for every pushed slot.
+struct SlotMeta {
+  int in_port = 0;
+  Tick ingress_ts = 0;
+
+  // Injector-switch scratch (classify -> match -> transform -> mirror ->
+  // emit): the per-packet locals of the pre-pipeline handle_packet.
+  Tick base_latency = 0;   ///< Pipeline latency accumulated so far.
+  Tick event_delay = 0;    ///< Injected hold from a matched delay event.
+  EventType event = EventType::kNone;
+  bool is_data = false;    ///< Data-carrying opcode (set by classify).
+  bool burst_dropped = false;  ///< Gilbert–Elliott channel verdict.
+
+  // Dumper scratch: RSS-selected capture core.
+  std::size_t core = 0;
+};
+
+class PacketBatch {
+ public:
+  /// Upper bound chosen so a full batch of header-trimmed frames still
+  /// fits comfortably in L1/L2 alongside the stage working set.
+  static constexpr std::size_t kMaxSlots = 64;
+
+  PacketBatch() = default;
+  PacketBatch(const PacketBatch&) = delete;
+  PacketBatch& operator=(const PacketBatch&) = delete;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == kMaxSlots; }
+
+  /// Fills the next slot. Scratch metadata starts zeroed; the slot is live.
+  void push(Packet pkt, int in_port, Tick ingress_ts) {
+    Slot& slot = slots_[size_++];
+    slot.pkt = std::move(pkt);
+    slot.meta = SlotMeta{};
+    slot.meta.in_port = in_port;
+    slot.meta.ingress_ts = ingress_ts;
+    slot.live = true;
+  }
+
+  /// Push with explicit metadata (the packet-major oracle re-seeding a
+  /// single-slot window).
+  void push(Packet pkt, const SlotMeta& meta) {
+    Slot& slot = slots_[size_++];
+    slot.pkt = std::move(pkt);
+    slot.meta = meta;
+    slot.live = true;
+  }
+
+  Packet& pkt(std::size_t i) { return slots_[i].pkt; }
+  const Packet& pkt(std::size_t i) const { return slots_[i].pkt; }
+  SlotMeta& meta(std::size_t i) { return slots_[i].meta; }
+  const SlotMeta& meta(std::size_t i) const { return slots_[i].meta; }
+
+  bool live(std::size_t i) const { return slots_[i].live; }
+
+  /// Retires a slot: later stages skip it. The frame's buffer (if the
+  /// retiring stage did not move it away) is recycled by reclaim().
+  void consume(std::size_t i) { slots_[i].live = false; }
+
+  /// Recycles every slot's remaining buffer into the thread's packet arena
+  /// and empties the batch. Buffers moved onward by stages are empty by
+  /// then, so reclaiming them is a no-op — exactly the per-packet
+  /// ScopedPacketReclaim semantics, amortized over the batch.
+  void reclaim() {
+    for (std::size_t i = 0; i < size_; ++i) {
+      PacketArena::reclaim(std::move(slots_[i].pkt));
+    }
+    size_ = 0;
+  }
+
+  /// Empties the batch without touching the arena (oracle bookkeeping).
+  void clear() { size_ = 0; }
+
+ private:
+  struct Slot {
+    Packet pkt;
+    SlotMeta meta;
+    bool live = false;
+  };
+
+  Slot slots_[kMaxSlots];
+  std::size_t size_ = 0;
+};
+
+}  // namespace lumina::pipeline

@@ -304,12 +304,17 @@ void check_oracle_equivalence(const std::string& scenario,
   EXPECT_EQ(a.counters, b.counters)
       << scenario << ": a counter diverged between the kernels";
 
-  // sim.queue_depth_max is kernel-shape: the sequential kernel tracks one
-  // global queue's high-water, the sharded kernel sums per-lane
-  // high-waters. It stays in the sharded-family byte compare (invariant
-  // across worker counts) but not in the cross-kernel oracle.
-  a.gauges.erase("sim.queue_depth_max");
-  b.gauges.erase("sim.queue_depth_max");
+  // Kernel-shape gauges (sim.queue_depth*): the sequential kernel tracks
+  // one global queue's high-water, the sharded kernel sums per-lane
+  // high-waters. They stay in the sharded-family byte compare (invariant
+  // across worker counts) but not in the cross-kernel oracle — the same
+  // carve-out report_diff --ignore-kernel-shape applies.
+  std::erase_if(a.gauges, [](const auto& kv) {
+    return telemetry::is_kernel_shape_metric(kv.first);
+  });
+  std::erase_if(b.gauges, [](const auto& kv) {
+    return telemetry::is_kernel_shape_metric(kv.first);
+  });
   EXPECT_EQ(a.gauges, b.gauges)
       << scenario << ": a gauge diverged between the kernels";
 

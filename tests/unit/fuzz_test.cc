@@ -336,6 +336,8 @@ TEST(CrcDifferential, DeterministicForSameSeed) {
 
 TEST(CrcDifferential, TargetRegisteredAndRunsClean) {
   ASSERT_TRUE(make_fuzz_target("crc-differential", NicType::kCx5).has_value());
+  ASSERT_TRUE(
+      make_fuzz_target("pipeline-differential", NicType::kCx5).has_value());
   GeneticFuzzer::Options options;
   options.pool_size = 2;
   options.max_iterations = 3;
@@ -344,6 +346,32 @@ TEST(CrcDifferential, TargetRegisteredAndRunsClean) {
   const FuzzOutcome outcome = fuzzer.run();
   // A healthy implementation never diverges from the references, so the
   // hunt must exhaust its budget without an anomaly.
+  EXPECT_FALSE(outcome.anomaly.has_value());
+}
+
+TEST(PipelineDifferential, HealthyChainsReportNoMismatches) {
+  const PipelineDifferentialOutcome out = run_pipeline_differential(7, 20);
+  EXPECT_EQ(out.iterations, 20);
+  EXPECT_EQ(out.mismatches, 0) << out.first_mismatch;
+}
+
+TEST(PipelineDifferential, DeterministicForSameSeed) {
+  const PipelineDifferentialOutcome a = run_pipeline_differential(42, 10);
+  const PipelineDifferentialOutcome b = run_pipeline_differential(42, 10);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.mismatches, b.mismatches);
+}
+
+TEST(PipelineDifferential, TargetRunsClean) {
+  GeneticFuzzer::Options options;
+  options.pool_size = 2;
+  options.max_iterations = 3;
+  options.seed = 11;
+  GeneticFuzzer fuzzer(make_pipeline_differential_target(NicType::kCx5),
+                       options);
+  const FuzzOutcome outcome = fuzzer.run();
+  // The stage-major order must match the per-packet oracle on every batch,
+  // so the hunt must exhaust its budget without an anomaly.
   EXPECT_FALSE(outcome.anomaly.has_value());
 }
 
